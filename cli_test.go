@@ -1,0 +1,129 @@
+package pasgal
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles every command once per test binary run and returns
+// the directory holding them.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"pasgal", "pasgal-gen", "pasgal-stats",
+		"pasgal-bench", "pasgal-convert"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds five binaries")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	// pasgal-gen: write a workload in two formats.
+	adj := filepath.Join(work, "na.adj")
+	gr := filepath.Join(work, "na.gr")
+	run(t, filepath.Join(bins, "pasgal-gen"), "-workload", "NA", "-scale", "0.05", "-o", adj)
+	run(t, filepath.Join(bins, "pasgal-gen"), "-workload", "NA", "-scale", "0.05",
+		"-weights", "-o", gr)
+
+	// pasgal-convert: adj -> gzipped bin, with stats.
+	binGz := filepath.Join(work, "na.bin.gz")
+	out := run(t, filepath.Join(bins, "pasgal-convert"), "-in", adj, "-out", binGz, "-stats")
+	if !strings.Contains(out, "n=") {
+		t.Fatalf("convert stats missing: %s", out)
+	}
+
+	// pasgal-stats on the file.
+	out = run(t, filepath.Join(bins, "pasgal-stats"), "-graph", binGz)
+	if !strings.Contains(out, "directed graph") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	// pasgal: run and verify each algorithm.
+	for _, algo := range []string{"bfs", "scc", "sssp"} {
+		out = run(t, filepath.Join(bins, "pasgal"), "-algo", algo, "-graph", binGz, "-verify")
+		if !strings.Contains(out, "verified against") {
+			t.Fatalf("%s verify missing: %s", algo, out)
+		}
+	}
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "bcc", "-graph", adj, "-verify")
+	if !strings.Contains(out, "verified against") {
+		t.Fatalf("bcc verify missing: %s", out)
+	}
+	// Loading a directed arc set as undirected must fail loudly rather
+	// than feed asymmetric data to undirected algorithms.
+	if err := exec.Command(filepath.Join(bins, "pasgal"), "-algo", "bcc",
+		"-graph", adj, "-directed=false").Run(); err == nil {
+		t.Fatal("expected failure loading a directed .adj as undirected")
+	}
+	// SSSP from a DIMACS file (weighted input path).
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "sssp", "-graph", gr, "-policy", "delta")
+	if !strings.Contains(out, "sssp(delta)") {
+		t.Fatalf("sssp output: %s", out)
+	}
+	// Extension algorithms.
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "kcore", "-graph", binGz, "-verify")
+	if !strings.Contains(out, "verified against") {
+		t.Fatalf("kcore verify missing: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "ptp", "-graph", gr,
+		"-dst", "3", "-verify")
+	if !strings.Contains(out, "verified against") {
+		t.Fatalf("ptp verify missing: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "cc", "-graph", binGz)
+	if !strings.Contains(out, "connected components") {
+		t.Fatalf("cc output: %s", out)
+	}
+	out = run(t, filepath.Join(bins, "pasgal"), "-algo", "reach", "-graph", binGz)
+	if !strings.Contains(out, "reachable from") {
+		t.Fatalf("reach output: %s", out)
+	}
+
+	// pasgal-bench: a tiny experiment run.
+	out = run(t, filepath.Join(bins, "pasgal-bench"), "-exp", "frontier", "-scale", "0.05")
+	if !strings.Contains(out, "Frontier growth") {
+		t.Fatalf("bench output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	for _, c := range [][]string{
+		{filepath.Join(bins, "pasgal")}, // no input
+		{filepath.Join(bins, "pasgal"), "-algo", "nope", "-workload", "NA"},
+		{filepath.Join(bins, "pasgal-gen"), "-workload", "NOPE", "-o", "x.adj"},
+		{filepath.Join(bins, "pasgal-convert"), "-in", "missing.adj", "-out", "x.bin"},
+		{filepath.Join(bins, "pasgal-bench"), "-exp", "nope"},
+		{filepath.Join(bins, "pasgal-stats")},
+	} {
+		if err := exec.Command(c[0], c[1:]...).Run(); err == nil {
+			t.Fatalf("%v: expected non-zero exit", c)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// pasgal-bench regenerates the paper's evaluation artifacts: the graph
+// statistics table (tab1), the BFS/SCC/BCC running-time tables with
+// geometric means and Figure 2 speedup panels (bfs, scc, bcc), the SSSP
+// comparison (sssp), Figure 1's SCC scalability sweep (fig1), and the
+// design-choice ablations (abl-tau, abl-bag, abl-dir, abl-sssp).
+//
+// Usage:
+//
+//	pasgal-bench -exp all -scale 1.0 -reps 3
+//	pasgal-bench -exp scc -graphs TW,OK,NA,REC
+//	pasgal-bench -exp fig1 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"pasgal/internal/bench"
+	"pasgal/internal/parallel"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	graphs := flag.String("graphs", "", "comma-separated workload subset (default: all 22)")
+	jsonOut := flag.String("json", "", "also write table results to this JSON file")
+	svgDir := flag.String("svg", "", "also render Figure 2-style speedup charts into this directory")
+	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Out: os.Stdout}
+	if *graphs != "" {
+		cfg.Graphs = strings.Split(*graphs, ",")
+	}
+	fmt.Printf("pasgal-bench: scale=%.2f reps=%d workers=%d GOMAXPROCS=%d\n",
+		*scale, *reps, parallel.Workers(), runtime.GOMAXPROCS(0))
+
+	var records []bench.Record
+	implsOf := map[string][]string{
+		"bfs": bench.BFSImpls, "scc": bench.SCCImpls,
+		"bcc": bench.BCCImpls, "sssp": bench.SSSPImpls,
+	}
+	collect := func(name string, results []bench.Result) {
+		if *jsonOut != "" {
+			records = append(records, bench.Record{
+				Experiment: name, Scale: *scale, Reps: *reps,
+				Workers: parallel.Workers(), Results: results,
+			})
+		}
+		if *svgDir != "" {
+			path := fmt.Sprintf("%s/fig2-%s.svg", *svgDir, name)
+			title := fmt.Sprintf("Figure 2 (%s): speedup over sequential", strings.ToUpper(name))
+			if err := bench.WriteSpeedupSVG(path, title, implsOf[name], results); err != nil {
+				fmt.Fprintf(os.Stderr, "pasgal-bench: svg: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	run := func(name string) {
+		switch name {
+		case "tab1":
+			bench.Tab1(cfg)
+		case "bfs":
+			collect(name, bench.TableBFS(cfg))
+		case "scc":
+			collect(name, bench.TableSCC(cfg))
+		case "bcc":
+			collect(name, bench.TableBCC(cfg))
+		case "sssp":
+			collect(name, bench.TableSSSP(cfg))
+		case "fig1":
+			bench.Fig1(cfg)
+		case "fig1-model":
+			bench.Fig1Model(cfg)
+		case "fig2":
+			// Figure 2 is the speedup view of the three tables.
+			collect("scc", bench.TableSCC(cfg))
+			collect("bcc", bench.TableBCC(cfg))
+			collect("bfs", bench.TableBFS(cfg))
+		case "abl-tau":
+			bench.AblationTau(cfg)
+		case "abl-tau-scc":
+			bench.AblationTauSCC(cfg)
+		case "abl-bag":
+			bench.AblationBag(cfg)
+		case "abl-dir":
+			bench.AblationDirOpt(cfg)
+		case "abl-sssp":
+			bench.AblationSSSPPolicy(cfg)
+		case "conn":
+			bench.Connectivity(cfg)
+		case "frontier":
+			bench.FrontierGrowth(cfg)
+		case "mem":
+			bench.Memory(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *exp == "all" {
+		for _, name := range []string{"tab1", "bfs", "scc", "bcc", "sssp",
+			"fig1", "fig1-model", "conn", "frontier", "mem", "abl-tau",
+			"abl-tau-scc", "abl-bag", "abl-dir", "abl-sssp"} {
+			run(name)
+		}
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			run(name)
+		}
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, records); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment records to %s\n", len(records), *jsonOut)
+	}
+}

@@ -1,0 +1,116 @@
+package pasgal_test
+
+import (
+	"fmt"
+
+	"pasgal"
+)
+
+// A small deterministic graph used by the examples: two directed cycles
+// bridged by one edge, plus a two-vertex tail.
+func exampleGraph() *pasgal.Graph {
+	return pasgal.NewGraph(8, []pasgal.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		{U: 5, V: 6}, {U: 6, V: 7},
+	}, true, pasgal.BuildOptions{})
+}
+
+func ExampleBFS() {
+	dist, _ := pasgal.BFS(exampleGraph(), 0, pasgal.Options{})
+	fmt.Println(dist)
+	// Output: [0 1 2 3 4 5 6 7]
+}
+
+func ExampleSCC() {
+	_, count, _ := pasgal.SCC(exampleGraph(), pasgal.Options{})
+	fmt.Println(count, "strongly connected components")
+	// Output: 4 strongly connected components
+}
+
+func ExampleBCC() {
+	sym := exampleGraph().Symmetrized()
+	res, _ := pasgal.BCC(sym, pasgal.Options{})
+	arts := []int{}
+	for v, isArt := range res.IsArt {
+		if isArt {
+			arts = append(arts, v)
+		}
+	}
+	fmt.Println(res.NumBCC, "BCCs, articulation points:", arts)
+	// Output: 5 BCCs, articulation points: [2 3 5 6]
+}
+
+func ExampleSSSP() {
+	weighted := pasgal.AddUniformWeights(exampleGraph(), 3, 3, 1) // all weights 3
+	dist, _ := pasgal.SSSP(weighted, 0, pasgal.RhoStepping{}, pasgal.Options{})
+	fmt.Println(dist)
+	// Output: [0 3 6 9 12 15 18 21]
+}
+
+func ExamplePointToPoint() {
+	weighted := pasgal.AddUniformWeights(exampleGraph(), 2, 2, 1)
+	d, _ := pasgal.PointToPoint(weighted, 0, 7, nil, pasgal.Options{})
+	fmt.Println(d)
+	// Output: 14
+}
+
+func ExampleKCore() {
+	// A triangle with a pendant path: the triangle is the 2-core.
+	g := pasgal.NewGraph(5, []pasgal.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4},
+	}, false, pasgal.BuildOptions{})
+	core, degeneracy, _ := pasgal.KCore(g, pasgal.Options{})
+	fmt.Println(core, degeneracy)
+	// Output: [2 2 2 1 1] 2
+}
+
+func ExampleConnectedComponents() {
+	g := pasgal.NewGraph(5, []pasgal.Edge{
+		{U: 0, V: 1}, {U: 3, V: 4},
+	}, false, pasgal.BuildOptions{})
+	labels, count := pasgal.ConnectedComponents(g)
+	fmt.Println(labels, count)
+	// Output: [0 0 2 3 3] 3
+}
+
+func ExampleBridges() {
+	// Two triangles joined by one edge: exactly one bridge.
+	g := pasgal.NewGraph(6, []pasgal.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		{U: 2, V: 3},
+	}, false, pasgal.BuildOptions{})
+	_, count, _ := pasgal.Bridges(g, pasgal.Options{})
+	fmt.Println(count, "bridge")
+	// Output: 1 bridge
+}
+
+func ExampleReachable() {
+	reach, _ := pasgal.Reachable(exampleGraph(), []uint32{3}, pasgal.Options{})
+	fmt.Println(reach)
+	// Output: [false false false true true true true true]
+}
+
+func ExampleGenerateGrid() {
+	g := pasgal.GenerateGrid(3, 4, false, 1)
+	fmt.Println(g.N, "vertices,", g.UndirectedM(), "edges")
+	// Output: 12 vertices, 17 edges
+}
+
+func ExampleBFSTree() {
+	_, parent, _ := pasgal.BFSTree(pasgal.GenerateChain(5, true), 0, pasgal.Options{})
+	fmt.Println(parent[1:]) // parent[0] is None (the source)
+	// Output: [0 1 2 3]
+}
+
+func ExampleOptions() {
+	// Tau controls the VGC local-search budget; Tau=1 disables VGC and the
+	// metrics show the synchronization cost difference.
+	chain := pasgal.GenerateChain(10000, false)
+	_, withVGC := pasgal.BFS(chain, 0, pasgal.Options{Tau: 512, DisableDirectionOpt: true})
+	_, without := pasgal.BFS(chain, 0, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
+	fmt.Println(withVGC.Rounds < without.Rounds/10)
+	// Output: true
+}

@@ -1,0 +1,65 @@
+// Mesh reliability analysis with biconnectivity: on a planar mesh with
+// holes (a "bubbles" graph, one of the paper's large-diameter synthetic
+// inputs), articulation points are single points of failure and
+// biconnected components are the failure-isolated regions. FAST-BCC finds
+// both with no BFS and O(n) auxiliary memory.
+//
+//	go run ./examples/meshbcc
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pasgal"
+)
+
+func main() {
+	// A damaged mesh: a grid that lost a quarter of its links. The
+	// survivors include tree-like fringes, so bridges and articulation
+	// points abound.
+	mesh := pasgal.GenerateSampledGrid(250, 250, 0.75, false, 3)
+	fmt.Println(mesh)
+	fmt.Printf("estimated diameter: >= %d\n", pasgal.EstimateDiameter(mesh, 3, 1))
+
+	start := time.Now()
+	res, met := pasgal.BCC(mesh, pasgal.Options{})
+	elapsed := time.Since(start)
+
+	arts := 0
+	for _, a := range res.IsArt {
+		if a {
+			arts++
+		}
+	}
+	// Component size histogram over arcs.
+	sizes := make([]int, res.NumBCC)
+	for _, l := range res.ArcLabel {
+		if l != pasgal.None {
+			sizes[l]++
+		}
+	}
+	largest, bridges := 0, 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+		if s == 2 { // both arcs of a single edge: a bridge
+			bridges++
+		}
+	}
+	fmt.Printf("FAST-BCC in %s: %d biconnected components, %d articulation points\n",
+		elapsed.Round(time.Millisecond), res.NumBCC, arts)
+	fmt.Printf("largest component: %d edges; bridges (single-edge BCCs): %d\n",
+		largest/2, bridges)
+	fmt.Printf("edges visited: %d (no BFS: the work is one connectivity pass,\n"+
+		"one Euler tour, and one skeleton pass)\n", met.EdgesVisited)
+
+	// Cross-check against the sequential Hopcroft–Tarjan reference.
+	seqRes := pasgal.SequentialBCC(mesh)
+	if seqRes.NumBCC != res.NumBCC {
+		fmt.Printf("MISMATCH vs Hopcroft–Tarjan: %d vs %d\n", seqRes.NumBCC, res.NumBCC)
+		return
+	}
+	fmt.Printf("verified against Hopcroft–Tarjan: %d components agree\n", res.NumBCC)
+}

@@ -1,0 +1,68 @@
+package pasgal
+
+import (
+	"pasgal/internal/gen"
+)
+
+// The Generate* functions are deterministic seeded generators covering the
+// structural classes of the paper's 22 evaluation graphs: social networks
+// and web crawls (low diameter, skewed degrees), road and k-NN graphs
+// (sparse, large diameter), and the synthetic grids and meshes.
+
+// GenerateRMAT samples a power-law RMAT graph with 2^scale vertices — the
+// social-network class (LJ, OK, TW, FS, FB analogues).
+func GenerateRMAT(scale, edgeFactor int, directed bool, seed uint64) *Graph {
+	return gen.SocialRMAT(scale, edgeFactor, directed, seed)
+}
+
+// GenerateWebLike samples a bow-tie web-crawl analogue: an RMAT core with
+// long directed tendril paths (WK, SD, CW, HL14, HL12 analogues).
+func GenerateWebLike(n, edgeFactor int, tendrilFrac float64, tendrilLen int, seed uint64) *Graph {
+	return gen.WebLike(n, edgeFactor, tendrilFrac, tendrilLen, seed)
+}
+
+// GenerateRGG samples a random geometric graph; with avgDeg around 6 it is
+// the road-network analogue (AF, NA, AS, EU).
+func GenerateRGG(n int, avgDeg float64, seed uint64) *Graph {
+	return gen.RGG(n, avgDeg, seed)
+}
+
+// GenerateKNN builds the k-nearest-neighbor graph of clustered random
+// points (CH5, GL5, GL10, COS5 analogues).
+func GenerateKNN(n, k, clusters int, directed bool, seed uint64) *Graph {
+	return gen.KNN(n, k, clusters, directed, seed)
+}
+
+// GenerateGrid builds the rows x cols grid — the paper's REC input.
+func GenerateGrid(rows, cols int, directed bool, seed uint64) *Graph {
+	return gen.Grid2D(rows, cols, directed, seed)
+}
+
+// GenerateSampledGrid builds a grid with each edge kept with probability
+// keepProb — the paper's SREC input.
+func GenerateSampledGrid(rows, cols int, keepProb float64, directed bool, seed uint64) *Graph {
+	return gen.SampledGrid(rows, cols, keepProb, directed, seed)
+}
+
+// GenerateTriGrid builds a triangulated mesh (TRCE analogue).
+func GenerateTriGrid(rows, cols int) *Graph { return gen.TriGrid(rows, cols) }
+
+// GeneratePerforatedGrid builds a grid with irregular holes (BBL analogue).
+func GeneratePerforatedGrid(rows, cols, holePeriod, holeSize int, seed uint64) *Graph {
+	return gen.PerforatedGrid(rows, cols, holePeriod, holeSize, seed)
+}
+
+// GenerateChain builds the n-vertex path — the adversarial worst case for
+// frontier-based parallelism discussed in the paper's §3.
+func GenerateChain(n int, directed bool) *Graph { return gen.Chain(n, directed) }
+
+// GenerateER samples an Erdős–Rényi-style G(n, m) graph.
+func GenerateER(n, m int, directed bool, seed uint64) *Graph {
+	return gen.ER(n, m, directed, seed)
+}
+
+// AddUniformWeights returns a weighted copy of g with deterministic uniform
+// integer weights in [lo, hi]; both arcs of an undirected edge agree.
+func AddUniformWeights(g *Graph, lo, hi uint32, seed uint64) *Graph {
+	return gen.AddUniformWeights(g, lo, hi, seed)
+}

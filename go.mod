@@ -1,0 +1,3 @@
+module pasgal
+
+go 1.22

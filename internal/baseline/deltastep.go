@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// bucketRing is the classic Δ-stepping bucket structure: a circular array
+// of mutex-guarded vertex lists, wide enough that every tentative distance
+// in flight fits in the window.
+type bucketRing struct {
+	buckets []struct {
+		mu    sync.Mutex
+		items []uint32
+	}
+}
+
+func newBucketRing(k int) *bucketRing {
+	r := &bucketRing{}
+	r.buckets = make([]struct {
+		mu    sync.Mutex
+		items []uint32
+	}, k)
+	return r
+}
+
+func (r *bucketRing) add(b int, v uint32) {
+	s := &r.buckets[b%len(r.buckets)]
+	s.mu.Lock()
+	s.items = append(s.items, v)
+	s.mu.Unlock()
+}
+
+func (r *bucketRing) take(b int) []uint32 {
+	s := &r.buckets[b%len(r.buckets)]
+	s.mu.Lock()
+	items := s.items
+	s.items = nil
+	s.mu.Unlock()
+	return items
+}
+
+// DeltaSteppingSSSP is plain Meyer–Sanders Δ-stepping with level-
+// synchronous bucket processing and no VGC: every relaxation round-trips
+// through the shared buckets, one global synchronization per inner round.
+// delta <= 0 picks a heuristic Δ (average edge weight).
+func DeltaSteppingSSSP(g *graph.Graph, src uint32, delta uint64) ([]uint64, *core.Metrics) {
+	if !g.Weighted() {
+		panic("baseline: DeltaSteppingSSSP requires a weighted graph")
+	}
+	met := &core.Metrics{}
+	n := g.N
+	dist := make([]atomic.Uint64, n)
+	parallel.For(n, 0, func(i int) { dist[i].Store(core.InfWeight) })
+	out := make([]uint64, n)
+	if n == 0 {
+		return out, met
+	}
+	if len(g.Edges) == 0 {
+		dist[src].Store(0)
+		parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
+		return out, met
+	}
+	if delta == 0 {
+		total := parallel.Sum(len(g.Weights), func(i int) uint64 { return uint64(g.Weights[i]) })
+		delta = total/uint64(len(g.Weights)) + 1
+	}
+	maxW := uint64(parallel.Max(len(g.Weights), func(i int) uint32 { return g.Weights[i] }))
+	// All in-flight distances live within [kΔ, kΔ + maxW + Δ): a window of
+	// maxW/Δ + 2 buckets.
+	ring := newBucketRing(int(maxW/delta) + 2)
+	var pending atomic.Int64
+
+	dist[src].Store(0)
+	ring.add(0, src)
+	pending.Store(1)
+
+	for k := 0; pending.Load() > 0; k++ {
+		lo, hi := uint64(k)*delta, uint64(k+1)*delta
+		// A vertex can be improved within its own bucket (light edges), so
+		// the bucket is reprocessed until it stops refilling.
+		for {
+			f := ring.take(k)
+			if len(f) == 0 {
+				break
+			}
+			pending.Add(int64(-len(f)))
+			atomic.AddInt64(&met.Rounds, 1)
+			met.VerticesTaken += int64(len(f))
+			if int64(len(f)) > met.MaxFrontier {
+				met.MaxFrontier = int64(len(f))
+			}
+			parallel.ForRange(len(f), 1, func(flo, fhi int) {
+				var edges int64
+				for i := flo; i < fhi; i++ {
+					u := f[i]
+					du := dist[u].Load()
+					if du < lo || du >= hi {
+						continue // stale (processed in an earlier bucket)
+					}
+					wts := g.NeighborWeights(u)
+					for j, w := range g.Neighbors(u) {
+						edges++
+						nd := du + uint64(wts[j])
+						for {
+							old := dist[w].Load()
+							if nd >= old {
+								break
+							}
+							if dist[w].CompareAndSwap(old, nd) {
+								ring.add(int(nd/delta), w)
+								pending.Add(1)
+								break
+							}
+						}
+					}
+				}
+				atomic.AddInt64(&met.EdgesVisited, edges)
+			})
+		}
+		atomic.AddInt64(&met.Phases, 1)
+	}
+	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
+	return out, met
+}

@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/core"
+	"pasgal/internal/euler"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// GBBSBCC models GBBS-style biconnectivity: the spanning forest is built
+// with level-synchronous parallel BFS (one global round per hop, Θ(D)
+// synchronizations on a diameter-D component — the bottleneck the paper
+// attributes to GBBS), after which the labeling stages are shared with
+// FAST-BCC. Components are processed one BFS at a time, as a BFS-based
+// system must.
+func GBBSBCC(g *graph.Graph) (core.BCCResult, *core.Metrics) {
+	if g.Directed {
+		panic("baseline: GBBSBCC requires an undirected graph")
+	}
+	met := &core.Metrics{}
+	n := g.N
+	if n == 0 {
+		res, _ := core.BCCFromForest(g, euler.Build(0, nil))
+		return res, met
+	}
+
+	// BFS spanning forest.
+	parent := make([]atomic.Uint32, n)
+	parallel.For(n, 0, func(i int) { parent[i].Store(graph.None) })
+	visited := make([]bool, n)
+	var tree []graph.Edge
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		if g.Degree(uint32(start)) == 0 {
+			continue // isolated vertex: no tree edges, no BFS to run
+		}
+		frontier := []uint32{uint32(start)}
+		for len(frontier) > 0 {
+			atomic.AddInt64(&met.Rounds, 1)
+			met.VerticesTaken += int64(len(frontier))
+			if int64(len(frontier)) > met.MaxFrontier {
+				met.MaxFrontier = int64(len(frontier))
+			}
+			offs := make([]int64, len(frontier))
+			parallel.For(len(frontier), 0, func(i int) {
+				offs[i] = int64(g.Degree(frontier[i]))
+			})
+			total := parallel.Scan(offs)
+			atomic.AddInt64(&met.EdgesVisited, total)
+			outv := make([]uint32, total)
+			parallel.For(len(frontier), 1, func(i int) {
+				u := frontier[i]
+				at := offs[i]
+				for _, w := range g.Neighbors(u) {
+					outv[at] = graph.None
+					if parent[w].Load() == graph.None && w != uint32(start) &&
+						parent[w].CompareAndSwap(graph.None, u) {
+						outv[at] = w
+					}
+					at++
+				}
+			})
+			next := parallel.Pack(outv, func(i int) bool { return outv[i] != graph.None })
+			for _, v := range next {
+				visited[v] = true
+				tree = append(tree, graph.Edge{U: parent[v].Load(), V: v})
+			}
+			frontier = next
+		}
+	}
+
+	f := euler.Build(n, tree)
+	res, met2 := core.BCCFromForest(g, f)
+	met.EdgesVisited += met2.EdgesVisited
+	return res, met
+}

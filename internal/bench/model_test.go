@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"encoding/xml"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureSyncCost(t *testing.T) {
+	d := MeasureSyncCost(2)
+	if d <= 0 || d > 50*time.Millisecond {
+		t.Fatalf("implausible barrier cost %v", d)
+	}
+}
+
+func TestProjectedSpeedup(t *testing.T) {
+	// With zero sync cost the model is pure work law.
+	if got := ProjectedSpeedup(1.0, 1000, 1000, 10, 0, 4); got != 4 {
+		t.Fatalf("work law: %v", got)
+	}
+	// Sync cost caps speedup: huge rounds -> below 1.
+	got := ProjectedSpeedup(1.0, 1000, 1000, 1_000_000, 1e-5, 96)
+	if got >= 1 {
+		t.Fatalf("sync-bound case should be < 1, got %v", got)
+	}
+	// More rounds always means less projected speedup.
+	a := ProjectedSpeedup(1.0, 1000, 1000, 10, 1e-6, 96)
+	b := ProjectedSpeedup(1.0, 1000, 1000, 10000, 1e-6, 96)
+	if b >= a {
+		t.Fatalf("monotonicity violated: %v vs %v", a, b)
+	}
+}
+
+func TestFig1ModelSmoke(t *testing.T) {
+	var buf strings.Builder
+	Fig1Model(Config{Scale: 0.02, Reps: 1, Out: &buf, Graphs: []string{"TW", "NA"}})
+	out := buf.String()
+	for _, want := range []string{"analytic projection", "tSync", "PASGAL", "@96"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("model output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/r.json"
+	recs := []Record{{
+		Experiment: "bfs", Scale: 0.1, Reps: 1, Workers: 1,
+		Results: []Result{{Graph: "NA", Category: "Road",
+			Times: map[string]float64{"PASGAL": 0.01}}},
+	}}
+	if err := WriteJSON(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	data, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(data)
+	for _, want := range []string{`"experiment": "bfs"`, `"Graph": "NA"`, `"PASGAL": 0.01`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("json missing %q: %s", want, buf.String())
+		}
+	}
+	if err := WriteJSON("/nonexistent-dir/x.json", recs); err == nil {
+		t.Fatal("expected write error")
+	}
+}
+
+func readAll(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestWriteSpeedupSVG(t *testing.T) {
+	dir := t.TempDir()
+	results := []Result{
+		{Graph: "NA", Category: "Road",
+			Times: map[string]float64{"PASGAL": 0.02, "GBBS": 0.08, "SeqQueue*": 0.01}},
+		{Graph: "TW", Category: "Social",
+			Times: map[string]float64{"PASGAL": 0.004, "GBBS": 0.002, "SeqQueue*": 0.003}},
+	}
+	path := dir + "/f.svg"
+	if err := WriteSpeedupSVG(path, "test", []string{"PASGAL", "GBBS", "SeqQueue*"}, results); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node struct{}
+	if err := xml.Unmarshal(data, &node); err != nil {
+		t.Fatalf("not well-formed XML: %v", err)
+	}
+	s := string(data)
+	for _, want := range []string{"<svg", "PASGAL", "GBBS", "NA", "TW", "stroke-dasharray"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Error paths: no sequential baseline / no results.
+	if err := WriteSpeedupSVG(path, "t", []string{"PASGAL"}, results); err == nil {
+		t.Fatal("expected error without a sequential baseline")
+	}
+	if err := WriteSpeedupSVG(path, "t", []string{"PASGAL", "X*"}, nil); err == nil {
+		t.Fatal("expected error without results")
+	}
+}

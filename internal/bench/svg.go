@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// WriteSpeedupSVG renders Figure 2-style grouped bars — speedup of each
+// parallel implementation over the sequential baseline, log-scale y axis,
+// a reference line at 1.0 (bars below it are slower than sequential, the
+// paper's headline failure mode) — and writes a standalone SVG file.
+func WriteSpeedupSVG(path, title string, impls []string, results []Result) error {
+	seqImpl := ""
+	var parImpls []string
+	for _, impl := range impls {
+		if strings.HasSuffix(impl, "*") {
+			seqImpl = impl
+		} else {
+			parImpls = append(parImpls, impl)
+		}
+	}
+	if seqImpl == "" || len(results) == 0 {
+		return fmt.Errorf("bench: need a sequential baseline and results")
+	}
+	ordered := append([]Result(nil), results...)
+	SortResults(ordered)
+
+	const (
+		barW      = 14
+		groupPad  = 18
+		marginL   = 70
+		marginR   = 20
+		marginTop = 50
+		marginBot = 90
+		plotH     = 280
+	)
+	groupW := len(parImpls)*barW + groupPad
+	width := marginL + len(ordered)*groupW + marginR
+	height := marginTop + plotH + marginBot
+
+	// Log-scale y over the observed speedup range, padded to include 1.0.
+	minV, maxV := 1.0, 1.0
+	for _, r := range ordered {
+		base := r.Times[seqImpl]
+		for _, impl := range parImpls {
+			if t := r.Times[impl]; t > 0 && base > 0 {
+				s := base / t
+				minV = math.Min(minV, s)
+				maxV = math.Max(maxV, s)
+			}
+		}
+	}
+	logMin, logMax := math.Log10(minV/1.5), math.Log10(maxV*1.5)
+	y := func(speedup float64) float64 {
+		frac := (math.Log10(speedup) - logMin) / (logMax - logMin)
+		return marginTop + plotH - frac*plotH
+	}
+
+	palette := []string{"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd"}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, title)
+	// Axis ticks at powers of ten.
+	for p := math.Floor(logMin); p <= math.Ceil(logMax); p++ {
+		v := math.Pow(10, p)
+		yy := y(v)
+		if yy < marginTop || yy > marginTop+plotH {
+			continue
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, yy, width-marginR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%g</text>`+"\n",
+			marginL-6, yy+4, v)
+	}
+	// Reference line at speedup 1.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#000" stroke-dasharray="4 3"/>`+"\n",
+		marginL, y(1), width-marginR, y(1))
+	// Bars.
+	for gi, r := range ordered {
+		gx := marginL + gi*groupW
+		for ii, impl := range parImpls {
+			base, t := r.Times[seqImpl], r.Times[impl]
+			if base <= 0 || t <= 0 {
+				continue
+			}
+			s := base / t
+			yTop := math.Min(y(s), y(1))
+			h := math.Abs(y(s) - y(1))
+			fmt.Fprintf(&b, `<rect x="%d" y="%.1f" width="%d" height="%.1f" fill="%s"><title>%s %s: %.2fx</title></rect>`+"\n",
+				gx+ii*barW, yTop, barW-2, h, palette[ii%len(palette)], r.Graph, impl, s)
+		}
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="end" transform="rotate(-45 %d %d)">%s</text>`+"\n",
+			gx+groupW/2, marginTop+plotH+16, gx+groupW/2, marginTop+plotH+16, r.Graph)
+	}
+	// Legend.
+	lx := marginL
+	ly := height - 24
+	for ii, impl := range parImpls {
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			lx, ly, palette[ii%len(palette)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", lx+16, ly+10, impl)
+		lx += 16 + 9*len(impl) + 24
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#555">speedup over %s (log scale); bars below the dashed line are slower than sequential</text>`+"\n",
+		marginL, marginTop-8, seqImpl)
+	b.WriteString("</svg>\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

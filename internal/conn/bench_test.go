@@ -1,0 +1,42 @@
+package conn
+
+import (
+	"testing"
+
+	"pasgal/internal/gen"
+)
+
+func BenchmarkComponentsGrid(b *testing.B) {
+	g := gen.Grid2D(300, 300, false, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(g)
+	}
+}
+
+func BenchmarkComponentsRMAT(b *testing.B) {
+	g := gen.SocialRMAT(15, 8, false, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Components(g)
+	}
+}
+
+func BenchmarkSpanningForest(b *testing.B) {
+	g := gen.Grid2D(300, 300, false, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpanningForest(g)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	n := 1 << 18
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := NewUnionFind(n)
+		for v := 0; v < n-1; v++ {
+			uf.Union(uint32(v), uint32(v+1))
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package conn provides the BFS-free parallel connectivity substrate used
+// by FAST-BCC and Tarjan–Vishkin: a lock-free concurrent union–find, whole-
+// graph connected components, and spanning forests (a tree edge is recorded
+// exactly when its union wins).
+package conn
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// UnionFind is a lock-free concurrent disjoint-set structure. Roots are
+// linked by id order (larger root under smaller) with CAS, so concurrent
+// unions converge without locks; finds compress paths with benign atomic
+// writes.
+type UnionFind struct {
+	parent []atomic.Uint32
+}
+
+// NewUnionFind returns a union-find over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]atomic.Uint32, n)}
+	parallel.For(n, 0, func(i int) { uf.parent[i].Store(uint32(i)) })
+	return uf
+}
+
+// Find returns the current root of v, halving the path along the way.
+func (uf *UnionFind) Find(v uint32) uint32 {
+	for {
+		p := uf.parent[v].Load()
+		if p == v {
+			return v
+		}
+		gp := uf.parent[p].Load()
+		if gp == p {
+			return p
+		}
+		// Path halving; racing writes only ever re-point to an ancestor.
+		uf.parent[v].CompareAndSwap(p, gp)
+		v = gp
+	}
+}
+
+// Union merges the sets of a and b. It returns true iff this call performed
+// the merge (the sets were distinct and this CAS won) — the property
+// spanning-forest construction relies on.
+func (uf *UnionFind) Union(a, b uint32) bool {
+	for {
+		ra, rb := uf.Find(a), uf.Find(b)
+		if ra == rb {
+			return false
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		// Link the larger root under the smaller.
+		if uf.parent[rb].CompareAndSwap(rb, ra) {
+			return true
+		}
+	}
+}
+
+// Connected reports whether a and b are currently in the same set.
+func (uf *UnionFind) Connected(a, b uint32) bool {
+	for {
+		ra, rb := uf.Find(a), uf.Find(b)
+		if ra == rb {
+			return true
+		}
+		// Re-check stability: if ra is still a root, the answer is firm.
+		if uf.parent[ra].Load() == ra {
+			return false
+		}
+	}
+}
+
+// Components returns, for every vertex of g, the minimum vertex id of its
+// connected component (a canonical labeling) together with the component
+// count. Edges are processed fully in parallel; no BFS, no rounds — the
+// point of the FAST-BCC design.
+func Components(g *graph.Graph) ([]uint32, int) {
+	if g.Directed {
+		panic("conn: Components requires an undirected graph")
+	}
+	uf := NewUnionFind(g.N)
+	parallel.For(g.N, 64, func(ui int) {
+		u := uint32(ui)
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			v := g.Edges[e]
+			if u < v { // each undirected edge once
+				uf.Union(u, v)
+			}
+		}
+	})
+	labels := make([]uint32, g.N)
+	parallel.For(g.N, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
+	// Roots are minima because unions always link larger roots under
+	// smaller ones.
+	count := parallel.Count(g.N, func(i int) bool { return labels[i] == uint32(i) })
+	return labels, count
+}
+
+// SpanningForest returns a spanning forest of g as a list of tree edges
+// (n - #components of them) plus the component labeling. Which forest is
+// produced depends on the parallel schedule; all are valid.
+func SpanningForest(g *graph.Graph) ([]graph.Edge, []uint32, int) {
+	if g.Directed {
+		panic("conn: SpanningForest requires an undirected graph")
+	}
+	uf := NewUnionFind(g.N)
+	treeEdges := make([]graph.Edge, g.N) // at most n-1 used
+	var cursor atomic.Int64
+	parallel.For(g.N, 64, func(ui int) {
+		u := uint32(ui)
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			v := g.Edges[e]
+			if u < v && uf.Union(u, v) {
+				at := cursor.Add(1) - 1
+				treeEdges[at] = graph.Edge{U: u, V: v}
+			}
+		}
+	})
+	labels := make([]uint32, g.N)
+	parallel.For(g.N, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
+	count := parallel.Count(g.N, func(i int) bool { return labels[i] == uint32(i) })
+	return treeEdges[:cursor.Load()], labels, count
+}

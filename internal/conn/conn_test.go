@@ -1,0 +1,168 @@
+package conn
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+// bruteComponents labels components by BFS (oracle).
+func bruteComponents(g *graph.Graph) ([]uint32, int) {
+	labels := make([]uint32, g.N)
+	for i := range labels {
+		labels[i] = graph.None
+	}
+	count := 0
+	for s := 0; s < g.N; s++ {
+		if labels[s] != graph.None {
+			continue
+		}
+		count++
+		stack := []uint32{uint32(s)}
+		labels[s] = uint32(s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if labels[v] == graph.None {
+					labels[v] = uint32(s)
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+func samePartition(a, b []uint32) bool {
+	fwd := map[uint32]uint32{}
+	bwd := map[uint32]uint32{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if y, ok := bwd[b[i]]; ok && y != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		bwd[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	uf := NewUnionFind(10)
+	if uf.Connected(0, 1) {
+		t.Fatal("fresh sets connected")
+	}
+	if !uf.Union(0, 1) || uf.Union(1, 0) {
+		t.Fatal("union return values wrong")
+	}
+	if !uf.Connected(0, 1) {
+		t.Fatal("union did not connect")
+	}
+	uf.Union(2, 3)
+	uf.Union(1, 3)
+	for _, v := range []uint32{0, 1, 2, 3} {
+		if uf.Find(v) != 0 {
+			t.Fatalf("Find(%d) = %d, want 0 (min-id root)", v, uf.Find(v))
+		}
+	}
+	if uf.Connected(0, 4) {
+		t.Fatal("spurious connection")
+	}
+}
+
+func TestUnionFindConcurrent(t *testing.T) {
+	// A chain union'd concurrently from many goroutines must collapse to
+	// one set rooted at 0.
+	n := 50000
+	uf := NewUnionFind(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n-1; i += 8 {
+				uf.Union(uint32(i), uint32(i+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for v := 0; v < n; v += 997 {
+		if uf.Find(uint32(v)) != 0 {
+			t.Fatalf("Find(%d) = %d", v, uf.Find(uint32(v)))
+		}
+	}
+}
+
+func TestComponentsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(400)
+		g := gen.ER(n, rng.IntN(2*n+1), false, uint64(trial))
+		got, gotCount := Components(g)
+		want, wantCount := bruteComponents(g)
+		if gotCount != wantCount {
+			t.Fatalf("trial %d: count %d, want %d", trial, gotCount, wantCount)
+		}
+		if !samePartition(got, want) {
+			t.Fatalf("trial %d: partitions differ", trial)
+		}
+		// Labels are component minima.
+		for v := 0; v < n; v++ {
+			if got[v] > uint32(v) {
+				t.Fatalf("trial %d: label[%d]=%d not a minimum", trial, v, got[v])
+			}
+		}
+	}
+}
+
+func TestSpanningForest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(300)
+		g := gen.ER(n, rng.IntN(3*n+1), false, uint64(100+trial))
+		tree, labels, count := SpanningForest(g)
+		if len(tree) != n-count {
+			t.Fatalf("trial %d: %d tree edges, want %d", trial, len(tree), n-count)
+		}
+		// Every tree edge is a real edge connecting same-component
+		// vertices.
+		for _, e := range tree {
+			if g.FindArc(e.U, e.V) == ^uint64(0) {
+				t.Fatalf("trial %d: tree edge (%d,%d) not in graph", trial, e.U, e.V)
+			}
+			if labels[e.U] != labels[e.V] {
+				t.Fatalf("trial %d: tree edge across components", trial)
+			}
+		}
+		// The forest alone must reproduce the same components (i.e. it
+		// spans): run brute components on the forest-only graph.
+		fg := graph.FromEdges(n, tree, false, graph.BuildOptions{})
+		fl, fc := bruteComponents(fg)
+		if fc != count {
+			t.Fatalf("trial %d: forest has %d components, graph has %d", trial, fc, count)
+		}
+		if !samePartition(fl, labels) {
+			t.Fatalf("trial %d: forest spans different partition", trial)
+		}
+		// Acyclicity is implied by |E| = n - count with equal components.
+	}
+}
+
+func TestComponentsLargeGrid(t *testing.T) {
+	g := gen.Grid2D(100, 100, false, 1)
+	labels, count := Components(g)
+	if count != 1 {
+		t.Fatalf("grid components = %d", count)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("grid label not 0")
+		}
+	}
+}

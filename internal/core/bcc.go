@@ -1,0 +1,214 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/euler"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+	"pasgal/internal/rmq"
+)
+
+// BCCResult is a biconnectivity decomposition: a BCC label per arc (both
+// arcs of an undirected edge agree), the component count, and articulation
+// points. It matches seq.BCCResult's semantics so the two are directly
+// comparable.
+type BCCResult struct {
+	NumBCC   int
+	ArcLabel []uint32
+	IsArt    []bool
+}
+
+// BCC computes biconnected components with the FAST-BCC algorithm (Dong et
+// al.), which avoids BFS entirely:
+//
+//  1. spanning forest by parallel union–find (internal/conn);
+//  2. Euler tour + list ranking roots the forest and yields preorder
+//     numbers and subtree sizes (internal/euler);
+//  3. low/high: the min/max preorder reachable from each subtree through a
+//     non-tree edge, via O(n)-space blocked range-min over preorder-ordered
+//     per-vertex aggregates (internal/rmq);
+//  4. a tree edge (p(v), v) is a *fence* iff v's subtree never escapes the
+//     preorder interval of its parent p(v) — fence edges separate BCCs
+//     (escaping only as far as p(v) itself still fences: p(v) is the
+//     component head, not part of the cluster);
+//  5. connectivity over the skeleton: non-fence tree edges plus non-tree
+//     edges between *unrelated* vertices (back edges to ancestors
+//     contribute through the low/high values instead, exactly as in
+//     Tarjan–Vishkin's auxiliary-graph conditions). The BCC of tree edge
+//     (p(v), v) is v's skeleton component; a non-tree edge belongs to the
+//     component of its deeper endpoint.
+//
+// Work O(n+m), polylogarithmic span, O(n) auxiliary space — no Θ(D)
+// synchronization chains and no Θ(m) auxiliary graph, the two failure modes
+// of GBBS-style and Tarjan–Vishkin-style biconnectivity respectively.
+func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
+	if g.Directed {
+		panic("core: BCC requires an undirected graph (symmetrize first)")
+	}
+	met := &Metrics{}
+	n := g.N
+	res := BCCResult{
+		ArcLabel: make([]uint32, len(g.Edges)),
+		IsArt:    make([]bool, n),
+	}
+	parallel.Fill(res.ArcLabel, graph.None)
+	if n == 0 {
+		return res, met
+	}
+
+	// (1) + (2): rooted spanning forest, no BFS.
+	tree, _, _ := conn.SpanningForest(g)
+	f := euler.Build(n, tree)
+	met.Phases = 2
+	labelFromForest(g, f, &res, met)
+	return res, met
+}
+
+// BCCFromForest runs FAST-BCC's labeling stages (low/high, fence
+// classification, skeleton connectivity) on top of an already-rooted
+// spanning forest of g. The GBBS-style baseline uses it with a BFS-built
+// forest; BCC itself uses a union-find forest. The forest must span g.
+func BCCFromForest(g *graph.Graph, f *euler.Forest) (BCCResult, *Metrics) {
+	met := &Metrics{}
+	res := BCCResult{
+		ArcLabel: make([]uint32, len(g.Edges)),
+		IsArt:    make([]bool, g.N),
+	}
+	parallel.Fill(res.ArcLabel, graph.None)
+	if g.N == 0 {
+		return res, met
+	}
+	labelFromForest(g, f, &res, met)
+	return res, met
+}
+
+func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metrics) {
+	n := g.N
+
+	// isTree marks arcs that realize a parent/child relation.
+	isTree := func(u, w uint32) bool {
+		return f.Parent[u] == w || f.Parent[w] == u
+	}
+
+	// (3) per-vertex local aggregates in preorder position: the vertex's
+	// own preorder plus the preorders of its non-tree neighbors.
+	localLow := make([]uint32, n)
+	localHigh := make([]uint32, n)
+	parallel.For(n, 64, func(ui int) {
+		u := uint32(ui)
+		lo := f.Pre[u]
+		hi := f.Pre[u]
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			w := g.Edges[e]
+			if isTree(u, w) {
+				continue
+			}
+			pw := f.Pre[w]
+			if pw < lo {
+				lo = pw
+			}
+			if pw > hi {
+				hi = pw
+			}
+		}
+		localLow[f.Pre[u]] = lo
+		localHigh[f.Pre[u]] = hi
+	})
+	lowR := rmq.NewMin(localLow)
+	highR := rmq.NewMax(localHigh)
+	met.edges(int64(len(g.Edges)))
+
+	// (4) fence test per non-root vertex, against the parent's interval.
+	fence := make([]bool, n)
+	parallel.For(n, 256, func(vi int) {
+		v := uint32(vi)
+		p := f.Parent[v]
+		if p == graph.None {
+			return
+		}
+		low := lowR.Query(int(f.First(v)), int(f.Last(v)))
+		high := highR.Query(int(f.First(v)), int(f.Last(v)))
+		fence[v] = low >= f.First(p) && high <= f.Last(p)
+	})
+
+	// (5) skeleton connectivity: unrelated non-tree edges + non-fence tree
+	// edges. Ancestor back edges are already accounted for by low/high.
+	uf := conn.NewUnionFind(n)
+	parallel.For(n, 64, func(ui int) {
+		u := uint32(ui)
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			w := g.Edges[e]
+			if w <= u || isTree(u, w) {
+				continue
+			}
+			if !f.IsAncestor(u, w) && !f.IsAncestor(w, u) {
+				uf.Union(u, w)
+			}
+		}
+	})
+	parallel.For(n, 0, func(vi int) {
+		v := uint32(vi)
+		if p := f.Parent[v]; p != graph.None && !fence[v] {
+			uf.Union(v, p)
+		}
+	})
+
+	// Labels: tree arc (p(v), v) -> skeleton component of v; non-tree arc
+	// -> skeleton component of its deeper endpoint (for unrelated
+	// endpoints the components coincide). Component ids are skeleton
+	// roots, compacted afterwards.
+	parallel.For(n, 64, func(ui int) {
+		u := uint32(ui)
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			w := g.Edges[e]
+			switch {
+			case f.Parent[w] == u:
+				res.ArcLabel[e] = uf.Find(w)
+			case f.Parent[u] == w:
+				res.ArcLabel[e] = uf.Find(u)
+			case f.IsAncestor(u, w): // u above w: w's side owns the edge
+				res.ArcLabel[e] = uf.Find(w)
+			default:
+				res.ArcLabel[e] = uf.Find(u)
+			}
+		}
+	})
+
+	// Compact labels to [0, NumBCC) and detect articulation points
+	// (vertices incident to >= 2 distinct BCCs).
+	labelUsed := make([]atomic.Uint32, n)
+	parallel.ForRange(len(res.ArcLabel), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if l := res.ArcLabel[i]; l != graph.None {
+				labelUsed[l].Store(1)
+			}
+		}
+	})
+	remap := make([]uint32, n)
+	parallel.For(n, 0, func(i int) { remap[i] = labelUsed[i].Load() })
+	total := parallel.Scan(remap) // exclusive; remap[l] = compact id
+	res.NumBCC = int(total)
+	parallel.ForRange(len(res.ArcLabel), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if res.ArcLabel[i] != graph.None {
+				res.ArcLabel[i] = remap[res.ArcLabel[i]]
+			}
+		}
+	})
+	parallel.For(n, 64, func(vi int) {
+		v := uint32(vi)
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		if hi-lo < 2 {
+			return
+		}
+		first := res.ArcLabel[lo]
+		for e := lo + 1; e < hi; e++ {
+			if res.ArcLabel[e] != first {
+				res.IsArt[v] = true
+				return
+			}
+		}
+	})
+}

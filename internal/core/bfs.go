@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/hashbag"
+	"pasgal/internal/parallel"
+)
+
+// BFS computes hop distances from src with PASGAL's VGC BFS.
+//
+// The algorithm is a label-correcting BFS over distance-indexed frontier
+// bags (the paper's "multiple frontiers" device, §2.2): bag d holds
+// vertices whose tentative distance is d. One round extracts the bag at the
+// current distance and each extracted vertex runs a VGC local search,
+// relaxing edges with an atomic write-min; improvements within the τ budget
+// are expanded immediately in-task (possibly many hops deep), and the rest
+// are inserted into the bag matching their new tentative distance. Because
+// a local search advances at most τ hops past the current distance, τ+2
+// bags indexed modulo suffice. When the frontier is dense, a Beamer-style
+// bottom-up round scans improvable vertices' in-neighbors instead.
+//
+// Unlike textbook BFS a vertex can be visited more than once (a local
+// search may install a distance that a later relaxation improves) — that is
+// the extra work VGC knowingly trades for fewer synchronizations.
+func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
+	met := &Metrics{record: opt.RecordFrontiers}
+	n := g.N
+	dist := make([]atomic.Uint32, n)
+	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
+	out := make([]uint32, n)
+	if n == 0 {
+		return out, met
+	}
+	tau := opt.tau()
+	// Ring capacity: a local search from the window's deepest extracted
+	// distance (cur + window - 1, window <= tau) can advance tau+1 more
+	// hops, so 2*tau + 4 distance buckets always suffice.
+	nBags := 2*tau + 4
+	fr := newFrontierSet(n, nBags, opt.DisableHashBag)
+	in := g.Transpose() // in-neighbors; == g for undirected graphs
+
+	dist[src].Store(0)
+	fr.insert(0, src)
+	var pending atomic.Int64
+	pending.Store(1)
+	denseCut := int64(float64(n) * opt.denseFrac())
+
+	// The adaptive distance window realizes the paper's "multiple
+	// frontiers" device: when frontiers are small (the large-diameter
+	// regime) one round extracts a widening window of distance buckets and
+	// relies on write-min re-relaxation to repair ordering errors; when
+	// frontiers are large the window collapses to a single distance and
+	// the round is an ordinary BFS level (optionally bottom-up).
+	window := 1
+	const windowGrowCut = 2048
+
+	cur := 0
+	for pending.Load() > 0 {
+		// Advance to the first non-empty bucket; all pending distances lie
+		// in [cur+1, cur+nBags) whenever bucket cur is empty, so the scan
+		// is bounded and never misses work.
+		for fr.len(cur) == 0 {
+			cur++
+		}
+		// Gather up to `window` consecutive distance buckets.
+		var f []uint32
+		var bucketOf []int // parallel: the distance each entry came from
+		grabbed := 0
+		for d := cur; d < cur+window && grabbed < nBags-tau-1; d++ {
+			if fr.len(d) == 0 {
+				continue
+			}
+			part := fr.extract(d)
+			pending.Add(-(int64(len(part)) + fr.dupDebt()))
+			f = append(f, part...)
+			for range part {
+				bucketOf = append(bucketOf, d)
+			}
+			grabbed++
+		}
+		met.round(len(f))
+		if int64(len(f)) < windowGrowCut && window < tau {
+			window *= 2
+		} else if window > 1 {
+			window /= 2
+		}
+
+		if !opt.DisableDirectionOpt && int64(len(f)) >= denseCut {
+			// Bottom-up: instead of expanding the (dense) frontier, every
+			// improvable vertex scans its own in-neighbors and write-mins
+			// the best candidate distance. This covers every relaxation
+			// the frontier's out-edges would have performed, including
+			// repairs of distances a local search over-estimated, so the
+			// extracted entries need no further processing.
+			atomic.AddInt64(&met.BottomUp, 1)
+			window = 1 // dense regime: back to level-at-a-time
+			target := uint32(cur + 1)
+			parallel.ForRange(n, 0, func(lo, hi int) {
+				var local int64
+				for vi := lo; vi < hi; vi++ {
+					v := uint32(vi)
+					best := dist[v].Load()
+					if best <= target {
+						continue
+					}
+					for _, u := range in.Neighbors(v) {
+						local++
+						if du := dist[u].Load(); du != graph.InfDist && du+1 < best {
+							best = du + 1
+							if best <= target {
+								break // cannot get closer than cur+1
+							}
+						}
+					}
+					if best < dist[v].Load() {
+						dist[v].Store(best) // sole writer of v this round
+						fr.insert(int(best), v)
+						pending.Add(1)
+					}
+				}
+				met.edges(local)
+			})
+			continue
+		}
+
+		// Top-down with VGC local searches. The local worklist is FIFO, so
+		// a local search is a mini-BFS: tentative distances stay close to
+		// final and redundant re-relaxation is rare (a LIFO local search
+		// would chase depth-first chains of inflated distances and repair
+		// them over and over).
+		parallel.ForRange(len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if dist[v].Load() != uint32(bucketOf[i]) {
+					continue // stale: improved and handled elsewhere
+				}
+				queue = append(queue[:0], v)
+				budget := tau
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					du := dist[u].Load()
+					nd := du + 1
+					for _, w := range g.Neighbors(u) {
+						edgeCount++
+						for {
+							old := dist[w].Load()
+							if nd >= old {
+								break
+							}
+							if dist[w].CompareAndSwap(old, nd) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									fr.insert(int(nd), w)
+									pending.Add(1)
+								}
+								break
+							}
+						}
+					}
+					budget -= g.Degree(u)
+					if budget <= 0 && head+1 < len(queue) {
+						// Flush the remaining local work to the shared
+						// frontier bags.
+						for _, w := range queue[head+1:] {
+							d := dist[w].Load()
+							fr.insert(int(d), w)
+							pending.Add(1)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			met.edges(edgeCount)
+		})
+	}
+
+	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
+	return out, met
+}
+
+// frontierSet is the rotating set of distance-indexed frontiers: hash bags
+// by default, or flat dense boolean arrays for the ablation.
+type frontierSet struct {
+	bags    []*hashbag.Bag
+	flat    [][]atomic.Uint32 // dense variant: bit flags per vertex
+	flatN   []atomic.Int64
+	n       int
+	lastDup int64
+}
+
+func newFrontierSet(n, k int, flat bool) *frontierSet {
+	fs := &frontierSet{n: n}
+	if flat {
+		fs.flat = make([][]atomic.Uint32, k)
+		fs.flatN = make([]atomic.Int64, k)
+		for i := range fs.flat {
+			fs.flat[i] = make([]atomic.Uint32, (n+31)/32)
+		}
+		return fs
+	}
+	fs.bags = make([]*hashbag.Bag, k)
+	for i := range fs.bags {
+		fs.bags[i] = hashbag.New(64)
+	}
+	return fs
+}
+
+func (fs *frontierSet) idx(d int) int {
+	if fs.bags != nil {
+		return d % len(fs.bags)
+	}
+	return d % len(fs.flat)
+}
+
+func (fs *frontierSet) insert(d int, v uint32) {
+	i := fs.idx(d)
+	if fs.bags != nil {
+		fs.bags[i].Insert(v)
+		return
+	}
+	word, bit := v/32, uint32(1)<<(v%32)
+	for {
+		old := fs.flat[i][word].Load()
+		if old&bit != 0 {
+			fs.flatN[i].Add(1) // duplicate: still counts as an insert
+			return
+		}
+		if fs.flat[i][word].CompareAndSwap(old, old|bit) {
+			fs.flatN[i].Add(1)
+			return
+		}
+	}
+}
+
+func (fs *frontierSet) len(d int) int {
+	i := fs.idx(d)
+	if fs.bags != nil {
+		return fs.bags[i].Len()
+	}
+	return int(fs.flatN[i].Load())
+}
+
+// extract drains frontier d. The dense variant pays an O(n/32) scan — the
+// cost the hash bag exists to avoid.
+func (fs *frontierSet) extract(d int) []uint32 {
+	i := fs.idx(d)
+	if fs.bags != nil {
+		return fs.bags[i].Extract()
+	}
+	inserts := fs.flatN[i].Swap(0)
+	words := fs.flat[i]
+	var out []uint32
+	lists := make([][]uint32, (len(words)+1023)/1024)
+	parallel.For(len(lists), 1, func(b int) {
+		lo := b * 1024
+		hi := min(lo+1024, len(words))
+		var l []uint32
+		for w := lo; w < hi; w++ {
+			bv := words[w].Swap(0)
+			for bv != 0 {
+				tz := bits.TrailingZeros32(bv)
+				l = append(l, uint32(w*32+tz))
+				bv &= bv - 1
+			}
+		}
+		lists[b] = l
+	})
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	// The bitmap deduplicates, but callers track pending work by insert
+	// count; stash the swallowed-duplicate count for dupDebt.
+	fs.lastDup = inserts - int64(len(out))
+	return out
+}
+
+// lastDup holds, after extract, the number of duplicate inserts swallowed
+// by the dense bitmap (the hash bag keeps duplicates so it is always 0
+// there). Callers must subtract it from their pending count.
+func (fs *frontierSet) dupDebt() int64 {
+	d := fs.lastDup
+	fs.lastDup = 0
+	return d
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// BFSTree computes hop distances and a BFS tree (a parent per reached
+// vertex realizing a shortest hop path) with the VGC BFS.
+//
+// Distance and parent are packed into one uint64 (dist<<32 | parent) so a
+// single CAS updates both atomically — otherwise a racing relaxation could
+// pair one writer's distance with another's parent.
+//
+// Unlike BFS, BFSTree runs purely top-down (a bottom-up round would have
+// to synthesize parents for repaired distances); prefer BFS when only
+// distances are needed on low-diameter graphs.
+func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []uint32, met *Metrics) {
+	met = &Metrics{}
+	n := g.N
+	dist = make([]uint32, n)
+	parent = make([]uint32, n)
+	parallel.For(n, 0, func(i int) {
+		dist[i] = graph.InfDist
+		parent[i] = graph.None
+	})
+	if n == 0 {
+		return dist, parent, met
+	}
+	tau := opt.tau()
+	nBags := 2*tau + 4
+	fr := newFrontierSet(n, nBags, opt.DisableHashBag)
+
+	const infPacked = ^uint64(0)
+	state := make([]atomic.Uint64, n)
+	parallel.For(n, 0, func(i int) { state[i].Store(infPacked) })
+	pack := func(d, p uint32) uint64 { return uint64(d)<<32 | uint64(p) }
+	distOf := func(s uint64) uint32 { return uint32(s >> 32) }
+
+	state[src].Store(pack(0, src))
+	fr.insert(0, src)
+	var pending atomic.Int64
+	pending.Store(1)
+
+	window := 1
+	const windowGrowCut = 2048
+	cur := 0
+	for pending.Load() > 0 {
+		for fr.len(cur) == 0 {
+			cur++
+		}
+		var f []uint32
+		var bucketOf []int
+		for d := cur; d < cur+window; d++ {
+			if fr.len(d) == 0 {
+				continue
+			}
+			part := fr.extract(d)
+			pending.Add(-(int64(len(part)) + fr.dupDebt()))
+			f = append(f, part...)
+			for range part {
+				bucketOf = append(bucketOf, d)
+			}
+		}
+		met.round(len(f))
+		if int64(len(f)) < windowGrowCut && window < tau {
+			window *= 2
+		} else if window > 1 {
+			window /= 2
+		}
+		parallel.ForRange(len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if distOf(state[v].Load()) != uint32(bucketOf[i]) {
+					continue
+				}
+				queue = append(queue[:0], v)
+				budget := tau
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					du := distOf(state[u].Load())
+					nd := du + 1
+					for _, w := range g.Neighbors(u) {
+						edgeCount++
+						for {
+							old := state[w].Load()
+							if nd >= distOf(old) {
+								break
+							}
+							if state[w].CompareAndSwap(old, pack(nd, u)) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									fr.insert(int(nd), w)
+									pending.Add(1)
+								}
+								break
+							}
+						}
+					}
+					budget -= g.Degree(u)
+					if budget <= 0 && head+1 < len(queue) {
+						for _, w := range queue[head+1:] {
+							fr.insert(int(distOf(state[w].Load())), w)
+							pending.Add(1)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			met.edges(edgeCount)
+		})
+	}
+	parallel.For(n, 0, func(i int) {
+		s := state[i].Load()
+		if s != infPacked {
+			dist[i] = distOf(s)
+			parent[i] = uint32(s)
+		}
+	})
+	parent[src] = graph.None
+	return dist, parent, met
+}

@@ -1,0 +1,121 @@
+// Package core implements PASGAL's algorithms: BFS, SCC, and SSSP built on
+// vertical granularity control (VGC) with hash-bag frontiers, and the
+// FAST-BCC biconnectivity algorithm. These are the paper's contribution;
+// the competing systems live in internal/baseline and the sequential
+// references in internal/seq.
+//
+// # Vertical granularity control
+//
+// A frontier-based algorithm that processes one vertex per parallel task
+// drowns in scheduling overhead on large-diameter graphs: Θ(D) rounds,
+// each paying a fork-join barrier, over frontiers too small to occupy the
+// machine. VGC gives each task a *local search*: starting from its frontier
+// vertex it keeps exploring — multiple hops deep — until it has visited
+// about τ edges, and only the leftovers are pushed into the shared next
+// frontier. One round therefore advances many hops and the frontier grows
+// multiplicatively, hiding synchronization cost exactly as classic
+// (horizontal) granularity control hides it for flat loops.
+package core
+
+import (
+	"sync/atomic"
+)
+
+// DefaultTau is the default VGC local-search budget in edges.
+const DefaultTau = 512
+
+// Options tunes the PASGAL algorithms. The zero value selects defaults.
+type Options struct {
+	// Tau is the VGC local-search budget in edges; <= 0 selects
+	// DefaultTau. Tau = 1 effectively disables VGC (every discovered
+	// vertex goes back through the shared frontier), which is what the
+	// ablation benchmarks use as the "no VGC" configuration.
+	Tau int
+
+	// DisableHashBag replaces hash-bag frontiers with flat dense frontier
+	// arrays (a full n-sized scan per round) — the ablation the hash bag
+	// is measured against.
+	DisableHashBag bool
+
+	// DisableDirectionOpt turns off the Beamer-style bottom-up switch in
+	// BFS.
+	DisableDirectionOpt bool
+
+	// DenseFrac is the frontier fraction (of n) above which BFS switches
+	// to a bottom-up round; <= 0 selects 0.05.
+	DenseFrac float64
+
+	// TrimRounds is the number of SCC trimming passes; < 0 disables,
+	// 0 selects the default (2).
+	TrimRounds int
+
+	// RecordFrontiers makes Metrics.FrontierSizes record the size of every
+	// extracted frontier, in round order (costs one append per round).
+	RecordFrontiers bool
+}
+
+func (o Options) tau() int {
+	if o.Tau <= 0 {
+		return DefaultTau
+	}
+	return o.Tau
+}
+
+func (o Options) denseFrac() float64 {
+	if o.DenseFrac <= 0 {
+		return 0.05
+	}
+	return o.DenseFrac
+}
+
+func (o Options) trimRounds() int {
+	if o.TrimRounds < 0 {
+		return 0
+	}
+	if o.TrimRounds == 0 {
+		return 2
+	}
+	return o.TrimRounds
+}
+
+// Metrics reports the machine-independent cost profile of a run. Rounds is
+// the headline number: each round is one global synchronization barrier, so
+// VGC's claim — collapsing Θ(D) rounds to a small multiple of D/τ-ish —
+// shows up here on any machine, regardless of core count.
+type Metrics struct {
+	Rounds        int64 // frontier extractions = global synchronizations
+	BottomUp      int64 // of which bottom-up (direction-optimized) rounds
+	EdgesVisited  int64 // total edge relaxations/inspections
+	VerticesTaken int64 // frontier entries extracted (incl. stale)
+	MaxFrontier   int64 // largest extracted frontier
+	Phases        int64 // SCC outer rounds / SSSP threshold phases
+
+	// FrontierSizes is the per-round frontier size series, recorded only
+	// when Options.RecordFrontiers is set. The paper's §2.1 claims VGC
+	// "quickly accumulates a large frontier size"; this series is the
+	// direct evidence.
+	FrontierSizes []int64
+
+	record bool
+}
+
+func (m *Metrics) round(frontier int) {
+	atomic.AddInt64(&m.Rounds, 1)
+	atomic.AddInt64(&m.VerticesTaken, int64(frontier))
+	if m.record {
+		// Rounds are extracted by a single coordinator goroutine; the
+		// append does not race with other round calls.
+		m.FrontierSizes = append(m.FrontierSizes, int64(frontier))
+	}
+	for {
+		cur := atomic.LoadInt64(&m.MaxFrontier)
+		if int64(frontier) <= cur ||
+			atomic.CompareAndSwapInt64(&m.MaxFrontier, cur, int64(frontier)) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) edges(k int64) {
+	atomic.AddInt64(&m.EdgesVisited, k)
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+func TestBridgesKnownCases(t *testing.T) {
+	// Path: every edge is a bridge.
+	g := gen.Chain(10, false)
+	flags, count, _ := Bridges(g, Options{})
+	if count != 9 {
+		t.Fatalf("path bridges = %d", count)
+	}
+	for e, b := range flags {
+		if !b {
+			t.Fatalf("path arc %d not marked", e)
+		}
+	}
+	// Cycle: no bridges.
+	_, count, _ = Bridges(gen.Cycle(10, false), Options{})
+	if count != 0 {
+		t.Fatalf("cycle bridges = %d", count)
+	}
+	// Two triangles joined by one edge: exactly that edge is a bridge.
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		{U: 2, V: 3},
+	}
+	bg := graph.FromEdges(6, edges, false, graph.BuildOptions{})
+	flags, count, _ = Bridges(bg, Options{})
+	if count != 1 {
+		t.Fatalf("barbell bridges = %d", count)
+	}
+	e := bg.FindArc(2, 3)
+	if !flags[e] {
+		t.Fatal("the joining edge is not marked as a bridge")
+	}
+}
+
+// A bridge's removal must disconnect its component (semantic check on
+// random graphs).
+func TestBridgesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.IntN(60)
+		g := gen.ER(n, rng.IntN(2*n)+1, false, uint64(trial))
+		flags, _, _ := Bridges(g, Options{})
+		_, baseCount := seq.TarjanSCC(g.Symmetrized().Transpose()) // reuse: comps via SCC of sym graph
+		_ = baseCount
+		comps := countComps(g, graph.None, graph.None)
+		for u := uint32(0); u < uint32(g.N); u++ {
+			for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+				v := g.Edges[e]
+				if v < u {
+					continue
+				}
+				without := countComps(g, u, v)
+				isBridge := without > comps
+				if flags[e] != isBridge {
+					t.Fatalf("trial %d: edge (%d,%d) bridge=%v, removal says %v",
+						trial, u, v, flags[e], isBridge)
+				}
+			}
+		}
+	}
+}
+
+// countComps counts connected components, skipping the edge (su,sv) in
+// both directions (graph.None = skip nothing).
+func countComps(g *graph.Graph, su, sv uint32) int {
+	vis := make([]bool, g.N)
+	count := 0
+	for s := 0; s < g.N; s++ {
+		if vis[s] {
+			continue
+		}
+		count++
+		stack := []uint32{uint32(s)}
+		vis[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if (u == su && v == sv) || (u == sv && v == su) {
+					continue
+				}
+				if !vis[v] {
+					vis[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestDensestSubgraphKnownCases(t *testing.T) {
+	// K5 plus a long tail: the densest subgraph is the clique
+	// (density 10/5 = 2).
+	var edges []graph.Edge
+	for i := uint32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	for i := uint32(5); i < 30; i++ {
+		edges = append(edges, graph.Edge{U: i - 1, V: i})
+	}
+	g := graph.FromEdges(30, edges, false, graph.BuildOptions{})
+	verts, density, _ := DensestSubgraph(g, Options{})
+	if len(verts) != 5 {
+		t.Fatalf("densest has %d vertices, want the K5", len(verts))
+	}
+	for _, v := range verts {
+		if v >= 5 {
+			t.Fatalf("vertex %d should not be in the densest subgraph", v)
+		}
+	}
+	if density != 2.0 {
+		t.Fatalf("density = %v, want 2", density)
+	}
+	// Empty graph.
+	verts, density, _ = DensestSubgraph(graph.FromEdges(0, nil, false, graph.BuildOptions{}), Options{})
+	if len(verts) != 0 || density != 0 {
+		t.Fatal("empty graph densest")
+	}
+}
+
+// Guarantee check: the returned density is at least half the degeneracy
+// (which upper-bounds the optimum density), and at least the whole graph's
+// density.
+func TestDensestSubgraphGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.IntN(300)
+		g := gen.ER(n, rng.IntN(6*n)+1, false, uint64(50+trial))
+		verts, density, _ := DensestSubgraph(g, Options{})
+		_, degeneracy := seq.KCore(g)
+		if density < float64(degeneracy)/2 {
+			t.Fatalf("trial %d: density %.3f below degeneracy/2 = %.1f",
+				trial, density, float64(degeneracy)/2)
+		}
+		whole := float64(g.UndirectedM()) / float64(g.N)
+		if density+1e-9 < whole {
+			t.Fatalf("trial %d: density %.3f below whole-graph %.3f", trial, density, whole)
+		}
+		// Returned set induces the reported density.
+		sub, _ := graph.InducedSubgraph(g, verts)
+		got := float64(sub.UndirectedM()) / float64(sub.N)
+		if got != density {
+			t.Fatalf("trial %d: reported %.3f, induced %.3f", trial, density, got)
+		}
+	}
+}

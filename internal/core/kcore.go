@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/hashbag"
+	"pasgal/internal/parallel"
+)
+
+// KCore computes the coreness of every vertex of an undirected graph by
+// parallel peeling with VGC — one of the extensions the paper's conclusion
+// names ("k-core and other peeling algorithms").
+//
+// For k = 0, 1, 2, ... the algorithm peels all vertices whose residual
+// degree is <= k. Peeling is frontier-based and has the same
+// large-diameter pathology as BFS: removing one vertex can trigger a long
+// *chain* of removals (think of a path hanging off a clique), which a
+// level-synchronous peeler pays one global round per link for. The VGC
+// local search follows such chains in-task, up to τ edges, before touching
+// the shared frontier.
+//
+// Returns the coreness array, the degeneracy (max coreness), and metrics.
+func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
+	if g.Directed {
+		panic("core: KCore requires an undirected graph")
+	}
+	met := &Metrics{record: opt.RecordFrontiers}
+	n := g.N
+	core := make([]uint32, n)
+	if n == 0 {
+		return core, 0, met
+	}
+	tau := opt.tau()
+
+	deg := make([]atomic.Int64, n)
+	claimed := make([]atomic.Uint32, n) // coreness+1 when claimed, 0 live
+	parallel.For(n, 0, func(v int) { deg[v].Store(int64(g.Degree(uint32(v)))) })
+
+	bag := hashbag.New(1024)
+	live := parallel.PackIndex(n, func(int) bool { return true })
+
+	for k := int64(0); len(live) > 0; k++ {
+		atomic.AddInt64(&met.Phases, 1)
+		// Seed this level: all live vertices whose degree has fallen to
+		// <= k. The claim CAS makes seeding race-free against peeling.
+		parallel.For(len(live), 0, func(i int) {
+			v := live[i]
+			if deg[v].Load() <= k && claimed[v].CompareAndSwap(0, uint32(k)+1) {
+				bag.Insert(v)
+			}
+		})
+		for bag.Len() > 0 {
+			f := bag.Extract()
+			met.round(len(f))
+			parallel.ForRange(len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					queue = append(queue[:0], f[i])
+					budget := tau
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						for _, w := range g.Neighbors(u) {
+							edgeCount++
+							if claimed[w].Load() != 0 {
+								continue
+							}
+							// One decrement per removed edge endpoint.
+							nd := deg[w].Add(-1)
+							if nd <= k && claimed[w].CompareAndSwap(0, uint32(k)+1) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									bag.Insert(w)
+								}
+							}
+						}
+						budget -= g.Degree(u)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								bag.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.edges(edgeCount)
+			})
+		}
+		live = parallel.Pack(live, func(i int) bool { return claimed[live[i]].Load() == 0 })
+	}
+	maxCore := int64(0)
+	parallel.For(n, 0, func(v int) { core[v] = claimed[v].Load() - 1 })
+	for v := 0; v < n; v++ {
+		if int64(core[v]) > maxCore {
+			maxCore = int64(core[v])
+		}
+	}
+	return core, int(maxCore), met
+}

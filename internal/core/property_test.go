@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+// Property: BFS distances satisfy the exact optimality conditions —
+// dist[src] = 0; every edge (u,v) has dist[v] <= dist[u]+1; every reached
+// v != src has a tight in-edge (a predecessor u with dist[u]+1 = dist[v]);
+// unreached vertices have no reached in-neighbor.
+func TestQuickBFSOptimalityConditions(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, mRaw uint16) bool {
+		n := 2 + int(nRaw)%400
+		m := int(mRaw) % (4 * n)
+		g := gen.ER(n, m, true, seed)
+		dist, _ := BFS(g, 0, Options{Tau: 1 + int(seed%100)})
+		if dist[0] != 0 {
+			return false
+		}
+		tr := g.Transpose()
+		for v := 0; v < n; v++ {
+			dv := dist[v]
+			for _, w := range g.Neighbors(uint32(v)) {
+				if dv != graph.InfDist && dist[w] > dv+1 {
+					return false // relaxable edge left
+				}
+			}
+			if v == 0 || dv == graph.InfDist {
+				if dv == graph.InfDist {
+					for _, u := range tr.Neighbors(uint32(v)) {
+						if dist[u] != graph.InfDist {
+							return false // reachable but marked unreached
+						}
+					}
+				}
+				continue
+			}
+			tight := false
+			for _, u := range tr.Neighbors(uint32(v)) {
+				if dist[u] != graph.InfDist && dist[u]+1 == dv {
+					tight = true
+					break
+				}
+			}
+			if !tight {
+				return false // distance not realized by any path
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SSSP distances satisfy the weighted optimality conditions.
+func TestQuickSSSPOptimalityConditions(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := 2 + int(nRaw)%300
+		g := gen.AddUniformWeights(gen.ER(n, 3*n, true, seed), 1, 50, seed+1)
+		dist, _ := SSSP(g, 0, RhoStepping{Rho: 1 + int(seed%64)}, Options{})
+		if dist[0] != 0 {
+			return false
+		}
+		tr := g.Transpose()
+		for v := 0; v < n; v++ {
+			dv := dist[v]
+			if dv == InfWeight {
+				continue
+			}
+			wts := g.NeighborWeights(uint32(v))
+			for i, w := range g.Neighbors(uint32(v)) {
+				if dist[w] > dv+uint64(wts[i]) {
+					return false
+				}
+			}
+			if v == 0 {
+				continue
+			}
+			tight := false
+			twts := tr.NeighborWeights(uint32(v))
+			for i, u := range tr.Neighbors(uint32(v)) {
+				if dist[u] != InfWeight && dist[u]+uint64(twts[i]) == dv {
+					tight = true
+					break
+				}
+			}
+			if !tight {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SCC condensation is acyclic, component labels are
+// representatives, and cross-edges never point into an earlier... (no
+// order claim — just acyclicity via Tarjan on the condensation).
+func TestQuickSCCCondensationAcyclic(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := 2 + int(nRaw)%250
+		g := gen.ER(n, 3*n, true, seed)
+		labels, count, _ := SCC(g, Options{})
+		// Map representative labels to dense ids.
+		dense := map[uint32]uint32{}
+		for _, l := range labels {
+			if _, ok := dense[l]; !ok {
+				dense[l] = uint32(len(dense))
+			}
+		}
+		if len(dense) != count {
+			return false
+		}
+		var condEdges []graph.Edge
+		for u := uint32(0); u < uint32(n); u++ {
+			for _, w := range g.Neighbors(u) {
+				if labels[u] != labels[w] {
+					condEdges = append(condEdges, graph.Edge{
+						U: dense[labels[u]], V: dense[labels[w]]})
+				}
+			}
+		}
+		cond := graph.FromEdges(count, condEdges, true, graph.BuildOptions{})
+		// Acyclic iff every condensation vertex is its own SCC.
+		_, cc := seq.TarjanSCC(cond)
+		return cc == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BCC arc partition — every arc labeled, reverse arcs agree, and
+// two arcs sharing a label are connected through their component (checked
+// cheaply: component counts match Hopcroft–Tarjan's).
+func TestQuickBCCPartition(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := 2 + int(nRaw)%200
+		g := gen.ER(n, 2*n, false, seed)
+		res, _ := BCC(g, Options{})
+		want := seq.HopcroftTarjanBCC(g)
+		if res.NumBCC != want.NumBCC {
+			return false
+		}
+		for u := uint32(0); u < uint32(n); u++ {
+			for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+				r := g.ReverseArc(u, e)
+				if res.ArcLabel[e] != res.ArcLabel[r] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coreness is monotone under edge addition (adding edges never
+// lowers any vertex's coreness).
+func TestQuickKCoreMonotone(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := 4 + int(nRaw)%150
+		base := gen.ER(n, n, false, seed)
+		more := gen.ER(n, 2*n, false, seed) // superset sampler: same seed prefix
+		// Build a true superset: union of edge sets.
+		var edges []graph.Edge
+		for u := uint32(0); u < uint32(n); u++ {
+			for _, w := range base.Neighbors(u) {
+				if w > u {
+					edges = append(edges, graph.Edge{U: u, V: w})
+				}
+			}
+			for _, w := range more.Neighbors(u) {
+				if w > u {
+					edges = append(edges, graph.Edge{U: u, V: w})
+				}
+			}
+		}
+		super := graph.FromEdges(n, edges, false, graph.BuildOptions{})
+		c1, _, _ := KCore(base, Options{})
+		c2, _, _ := KCore(super, Options{})
+		for v := 0; v < n; v++ {
+			if c2[v] < c1[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

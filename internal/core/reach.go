@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/hashbag"
+	"pasgal/internal/parallel"
+)
+
+// Reachable marks every vertex reachable from any of srcs. This is the
+// paper's §2.1 primitive in isolation: a reachability search needs no BFS
+// order, so the VGC local search visits vertices in arbitrary multi-hop
+// order, each vertex claimed exactly once by a CAS.
+func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
+	met := &Metrics{record: opt.RecordFrontiers}
+	n := g.N
+	out := make([]bool, n)
+	if n == 0 || len(srcs) == 0 {
+		return out, met
+	}
+	tau := opt.tau()
+	visited := make([]atomic.Uint32, n)
+	bag := hashbag.New(max(64, 2*len(srcs)))
+	for _, s := range srcs {
+		if visited[s].CompareAndSwap(0, 1) {
+			bag.Insert(s)
+		}
+	}
+	for bag.Len() > 0 {
+		f := bag.Extract()
+		met.round(len(f))
+		parallel.ForRange(len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				queue = append(queue[:0], f[i])
+				budget := tau
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					for _, w := range g.Neighbors(u) {
+						edgeCount++
+						if visited[w].Load() == 0 && visited[w].CompareAndSwap(0, 1) {
+							if budget > 0 {
+								queue = append(queue, w)
+							} else {
+								bag.Insert(w)
+							}
+						}
+					}
+					budget -= g.Degree(u)
+					if budget <= 0 && head+1 < len(queue) {
+						for _, w := range queue[head+1:] {
+							bag.Insert(w)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			met.edges(edgeCount)
+		})
+	}
+	parallel.For(n, 0, func(i int) { out[i] = visited[i].Load() == 1 })
+	return out, met
+}

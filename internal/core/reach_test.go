@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/euler"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+func TestReachableMatchesBFS(t *testing.T) {
+	for name, g := range testGraphs(true) {
+		want := seq.BFS(g, 0)
+		got, met := Reachable(g, []uint32{0}, Options{})
+		for v := range want {
+			if got[v] != (want[v] != graph.InfDist) {
+				t.Fatalf("%s: reach[%d] = %v, BFS dist %d", name, v, got[v], want[v])
+			}
+		}
+		if g.Degree(0) > 0 && met.Rounds == 0 {
+			t.Fatalf("%s: no rounds", name)
+		}
+	}
+}
+
+func TestReachableMultiSource(t *testing.T) {
+	g := gen.Chain(100, true)
+	got, _ := Reachable(g, []uint32{50, 80}, Options{})
+	for v := 0; v < 100; v++ {
+		if got[v] != (v >= 50) {
+			t.Fatalf("reach[%d] = %v", v, got[v])
+		}
+	}
+	// Duplicate sources are fine.
+	got, _ = Reachable(g, []uint32{0, 0, 0}, Options{})
+	for v := 0; v < 100; v++ {
+		if !got[v] {
+			t.Fatalf("dup-source reach[%d] false", v)
+		}
+	}
+	// No sources / empty graph.
+	if r, _ := Reachable(g, nil, Options{}); r[0] {
+		t.Fatal("no-source reach should be empty")
+	}
+	eg := graph.FromEdges(0, nil, true, graph.BuildOptions{})
+	if r, _ := Reachable(eg, nil, Options{}); len(r) != 0 {
+		t.Fatal("empty graph reach")
+	}
+}
+
+func TestReachableVGCReducesRounds(t *testing.T) {
+	g := gen.Chain(20000, true)
+	_, metVGC := Reachable(g, []uint32{0}, Options{Tau: 512})
+	_, metNo := Reachable(g, []uint32{0}, Options{Tau: 1})
+	if metVGC.Rounds*10 >= metNo.Rounds {
+		t.Fatalf("VGC rounds %d vs %d", metVGC.Rounds, metNo.Rounds)
+	}
+}
+
+// BCCFromForest with an externally built forest must agree with BCC and
+// with Hopcroft–Tarjan, whatever spanning forest it is given.
+func TestBCCFromForestDirect(t *testing.T) {
+	g := gen.TriGrid(15, 15)
+	want := seq.HopcroftTarjanBCC(g)
+
+	direct, _ := BCC(g, Options{})
+	if direct.NumBCC != want.NumBCC {
+		t.Fatalf("NumBCC %d want %d", direct.NumBCC, want.NumBCC)
+	}
+
+	tree, _, _ := conn.SpanningForest(g)
+	f := euler.Build(g.N, tree)
+	viaForest, met := BCCFromForest(g, f)
+	if viaForest.NumBCC != want.NumBCC {
+		t.Fatalf("BCCFromForest NumBCC %d want %d", viaForest.NumBCC, want.NumBCC)
+	}
+	for v := range viaForest.IsArt {
+		if viaForest.IsArt[v] != want.IsArtPort[v] {
+			t.Fatalf("articulation mismatch at %d", v)
+		}
+	}
+	if met.EdgesVisited == 0 {
+		t.Fatal("metrics empty")
+	}
+	// Empty graph path.
+	empty := graph.FromEdges(0, nil, false, graph.BuildOptions{})
+	res, _ := BCCFromForest(empty, euler.Build(0, nil))
+	if res.NumBCC != 0 {
+		t.Fatal("empty BCCFromForest")
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/hashbag"
+	"pasgal/internal/parallel"
+)
+
+// InfWeight is the "unreachable" weighted distance (matches seq.InfWeight).
+const InfWeight = ^uint64(0)
+
+// StepPolicy chooses the next processing threshold in the stepping
+// framework (Dong et al.): given a sample of the active tentative
+// distances (sorted ascending) and the total number of active vertices, it
+// returns θ — vertices with dist <= θ are processed this phase.
+type StepPolicy interface {
+	// Threshold picks θ >= sample[0]. sample is non-empty and sorted.
+	Threshold(sample []uint64, active int) uint64
+	// Name identifies the policy in benchmark output.
+	Name() string
+}
+
+// DeltaStepping processes vertices in fixed-width distance bands, like
+// Meyer & Sanders' Δ-stepping.
+type DeltaStepping struct{ Delta uint64 }
+
+// Threshold implements StepPolicy.
+func (p DeltaStepping) Threshold(sample []uint64, active int) uint64 {
+	d := p.Delta
+	if d == 0 {
+		d = 1
+	}
+	return (sample[0]/d + 1) * d
+}
+
+// Name implements StepPolicy.
+func (DeltaStepping) Name() string { return "delta" }
+
+// RhoStepping aims to process the ~Rho closest active vertices per phase —
+// the paper's ρ-stepping, PASGAL's default SSSP configuration.
+type RhoStepping struct{ Rho int }
+
+// Threshold implements StepPolicy.
+func (p RhoStepping) Threshold(sample []uint64, active int) uint64 {
+	rho := p.Rho
+	if rho <= 0 {
+		rho = 1 << 14
+	}
+	if rho >= active {
+		// Process everything currently active, but not vertices
+		// discovered later this phase: an unbounded θ would degrade the
+		// phase into asynchronous Bellman–Ford with unbounded re-work.
+		return sample[len(sample)-1]
+	}
+	// Index of the ρ-th smallest active distance, estimated through the
+	// sample.
+	idx := len(sample) * rho / active
+	if idx >= len(sample) {
+		idx = len(sample) - 1
+	}
+	return sample[idx]
+}
+
+// Name implements StepPolicy.
+func (RhoStepping) Name() string { return "rho" }
+
+// BellmanFordPolicy processes every active vertex every phase.
+type BellmanFordPolicy struct{}
+
+// Threshold implements StepPolicy.
+func (BellmanFordPolicy) Threshold([]uint64, int) uint64 { return InfWeight }
+
+// Name implements StepPolicy.
+func (BellmanFordPolicy) Name() string { return "bf" }
+
+// SSSP computes single-source shortest paths on a weighted graph with the
+// stepping-algorithm framework: a near/far pair of hash bags, a pluggable
+// threshold policy, atomic write-min relaxations, and VGC local searches
+// (a relaxation that lands under the current threshold keeps expanding
+// in-task instead of round-tripping through the frontier).
+//
+// policy == nil selects ρ-stepping with its default ρ.
+func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics) {
+	if !g.Weighted() {
+		panic("core: SSSP requires a weighted graph")
+	}
+	if policy == nil {
+		policy = RhoStepping{}
+	}
+	met := &Metrics{record: opt.RecordFrontiers}
+	n := g.N
+	dist := make([]atomic.Uint64, n)
+	parallel.For(n, 0, func(i int) { dist[i].Store(InfWeight) })
+	out := make([]uint64, n)
+	if n == 0 {
+		return out, met
+	}
+	tau := opt.tau()
+
+	near := hashbag.New(1024)
+	far := hashbag.New(1024)
+	dist[src].Store(0)
+	near.Insert(src)
+	theta := uint64(0) // process dist <= theta; first phase handles src only
+
+	processFrontier := func(f []uint32) {
+		met.round(len(f))
+		// Multi-hop local expansion is only sound under a finite θ: it
+		// bounds how wrong an eagerly-expanded tentative distance can be.
+		// With θ = ∞ (Bellman–Ford policy) every improvement round-trips
+		// through the frontier instead.
+		localBudget := tau
+		if theta == InfWeight {
+			localBudget = 0
+		}
+		// FIFO local worklist: the local search relaxes in mini-BFS order,
+		// keeping tentative distances close to final (a LIFO order would
+		// chase depth-first chains of inflated distances).
+		parallel.ForRange(len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if dist[v].Load() > theta {
+					far.Insert(v) // not ready yet; defer to a later phase
+					continue
+				}
+				queue = append(queue[:0], v)
+				budget := localBudget
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					du := dist[u].Load()
+					wts := g.NeighborWeights(u)
+					for j, w := range g.Neighbors(u) {
+						edgeCount++
+						nd := du + uint64(wts[j])
+						for {
+							old := dist[w].Load()
+							if nd >= old {
+								break
+							}
+							if dist[w].CompareAndSwap(old, nd) {
+								if nd <= theta && budget > 0 {
+									queue = append(queue, w)
+								} else if nd <= theta {
+									near.Insert(w)
+								} else {
+									far.Insert(w)
+								}
+								break
+							}
+						}
+					}
+					budget -= g.Degree(u)
+					if budget <= 0 && head+1 < len(queue) {
+						for _, w := range queue[head+1:] {
+							near.Insert(w)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			met.edges(edgeCount)
+		})
+	}
+
+	for {
+		if near.Len() > 0 {
+			processFrontier(near.Extract())
+			continue
+		}
+		if far.Len() == 0 {
+			break
+		}
+		// New phase: pick θ from the far set and promote the ready part.
+		atomic.AddInt64(&met.Phases, 1)
+		f := far.Extract()
+		// Drop stale entries (already settled below a previous θ and
+		// re-processed); keep one representative per improvable vertex.
+		sampleCap := 1024
+		sample := make([]uint64, 0, sampleCap)
+		stride := len(f)/sampleCap + 1
+		for i := 0; i < len(f); i += stride {
+			sample = append(sample, dist[f[i]].Load())
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		theta = policy.Threshold(sample, len(f))
+		if theta < sample[0] {
+			theta = sample[0] // guarantee progress
+		}
+		parallel.ForRange(len(f), 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if dist[v].Load() <= theta {
+					near.Insert(v)
+				} else {
+					far.Insert(v)
+				}
+			}
+		})
+	}
+
+	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
+	return out, met
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// SSSPTree computes shortest-path distances from src and a shortest-path
+// tree: parent[v] is a predecessor of v on some shortest src→v path
+// (graph.None for src and unreachable vertices).
+//
+// Distances come from SSSP; parents are derived afterwards in one parallel
+// pass over the in-edges — every reached vertex has a tight predecessor
+// (dist[u] + w(u,v) = dist[v]) by the optimality conditions, so the
+// derivation cannot fail. Deriving parents after convergence avoids
+// widening the relaxation CAS to a double-word (distance, parent) pair.
+func SSSPTree(g *graph.Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics) {
+	dist, met = SSSP(g, src, policy, opt)
+	parent = make([]uint32, g.N)
+	in := g.Transpose()
+	parallel.For(g.N, 64, func(vi int) {
+		v := uint32(vi)
+		parent[v] = graph.None
+		if v == src || dist[v] == InfWeight {
+			return
+		}
+		wts := in.NeighborWeights(v)
+		for i, u := range in.Neighbors(v) {
+			if dist[u] != InfWeight && dist[u]+uint64(wts[i]) == dist[v] {
+				parent[v] = u
+				return
+			}
+		}
+		panic("core: SSSPTree: no tight predecessor (distances inconsistent)")
+	})
+	return dist, parent, met
+}
+
+// PathTo reconstructs the path from the tree's root to v using a parent
+// array from SSSPTree or BFSTree. Returns nil if v was unreachable
+// (parent[v] == None and v has a parentless ancestor chain of length 0).
+// The result starts at the root and ends at v.
+func PathTo(parent []uint32, root, v uint32) []uint32 {
+	if v != root && parent[v] == graph.None {
+		return nil
+	}
+	var rev []uint32
+	for u := v; ; u = parent[u] {
+		rev = append(rev, u)
+		if u == root {
+			break
+		}
+		if parent[u] == graph.None || len(rev) > len(parent) {
+			return nil // disconnected or corrupt parent array
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+func TestSSSPTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.IntN(400)
+		g := gen.AddUniformWeights(gen.ER(n, 3*n, trial%2 == 0, uint64(trial)), 1, 100, uint64(trial))
+		src := uint32(rng.IntN(n))
+		dist, parent, _ := SSSPTree(g, src, nil, Options{})
+		want := seq.Dijkstra(g, src)
+		for v := uint32(0); v < uint32(n); v++ {
+			if dist[v] != want[v] {
+				t.Fatalf("trial %d: dist[%d] = %d, want %d", trial, v, dist[v], want[v])
+			}
+			if v == src || dist[v] == InfWeight {
+				if parent[v] != graph.None {
+					t.Fatalf("trial %d: parent[%d] should be None", trial, v)
+				}
+				continue
+			}
+			p := parent[v]
+			e := g.FindArc(p, v)
+			if e == ^uint64(0) {
+				t.Fatalf("trial %d: parent edge (%d,%d) not in graph", trial, p, v)
+			}
+			if dist[p]+uint64(g.Weights[e]) != dist[v] {
+				t.Fatalf("trial %d: parent edge not tight at %d", trial, v)
+			}
+		}
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Chain(10, true), 4, 4, 1)
+	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	path := PathTo(parent, 0, 9)
+	if len(path) != 10 {
+		t.Fatalf("path length %d", len(path))
+	}
+	for i, v := range path {
+		if v != uint32(i) {
+			t.Fatalf("path[%d] = %d", i, v)
+		}
+	}
+	if dist[9] != 36 {
+		t.Fatalf("dist = %d", dist[9])
+	}
+	// Path to the root itself.
+	if p := PathTo(parent, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("root path %v", p)
+	}
+	// Unreachable vertex.
+	g2 := gen.AddUniformWeights(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}}, true,
+		graph.BuildOptions{Weighted: true}), 1, 1, 1)
+	_, parent2, _ := SSSPTree(g2, 0, nil, Options{})
+	if PathTo(parent2, 0, 2) != nil {
+		t.Fatal("unreachable path should be nil")
+	}
+}
+
+func TestSSSPTreePathWeights(t *testing.T) {
+	// Walking any tree path must sum to the distance.
+	g := gen.AddUniformWeights(gen.SampledGrid(30, 30, 0.9, false, 3), 1, 50, 4)
+	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	for v := uint32(0); v < uint32(g.N); v += 37 {
+		if dist[v] == InfWeight {
+			continue
+		}
+		path := PathTo(parent, 0, v)
+		if path == nil {
+			t.Fatalf("no path to reached vertex %d", v)
+		}
+		var sum uint64
+		for i := 1; i < len(path); i++ {
+			e := g.FindArc(path[i-1], path[i])
+			if e == ^uint64(0) {
+				t.Fatalf("path edge missing at %d", i)
+			}
+			sum += uint64(g.Weights[e])
+		}
+		if sum != dist[v] {
+			t.Fatalf("path sum %d != dist %d for vertex %d", sum, dist[v], v)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package euler
+
+import (
+	"testing"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/gen"
+)
+
+func benchForest(b *testing.B, rows, cols int) {
+	g := gen.Grid2D(rows, cols, false, 1)
+	tree, _, _ := conn.SpanningForest(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(g.N, tree)
+	}
+}
+
+func BenchmarkBuildGridTree(b *testing.B) { benchForest(b, 300, 300) }
+func BenchmarkBuildWideTree(b *testing.B) { benchForest(b, 10, 9000) }
+func BenchmarkBuildPathTree(b *testing.B) { benchForest(b, 1, 90000) }

@@ -1,0 +1,273 @@
+// Package euler roots a spanning forest without BFS or DFS: it builds the
+// Euler circuit of each tree from arc-adjacency, breaks it at a canonical
+// root, and list-ranks the circuit by parallel pointer jumping. From arc
+// ranks it derives, for every vertex, its parent, preorder number, and
+// subtree size — the ingredients FAST-BCC and Tarjan–Vishkin consume.
+//
+// Pointer jumping is O(m log m) work (the classic textbook variant rather
+// than the work-optimal sampling one); for this library's scales the log
+// factor is irrelevant and the implementation stays allocation-lean and
+// obviously correct.
+package euler
+
+import (
+	"sync/atomic"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// Forest is a rooted spanning forest with Euler-tour-derived preorder
+// numbering. Preorder numbers are globally unique in [0, N): each
+// component's vertices occupy a contiguous block.
+type Forest struct {
+	N      int
+	Parent []uint32 // parent vertex, graph.None for roots
+	Pre    []uint32 // preorder number
+	Size   []uint32 // subtree size
+	Comp   []uint32 // component label (minimum vertex id in component)
+	Roots  []uint32 // one root per component (the minimum id), ascending
+}
+
+// First returns the start of v's preorder interval.
+func (f *Forest) First(v uint32) uint32 { return f.Pre[v] }
+
+// Last returns the end (inclusive) of v's preorder interval.
+func (f *Forest) Last(v uint32) uint32 { return f.Pre[v] + f.Size[v] - 1 }
+
+// IsAncestor reports whether a is an ancestor of v (inclusive).
+func (f *Forest) IsAncestor(a, v uint32) bool {
+	return f.Pre[a] <= f.Pre[v] && f.Pre[v] <= f.Last(a)
+}
+
+const nilArc = ^uint32(0)
+
+// Build roots the forest given by treeEdges over n vertices. treeEdges must
+// be acyclic (a forest); vertices not covered by any edge become singleton
+// components.
+func Build(n int, treeEdges []graph.Edge) *Forest {
+	f := &Forest{
+		N:      n,
+		Parent: make([]uint32, n),
+		Pre:    make([]uint32, n),
+		Size:   make([]uint32, n),
+		Comp:   make([]uint32, n),
+	}
+	if n == 0 {
+		return f
+	}
+	nt := len(treeEdges)
+	nArcs := 2 * nt
+
+	// Component labels (minimum id per tree) via union-find over the
+	// forest edges only.
+	uf := conn.NewUnionFind(n)
+	parallel.For(nt, 0, func(i int) { uf.Union(treeEdges[i].U, treeEdges[i].V) })
+	parallel.For(n, 0, func(v int) { f.Comp[v] = uf.Find(uint32(v)) })
+
+	// Arc 2i is U->V of edge i; arc 2i+1 is its twin V->U.
+	arcSrc := func(a uint32) uint32 {
+		if a&1 == 0 {
+			return treeEdges[a/2].U
+		}
+		return treeEdges[a/2].V
+	}
+
+	// Group arcs by source vertex (CSR over the forest).
+	deg := make([]int64, n)
+	parallel.For(nArcs, 0, func(a int) {
+		atomic.AddInt64(&deg[arcSrc(uint32(a))], 1)
+	})
+	off := make([]int64, n+1)
+	var run int64
+	for v := 0; v < n; v++ {
+		off[v] = run
+		run += deg[v]
+	}
+	off[n] = run
+	bySrc := make([]uint32, nArcs) // arc ids grouped by source
+	slot := make([]uint32, nArcs)  // position of each arc in bySrc
+	cursor := make([]int64, n)
+	parallel.Copy(cursor, off[:n])
+	parallel.For(nArcs, 0, func(ai int) {
+		a := uint32(ai)
+		s := arcSrc(a)
+		at := atomic.AddInt64(&cursor[s], 1) - 1
+		bySrc[at] = a
+		slot[a] = uint32(at)
+	})
+
+	// Euler circuit successor: succ(a) = the arc after twin(a) among the
+	// arcs leaving head(a) (= src(twin(a))), cyclically.
+	succ := make([]uint32, nArcs)
+	parallel.For(nArcs, 0, func(ai int) {
+		a := uint32(ai)
+		t := a ^ 1
+		s := arcSrc(t)
+		lo, hi := off[s], off[s+1]
+		k := int64(slot[t]) + 1
+		if k == hi {
+			k = lo
+		}
+		succ[a] = bySrc[k]
+	})
+
+	// Choose the canonical root of each tree (its minimum id = component
+	// label) and break the circuit at the root's first outgoing arc.
+	rootArc := make([]uint32, n) // indexed by component label; nilArc if none
+	parallel.Fill(rootArc, nilArc)
+	parallel.For(n, 0, func(v int) {
+		if f.Comp[v] == uint32(v) && off[v] < off[v+1] {
+			rootArc[v] = bySrc[off[v]]
+		}
+	})
+	// Cut: the arc whose successor is the root arc becomes a tail.
+	parallel.For(nArcs, 0, func(ai int) {
+		a := uint32(ai)
+		s := arcSrc(succ[a])
+		if f.Comp[s] == s && succ[a] == rootArc[s] {
+			succ[a] = nilArc
+		}
+	})
+
+	// List ranking by pointer jumping: dist(a) = #arcs strictly after a.
+	dist := make([]uint32, nArcs)
+	parallel.For(nArcs, 0, func(a int) {
+		if succ[a] != nilArc {
+			dist[a] = 1
+		}
+	})
+	nsucc := make([]uint32, nArcs)
+	ndist := make([]uint32, nArcs)
+	for span := 1; span < nArcs; span *= 2 {
+		parallel.For(nArcs, 0, func(ai int) {
+			a := uint32(ai)
+			s := succ[a]
+			if s == nilArc {
+				nsucc[a] = nilArc
+				ndist[a] = dist[a]
+				return
+			}
+			ndist[a] = dist[a] + dist[s]
+			nsucc[a] = succ[s]
+		})
+		succ, nsucc = nsucc, succ
+		dist, ndist = ndist, dist
+	}
+
+	// Tour positions: pos(a) = dist(rootArc of its component) - dist(a).
+	// Equivalently tourLen - 1 - dist(a), with tourLen = 2 * (treeSize-1).
+	pos := make([]uint32, nArcs)
+	parallel.For(nArcs, 0, func(ai int) {
+		a := uint32(ai)
+		r := rootArc[f.Comp[arcSrc(a)]]
+		pos[a] = dist[r] - dist[a]
+	})
+
+	// Component ordering: dense index per component in ascending label
+	// order, with vertex- and tour-base offsets.
+	compRoots := parallel.PackIndex(n, func(v int) bool { return f.Comp[v] == uint32(v) })
+	f.Roots = compRoots
+	nc := len(compRoots)
+	compIdx := make([]uint32, n) // component label -> dense index
+	parallel.For(nc, 0, func(i int) { compIdx[compRoots[i]] = uint32(i) })
+	compSize := make([]int64, nc) // vertices per component
+	tourLen := make([]int64, nc)  // arcs per component tour
+	parallel.For(nc, 0, func(i int) {
+		r := compRoots[i]
+		if rootArc[r] == nilArc {
+			compSize[i] = 1
+			tourLen[i] = 0
+		} else {
+			tl := int64(dist[rootArc[r]]) + 1
+			tourLen[i] = tl
+			compSize[i] = tl/2 + 1
+		}
+	})
+	vertexBase := make([]int64, nc)
+	parallel.Copy(vertexBase, compSize)
+	parallel.Scan(vertexBase)
+	tourBase := make([]int64, nc)
+	parallel.Copy(tourBase, tourLen)
+	parallel.Scan(tourBase)
+
+	// Parent / subtree size from arc positions: for edge (u,v), the
+	// direction with the smaller tour position is the "down" arc.
+	down := make([]uint32, nArcs) // per global tour slot: 1 if a down arc
+	gpos := func(a uint32) int64 {
+		return tourBase[compIdx[f.Comp[arcSrc(a)]]] + int64(pos[a])
+	}
+	parallel.For(nt, 0, func(i int) {
+		a := uint32(2 * i) // U->V
+		t := a ^ 1         // V->U
+		e := treeEdges[i]
+		var downArc uint32
+		var child uint32
+		if pos[a] < pos[t] {
+			downArc, child = a, e.V
+		} else {
+			downArc, child = t, e.U
+		}
+		f.Parent[child] = arcParentOf(e, child)
+		f.Size[child] = (maxU32(pos[a], pos[t]) - minU32(pos[a], pos[t]) + 1) / 2
+		down[gpos(downArc)] = 1
+	})
+
+	// Preorder: inclusive scan of down-arc indicators along the global
+	// tour; pre(child) = vertexBase + #down arcs at or before its down
+	// arc; pre(root) = vertexBase.
+	downRank := make([]uint32, nArcs)
+	parallel.Copy(downRank, down)
+	parallel.ScanInclusive(downRank)
+	parallel.For(n, 0, func(vi int) {
+		v := uint32(vi)
+		ci := compIdx[f.Comp[v]]
+		if f.Comp[v] == v {
+			// Root (or isolated vertex).
+			f.Parent[v] = graph.None
+			f.Pre[v] = uint32(vertexBase[ci])
+			f.Size[v] = uint32(compSize[ci])
+		}
+	})
+	parallel.For(nt, 0, func(i int) {
+		e := treeEdges[i]
+		a := uint32(2 * i)
+		t := a ^ 1
+		downArc, child := a, e.V
+		if pos[t] < pos[a] {
+			downArc, child = t, e.U
+		}
+		ci := compIdx[f.Comp[child]]
+		base := tourBase[ci]
+		var before uint32
+		if base == 0 {
+			before = downRank[gpos(downArc)]
+		} else {
+			before = downRank[gpos(downArc)] - downRank[base-1]
+		}
+		f.Pre[child] = uint32(vertexBase[ci]) + before
+	})
+	return f
+}
+
+func arcParentOf(e graph.Edge, child uint32) uint32 {
+	if child == e.V {
+		return e.U
+	}
+	return e.V
+}
+
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}

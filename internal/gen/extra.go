@@ -1,0 +1,115 @@
+package gen
+
+import (
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// WattsStrogatz returns a small-world ring lattice: n vertices each linked
+// to their k nearest ring neighbors, with each edge's far endpoint rewired
+// to a random vertex with probability beta. beta = 0 is a large-diameter
+// ring lattice; small beta > 0 collapses the diameter to O(log n) while
+// keeping local clustering — a useful diameter-class dial for ablations.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if k < 1 || k >= n/2 {
+		panic("gen: WattsStrogatz requires 1 <= k < n/2")
+	}
+	edges := make([]graph.Edge, 0, n*k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			w := (v + j) % n
+			if rndFloat(seed, uint64(v), uint64(j)) < beta {
+				// Rewire: pick a random endpoint distinct from v.
+				w = int(rnd(seed+1, uint64(v), uint64(j)) % uint64(n))
+				if w == v {
+					w = (w + 1) % n
+				}
+			}
+			edges = append(edges, graph.Edge{U: uint32(v), V: uint32(w)})
+		}
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches m edges to earlier vertices chosen proportionally to their
+// degree (implemented by sampling uniform positions of the running
+// endpoint list, the standard trick). Power-law degrees, low diameter.
+func BarabasiAlbert(n, m int, seed uint64) *graph.Graph {
+	if m < 1 || n <= m {
+		panic("gen: BarabasiAlbert requires 1 <= m < n")
+	}
+	// endpoint list: every edge contributes both endpoints, so sampling a
+	// uniform element is degree-proportional sampling.
+	targets := make([]uint32, 0, 2*n*m)
+	edges := make([]graph.Edge, 0, n*m)
+	// Seed clique-ish core: vertex i in [0, m] links to all previous.
+	for v := 1; v <= m; v++ {
+		for w := 0; w < v; w++ {
+			edges = append(edges, graph.Edge{U: uint32(v), V: uint32(w)})
+			targets = append(targets, uint32(v), uint32(w))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		for j := 0; j < m; j++ {
+			w := targets[rnd(seed, uint64(v), uint64(j))%uint64(len(targets))]
+			edges = append(edges, graph.Edge{U: uint32(v), V: w})
+			targets = append(targets, uint32(v), w)
+		}
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// Grid3D returns the x*y*z three-dimensional grid graph — a mid-diameter
+// mesh (Θ(n^(1/3)) rather than the 2-D grid's Θ(n^(1/2))).
+func Grid3D(x, y, z int) *graph.Graph {
+	n := x * y * z
+	id := func(i, j, k int) uint32 { return uint32((i*y+j)*z + k) }
+	var edges []graph.Edge
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				if i+1 < x {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i+1, j, k)})
+				}
+				if j+1 < y {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j+1, k)})
+				}
+				if k+1 < z {
+					edges = append(edges, graph.Edge{U: id(i, j, k), V: id(i, j, k+1)})
+				}
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// Hypercube returns the dim-dimensional hypercube graph on 2^dim vertices:
+// log-diameter, uniform degree dim — the classic low-diameter sparse
+// topology.
+func Hypercube(dim int) *graph.Graph {
+	n := 1 << dim
+	edges := make([]graph.Edge, 0, n*dim/2)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if v < w {
+				edges = append(edges, graph.Edge{U: uint32(v), V: uint32(w)})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// Tree returns a random recursive tree on n vertices (each vertex attaches
+// to a uniform earlier vertex) with shuffled labels — O(log n) expected
+// diameter but no cycles at all, the extreme sparse case.
+func Tree(n int, seed uint64) *graph.Graph {
+	perm := parallel.RandomPermutation(n, seed^0x5bf03635)
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		u := int(rnd(seed, uint64(v), 0) % uint64(v))
+		edges = append(edges, graph.Edge{U: perm[u], V: perm[v]})
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}

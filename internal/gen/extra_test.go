@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"testing"
+
+	"pasgal/internal/graph"
+)
+
+func TestWattsStrogatz(t *testing.T) {
+	// beta = 0: pure ring lattice, diameter ~ n/(2k).
+	g := WattsStrogatz(1000, 2, 0, 1)
+	validate(t, g, "ws0")
+	if g.UndirectedM() != 2000 {
+		t.Fatalf("ws M = %d", g.UndirectedM())
+	}
+	d0 := graph.EstimateDiameter(g, 2, 1)
+	if d0 < 200 {
+		t.Fatalf("ring lattice diameter %d, want ~250", d0)
+	}
+	// Small beta: small world; diameter collapses.
+	gs := WattsStrogatz(1000, 2, 0.1, 2)
+	validate(t, gs, "ws0.1")
+	ds := graph.EstimateDiameter(gs, 2, 1)
+	if ds*5 >= d0 {
+		t.Fatalf("rewiring did not shrink diameter: %d vs %d", ds, d0)
+	}
+	// Invalid parameters panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WattsStrogatz(10, 5, 0, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(5000, 3, 7)
+	validate(t, g, "ba")
+	if g.N != 5000 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Heavy-tailed: max degree far above average.
+	if float64(g.MaxDegree()) < 5*g.AvgDegree() {
+		t.Fatalf("BA skew too small: max %d avg %.1f", g.MaxDegree(), g.AvgDegree())
+	}
+	// Low diameter.
+	if d := graph.EstimateDiameter(g, 2, 1); d > 12 {
+		t.Fatalf("BA diameter = %d", d)
+	}
+	// Deterministic.
+	if BarabasiAlbert(5000, 3, 7).M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g := Grid3D(5, 6, 7)
+	validate(t, g, "grid3d")
+	if g.N != 210 {
+		t.Fatalf("N = %d", g.N)
+	}
+	want := 4*6*7 + 5*5*7 + 5*6*6
+	if g.UndirectedM() != want {
+		t.Fatalf("M = %d, want %d", g.UndirectedM(), want)
+	}
+	if d := graph.EstimateDiameter(g, 3, 1); d != 4+5+6 {
+		t.Fatalf("3d grid diameter %d, want 15", d)
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(8)
+	validate(t, g, "hypercube")
+	if g.N != 256 || g.UndirectedM() != 256*8/2 {
+		t.Fatalf("hypercube shape n=%d m=%d", g.N, g.UndirectedM())
+	}
+	for v := uint32(0); v < 256; v++ {
+		if g.Degree(v) != 8 {
+			t.Fatalf("degree[%d] = %d", v, g.Degree(v))
+		}
+	}
+	if d := graph.EstimateDiameter(g, 3, 1); d != 8 {
+		t.Fatalf("hypercube diameter %d, want 8", d)
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := Tree(2000, 5)
+	validate(t, g, "tree")
+	if g.UndirectedM() != 1999 {
+		t.Fatalf("tree M = %d", g.UndirectedM())
+	}
+	// Acyclic and connected: m = n-1 with one component is enough.
+	if d := graph.EstimateDiameter(g, 3, 1); d < 5 || d > 200 {
+		t.Fatalf("random recursive tree diameter %d", d)
+	}
+}

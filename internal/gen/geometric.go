@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// point is a 2-D point in the unit square.
+type point struct{ x, y float64 }
+
+// cellIndex buckets points into a sqrt-decomposition grid of cell width w.
+type cellIndex struct {
+	w     float64
+	cols  int
+	start []int32 // CSR over cells
+	ids   []int32 // point ids grouped by cell
+	pts   []point
+}
+
+func buildCellIndex(pts []point, w float64) *cellIndex {
+	cols := int(1/w) + 1
+	nc := cols * cols
+	ci := &cellIndex{w: w, cols: cols, pts: pts}
+	count := make([]int32, nc+1)
+	cell := func(p point) int {
+		cx := int(p.x / w)
+		cy := int(p.y / w)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= cols {
+			cy = cols - 1
+		}
+		return cy*cols + cx
+	}
+	for _, p := range pts {
+		count[cell(p)+1]++
+	}
+	for i := 1; i <= nc; i++ {
+		count[i] += count[i-1]
+	}
+	ci.start = count
+	ci.ids = make([]int32, len(pts))
+	cursor := make([]int32, nc)
+	copy(cursor, count[:nc])
+	for i, p := range pts {
+		c := cell(p)
+		ci.ids[cursor[c]] = int32(i)
+		cursor[c]++
+	}
+	return ci
+}
+
+// forNeighborhood calls f for every point id in the (2r+1)x(2r+1) cell
+// neighborhood of p.
+func (ci *cellIndex) forNeighborhood(p point, r int, f func(id int32)) {
+	cx := int(p.x / ci.w)
+	cy := int(p.y / ci.w)
+	for dy := -r; dy <= r; dy++ {
+		yy := cy + dy
+		if yy < 0 || yy >= ci.cols {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			xx := cx + dx
+			if xx < 0 || xx >= ci.cols {
+				continue
+			}
+			c := yy*ci.cols + xx
+			for k := ci.start[c]; k < ci.start[c+1]; k++ {
+				f(ci.ids[k])
+			}
+		}
+	}
+}
+
+func dist2(a, b point) float64 {
+	dx, dy := a.x-b.x, a.y-b.y
+	return dx*dx + dy*dy
+}
+
+// uniformPoints returns n deterministic uniform points in the unit square.
+func uniformPoints(n int, seed uint64) []point {
+	return parallel.Tabulate(n, func(i int) point {
+		return point{rndFloat(seed, uint64(i), 0), rndFloat(seed, uint64(i), 1)}
+	})
+}
+
+// clusteredPoints returns n points drawn around k cluster centers with the
+// given Gaussian-ish spread — the distribution shape of the paper's k-NN
+// inputs (Chem sensor readings, GeoLife GPS traces, Cosmo simulation
+// particles are all heavily clustered).
+func clusteredPoints(n, k int, spread float64, seed uint64) []point {
+	centers := uniformPoints(k, seed^0xabcdef)
+	return parallel.Tabulate(n, func(i int) point {
+		c := centers[int(rnd(seed, uint64(i), 2)%uint64(k))]
+		// Box-Muller-lite: sum of uniforms approximates a Gaussian.
+		gx := (rndFloat(seed, uint64(i), 3) + rndFloat(seed, uint64(i), 4) +
+			rndFloat(seed, uint64(i), 5) - 1.5) * spread
+		gy := (rndFloat(seed, uint64(i), 6) + rndFloat(seed, uint64(i), 7) +
+			rndFloat(seed, uint64(i), 8) - 1.5) * spread
+		return point{clamp01(c.x + gx), clamp01(c.y + gy)}
+	})
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// RGG returns a random geometric graph: n uniform points, edge between
+// points within distance r where r is chosen for the given average degree.
+// With avgDeg ≈ 2.5–3 this is the road-network analogue (AF, NA, AS, EU):
+// sparse, near-planar, diameter Θ(sqrt n). Edge weights, if requested later
+// via AddUniformWeights, model road lengths.
+func RGG(n int, avgDeg float64, seed uint64) *graph.Graph {
+	// Expected degree = n * pi * r^2  =>  r = sqrt(avgDeg/(pi*n)).
+	r := math.Sqrt(avgDeg / (math.Pi * float64(n)))
+	pts := uniformPoints(n, seed)
+	ci := buildCellIndex(pts, r)
+	r2 := r * r
+	edgeLists := make([][]graph.Edge, n)
+	parallel.For(n, 16, func(i int) {
+		p := pts[i]
+		var out []graph.Edge
+		ci.forNeighborhood(p, 1, func(j int32) {
+			if int32(i) < j && dist2(p, pts[j]) <= r2 {
+				out = append(out, graph.Edge{U: uint32(i), V: uint32(j)})
+			}
+		})
+		edgeLists[i] = out
+	})
+	var edges []graph.Edge
+	for _, l := range edgeLists {
+		edges = append(edges, l...)
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// KNN returns the symmetrized k-nearest-neighbor graph of n clustered
+// points — the analogue of the paper's CH5/GL5/GL10/COS5 inputs. The
+// directed variant (each point -> its k nearest) is what the paper calls
+// m'; the built graph is its symmetrization when directed=false.
+func KNN(n, k int, clusters int, directed bool, seed uint64) *graph.Graph {
+	if k < 1 {
+		panic("gen: KNN requires k >= 1")
+	}
+	pts := clusteredPoints(n, clusters, 0.05, seed)
+	// Cell width targets ~2k points per neighborhood on average.
+	w := math.Sqrt(float64(2*k)/float64(n)) / 2
+	if w <= 0 || w > 0.5 {
+		w = 0.25
+	}
+	ci := buildCellIndex(pts, w)
+	type cand struct {
+		d  float64
+		id int32
+	}
+	edgeLists := make([][]graph.Edge, n)
+	parallel.For(n, 8, func(i int) {
+		p := pts[i]
+		var cands []cand
+		// Expand the search ring until at least k candidates are found,
+		// then once more so no closer point outside the ring is missed.
+		r := 1
+		for {
+			cands = cands[:0]
+			ci.forNeighborhood(p, r, func(j int32) {
+				if int(j) != i {
+					cands = append(cands, cand{dist2(p, pts[j]), j})
+				}
+			})
+			if len(cands) >= k {
+				// Check the kth distance fits inside the searched radius;
+				// if not, widen once more.
+				sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+				kth := math.Sqrt(cands[k-1].d)
+				if kth <= float64(r)*ci.w || r >= ci.cols {
+					break
+				}
+			} else if r >= ci.cols {
+				sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+				break
+			}
+			r *= 2
+		}
+		kk := k
+		if kk > len(cands) {
+			kk = len(cands)
+		}
+		out := make([]graph.Edge, kk)
+		for t := 0; t < kk; t++ {
+			out[t] = graph.Edge{U: uint32(i), V: uint32(cands[t].id)}
+		}
+		edgeLists[i] = out
+	})
+	var edges []graph.Edge
+	for _, l := range edgeLists {
+		edges = append(edges, l...)
+	}
+	if directed {
+		return graph.FromEdges(n, edges, true, graph.BuildOptions{})
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}

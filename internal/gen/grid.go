@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// Grid2D returns the rows x cols grid graph — the paper's REC input
+// (a 10^3 x 10^5 grid) at configurable scale. Diameter = rows+cols-2.
+// Directed grids orient each edge both ways except a deterministic fraction,
+// matching REC's m' < m; for simplicity directed=true keeps both directions
+// for a random 75% of edges and one direction otherwise.
+func Grid2D(rows, cols int, directed bool, seed uint64) *graph.Graph {
+	n := rows * cols
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	var edges []graph.Edge
+	horiz := rows * max(cols-1, 0)
+	vert := max(rows-1, 0) * cols
+	edges = make([]graph.Edge, horiz+vert)
+	parallel.For(horiz, 0, func(i int) {
+		r := i / max(cols-1, 1)
+		c := i % max(cols-1, 1)
+		edges[i] = graph.Edge{U: id(r, c), V: id(r, c+1)}
+	})
+	parallel.For(vert, 0, func(i int) {
+		r := i / cols
+		c := i % cols
+		edges[horiz+i] = graph.Edge{U: id(r, c), V: id(r+1, c)}
+	})
+	if !directed {
+		return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+	}
+	// Directed variant: each undirected edge yields both arcs with
+	// probability 3/4, else a single arc in a random direction.
+	arcs := make([]graph.Edge, 0, 2*len(edges))
+	for i, e := range edges {
+		r := rnd(seed, uint64(i), 99)
+		switch {
+		case r%4 != 0:
+			arcs = append(arcs, e, graph.Edge{U: e.V, V: e.U})
+		case r%8 == 0:
+			arcs = append(arcs, e)
+		default:
+			arcs = append(arcs, graph.Edge{U: e.V, V: e.U})
+		}
+	}
+	return graph.FromEdges(n, arcs, true, graph.BuildOptions{})
+}
+
+// SampledGrid returns a grid with each edge kept independently with
+// probability keepProb — the paper's SREC ("sampled REC"). Sampling pushes
+// the diameter even higher than the full grid's.
+func SampledGrid(rows, cols int, keepProb float64, directed bool, seed uint64) *graph.Graph {
+	full := Grid2D(rows, cols, false, seed)
+	n := full.N
+	var kept []graph.Edge
+	for u := uint32(0); u < uint32(n); u++ {
+		for e := full.Offsets[u]; e < full.Offsets[u+1]; e++ {
+			v := full.Edges[e]
+			if v < u {
+				continue // canonical direction only
+			}
+			if rndFloat(seed, uint64(u), uint64(v)) < keepProb {
+				kept = append(kept, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	if directed {
+		arcs := make([]graph.Edge, 0, 2*len(kept))
+		for i, e := range kept {
+			r := rnd(seed+1, uint64(i), 7)
+			switch {
+			case r%4 != 0:
+				arcs = append(arcs, e, graph.Edge{U: e.V, V: e.U})
+			case r%8 == 0:
+				arcs = append(arcs, e)
+			default:
+				arcs = append(arcs, graph.Edge{U: e.V, V: e.U})
+			}
+		}
+		return graph.FromEdges(n, arcs, true, graph.BuildOptions{})
+	}
+	return graph.FromEdges(n, kept, false, graph.BuildOptions{})
+}
+
+// TriGrid returns a triangulated grid (grid plus one diagonal per cell) —
+// the analogue of the "huge traces" (TRCE) planar mesh: planar,
+// degree-bounded, diameter Θ(rows+cols).
+func TriGrid(rows, cols int) *graph.Graph {
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	var edges []graph.Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+			if r+1 < rows && c+1 < cols {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c+1)})
+			}
+		}
+	}
+	return graph.FromEdges(rows*cols, edges, false, graph.BuildOptions{})
+}
+
+// PerforatedGrid returns a grid graph with square holes punched out on a
+// coarse lattice — the analogue of the "huge bubbles" (BBL) mesh: a planar
+// mesh whose holes force traversals around obstacles, inflating the
+// diameter beyond the plain grid's.
+func PerforatedGrid(rows, cols, holePeriod, holeSize int, seed uint64) *graph.Graph {
+	if holePeriod <= holeSize {
+		panic("gen: holePeriod must exceed holeSize")
+	}
+	inHole := func(r, c int) bool {
+		hr, hc := r%holePeriod, c%holePeriod
+		if hr >= holePeriod-holeSize || hc >= holePeriod-holeSize {
+			return false
+		}
+		// Offset each hole block pseudo-randomly so holes are irregular.
+		br, bc := r/holePeriod, c/holePeriod
+		off := int(rnd(seed, uint64(br), uint64(bc)) % uint64(holePeriod-holeSize))
+		return hr >= off && hr < off+holeSize && hc >= off && hc < off+holeSize
+	}
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	var edges []graph.Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if inHole(r, c) {
+				continue
+			}
+			if c+1 < cols && !inHole(r, c+1) {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1)})
+			}
+			if r+1 < rows && !inHole(r+1, c) {
+				edges = append(edges, graph.Edge{U: id(r, c), V: id(r+1, c)})
+			}
+		}
+	}
+	return graph.FromEdges(rows*cols, edges, false, graph.BuildOptions{})
+}

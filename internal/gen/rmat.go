@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// RMAT samples n = 2^scale vertices and edgeFactor*n edges from the
+// recursive-matrix distribution with quadrant probabilities (a,b,c,
+// 1-a-b-c), with per-level noise. With the classic (0.57,0.19,0.19)
+// parameters it produces the skewed-degree, small-diameter graphs that
+// stand in for the paper's social networks (LJ, OK, TW, FS, FB).
+// Vertex ids are scrambled by a fixed permutation so locality artifacts of
+// the quadrant recursion do not leak into CSR layout.
+func RMAT(scale int, edgeFactor int, a, b, c float64, directed bool, seed uint64) *graph.Graph {
+	n := 1 << scale
+	m := edgeFactor * n
+	edges := make([]graph.Edge, m)
+	parallel.For(m, 0, func(i int) {
+		var u, v uint64
+		for lvl := 0; lvl < scale; lvl++ {
+			// Noise keeps repeated quadrants from collapsing onto v0.
+			r := rndFloat(seed, uint64(i), uint64(lvl))
+			noise := 0.9 + 0.2*rndFloat(seed+1, uint64(i), uint64(lvl))
+			aa := a * noise
+			bb := b * (2 - noise)
+			cc := c * (2 - noise)
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < aa:
+				// quadrant (0,0)
+			case r < aa+bb:
+				v |= 1
+			case r < aa+bb+cc:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		// Scramble ids.
+		u = hash64(u^seed) % uint64(n)
+		v = hash64(v^(seed+17)) % uint64(n)
+		edges[i] = graph.Edge{U: uint32(u), V: uint32(v)}
+	})
+	return graph.FromEdges(n, edges, directed, graph.BuildOptions{})
+}
+
+// SocialRMAT is RMAT with the Graph500 parameters — the social-network
+// analogue used for LJ/OK/TW/FS/FB.
+func SocialRMAT(scale, edgeFactor int, directed bool, seed uint64) *graph.Graph {
+	return RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, directed, seed)
+}
+
+// WebLike models the bow-tie structure of web crawls (WK, SD, CW, HL14,
+// HL12): a dense RMAT core plus long directed "tendril" paths hanging off
+// random core pages. The tendrils raise the diameter to the hundreds (as in
+// CW/HL14) or thousands (HL12) while the core stays power-law — exactly the
+// regime where level-synchronous systems start paying Θ(D) synchronizations.
+//
+// n is the total vertex count; tendrilFrac the fraction of vertices living
+// in tendrils; tendrilLen the length of each tendril path.
+func WebLike(n int, edgeFactor int, tendrilFrac float64, tendrilLen int, seed uint64) *graph.Graph {
+	if tendrilLen < 1 {
+		tendrilLen = 1
+	}
+	tn := int(float64(n) * tendrilFrac)
+	tn -= tn % tendrilLen // whole tendrils only
+	coreN := n - tn
+	scale := 0
+	for 1<<scale < coreN {
+		scale++
+	}
+	coreM := edgeFactor * coreN
+	numTendrils := tn / tendrilLen
+
+	edges := make([]graph.Edge, 0, coreM+tn+numTendrils)
+	// Core: RMAT sampled directly into [0, coreN).
+	core := make([]graph.Edge, coreM)
+	parallel.For(coreM, 0, func(i int) {
+		var u, v uint64
+		for lvl := 0; lvl < scale; lvl++ {
+			r := rndFloat(seed, uint64(i), uint64(lvl))
+			u <<= 1
+			v <<= 1
+			switch {
+			case r < 0.57:
+			case r < 0.76:
+				v |= 1
+			case r < 0.95:
+				u |= 1
+			default:
+				u |= 1
+				v |= 1
+			}
+		}
+		u = hash64(u^seed) % uint64(coreN)
+		v = hash64(v^(seed+17)) % uint64(coreN)
+		core[i] = graph.Edge{U: uint32(u), V: uint32(v)}
+	})
+	edges = append(edges, core...)
+	// Tendrils: path t attached to a random core vertex; orientation of
+	// the whole tendril is random (in-tendril vs out-tendril, as in the
+	// web bow-tie).
+	for t := 0; t < numTendrils; t++ {
+		anchor := uint32(rnd(seed, uint64(t), 3) % uint64(coreN))
+		base := uint32(coreN + t*tendrilLen)
+		outward := rnd(seed, uint64(t), 4)&1 == 0
+		prev := anchor
+		for k := 0; k < tendrilLen; k++ {
+			cur := base + uint32(k)
+			if outward {
+				edges = append(edges, graph.Edge{U: prev, V: cur})
+			} else {
+				edges = append(edges, graph.Edge{U: cur, V: prev})
+			}
+			prev = cur
+		}
+		// Occasionally close the tendril back into the core so directed
+		// reachability (and SCC structure) crosses tendrils too.
+		if rnd(seed, uint64(t), 5)%4 == 0 {
+			back := uint32(rnd(seed, uint64(t), 6) % uint64(coreN))
+			if outward {
+				edges = append(edges, graph.Edge{U: prev, V: back})
+			} else {
+				edges = append(edges, graph.Edge{U: back, V: prev})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges, true, graph.BuildOptions{})
+}

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// Chain returns the path graph 0-1-...-n-1 (directed: i -> i+1). The
+// adversarial worst case for frontier-based algorithms discussed in §3 of
+// the paper ("may still be unable to eliminate the issue on adversarial
+// graphs (e.g., a chain)").
+func Chain(n int, directed bool) *graph.Graph {
+	edges := parallel.Tabulate(max(n-1, 0), func(i int) graph.Edge {
+		return graph.Edge{U: uint32(i), V: uint32(i + 1)}
+	})
+	return graph.FromEdges(n, edges, directed, graph.BuildOptions{})
+}
+
+// Cycle returns the n-cycle.
+func Cycle(n int, directed bool) *graph.Graph {
+	edges := parallel.Tabulate(n, func(i int) graph.Edge {
+		return graph.Edge{U: uint32(i), V: uint32((i + 1) % n)}
+	})
+	return graph.FromEdges(n, edges, directed, graph.BuildOptions{})
+}
+
+// Star returns the star with center 0 and n-1 leaves.
+func Star(n int) *graph.Graph {
+	edges := parallel.Tabulate(max(n-1, 0), func(i int) graph.Edge {
+		return graph.Edge{U: 0, V: uint32(i + 1)}
+	})
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// CompleteBinaryTree returns the complete binary tree on n vertices
+// (children of i are 2i+1 and 2i+2).
+func CompleteBinaryTree(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: uint32((i - 1) / 2), V: uint32(i)})
+	}
+	return graph.FromEdges(n, edges, false, graph.BuildOptions{})
+}
+
+// ER returns an Erdős–Rényi-style G(n, m) multigraph sample (m edge slots
+// drawn uniformly; self loops and duplicates are removed by the builder, so
+// the realized edge count is slightly below m).
+func ER(n, m int, directed bool, seed uint64) *graph.Graph {
+	edges := parallel.Tabulate(m, func(i int) graph.Edge {
+		return graph.Edge{
+			U: uint32(rnd(seed, uint64(i), 0) % uint64(n)),
+			V: uint32(rnd(seed, uint64(i), 1) % uint64(n)),
+		}
+	})
+	return graph.FromEdges(n, edges, directed, graph.BuildOptions{})
+}

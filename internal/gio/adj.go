@@ -1,0 +1,233 @@
+// Package gio reads and writes the graph file formats PASGAL supports: the
+// PBBS text adjacency format (.adj), a GBBS-style binary CSR format (.bin),
+// and plain edge lists (.el / .txt).
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"pasgal/internal/graph"
+)
+
+const (
+	adjHeader         = "AdjacencyGraph"
+	weightedAdjHeader = "WeightedAdjacencyGraph"
+)
+
+// WriteAdj writes g in the PBBS adjacency format:
+//
+//	AdjacencyGraph\n n\n m\n  <n offsets> <m edges> [<m weights>]
+//
+// one number per line. Weighted graphs use the WeightedAdjacencyGraph
+// header. Undirectedness is not encoded by the format; symmetric graphs
+// round-trip as symmetric arc sets (callers track directedness).
+func WriteAdj(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	header := adjHeader
+	if g.Weighted() {
+		header = weightedAdjHeader
+	}
+	if _, err := fmt.Fprintf(bw, "%s\n%d\n%d\n", header, g.N, len(g.Edges)); err != nil {
+		return err
+	}
+	var buf []byte
+	writeInt := func(v uint64) error {
+		buf = strconv.AppendUint(buf[:0], v, 10)
+		buf = append(buf, '\n')
+		_, err := bw.Write(buf)
+		return err
+	}
+	for v := 0; v < g.N; v++ {
+		if err := writeInt(g.Offsets[v]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges {
+		if err := writeInt(uint64(e)); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for _, wt := range g.Weights {
+			if err := writeInt(uint64(wt)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAdj parses the PBBS adjacency format. directed tells the reader how
+// to tag the result (the format itself does not store it).
+func ReadAdj(r io.Reader, directed bool) (*graph.Graph, error) {
+	tok := newTokenizer(r)
+	header, err := tok.word()
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading header: %w", err)
+	}
+	weighted := false
+	switch header {
+	case adjHeader:
+	case weightedAdjHeader:
+		weighted = true
+	default:
+		return nil, fmt.Errorf("gio: unknown header %q", header)
+	}
+	n, err := tok.uint()
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading n: %w", err)
+	}
+	m, err := tok.uint()
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading m: %w", err)
+	}
+	if n >= 1<<40 || m >= 1<<42 {
+		return nil, fmt.Errorf("gio: implausible header (n=%d, m=%d)", n, m)
+	}
+	g := &graph.Graph{
+		N:        int(n),
+		Offsets:  make([]uint64, 0, min(n+1, 1<<20)),
+		Edges:    make([]uint32, 0, min(m, 1<<20)),
+		Directed: directed,
+	}
+	// Grow-with-the-data parsing: a lying header fails at EOF before any
+	// oversized allocation.
+	for v := uint64(0); v < n; v++ {
+		o, err := tok.uint()
+		if err != nil {
+			return nil, fmt.Errorf("gio: offset %d: %w", v, err)
+		}
+		g.Offsets = append(g.Offsets, o)
+	}
+	g.Offsets = append(g.Offsets, m)
+	for i := uint64(0); i < m; i++ {
+		e, err := tok.uint()
+		if err != nil {
+			return nil, fmt.Errorf("gio: edge %d: %w", i, err)
+		}
+		if e >= n {
+			return nil, fmt.Errorf("gio: edge target %d out of range (n=%d)", e, n)
+		}
+		g.Edges = append(g.Edges, uint32(e))
+	}
+	if weighted {
+		g.Weights = make([]uint32, 0, min(m, 1<<20))
+		for i := uint64(0); i < m; i++ {
+			wt, err := tok.uint()
+			if err != nil {
+				return nil, fmt.Errorf("gio: weight %d: %w", i, err)
+			}
+			g.Weights = append(g.Weights, uint32(wt))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: %w", err)
+	}
+	// The format stores a raw arc set; claiming it is undirected is only
+	// sound if every arc has its reverse. Catch the mismatch here rather
+	// than letting undirected-only algorithms silently misbehave.
+	if !directed && !g.IsSymmetric() {
+		return nil, fmt.Errorf("gio: adjacency is not symmetric; load it as directed and symmetrize")
+	}
+	return g, nil
+}
+
+// WriteAdjFile writes g to path in .adj format.
+func WriteAdjFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAdj(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadAdjFile reads an .adj file.
+func ReadAdjFile(path string, directed bool) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAdj(bufio.NewReaderSize(f, 1<<20), directed)
+}
+
+// tokenizer scans whitespace-separated tokens without per-token
+// allocations.
+type tokenizer struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newTokenizer(r io.Reader) *tokenizer {
+	return &tokenizer{r: bufio.NewReaderSize(r, 1<<20)}
+}
+
+func (t *tokenizer) skipSpace() error {
+	for {
+		b, err := t.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		if b != ' ' && b != '\n' && b != '\t' && b != '\r' {
+			return t.r.UnreadByte()
+		}
+	}
+}
+
+func (t *tokenizer) word() (string, error) {
+	if err := t.skipSpace(); err != nil {
+		return "", err
+	}
+	t.buf = t.buf[:0]
+	for {
+		b, err := t.r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", err
+		}
+		if b == ' ' || b == '\n' || b == '\t' || b == '\r' {
+			break
+		}
+		t.buf = append(t.buf, b)
+	}
+	return string(t.buf), nil
+}
+
+func (t *tokenizer) uint() (uint64, error) {
+	if err := t.skipSpace(); err != nil {
+		return 0, err
+	}
+	var v uint64
+	seen := false
+	for {
+		b, err := t.r.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if b < '0' || b > '9' {
+			if b == ' ' || b == '\n' || b == '\t' || b == '\r' {
+				break
+			}
+			return 0, fmt.Errorf("unexpected byte %q in number", b)
+		}
+		v = v*10 + uint64(b-'0')
+		seen = true
+	}
+	if !seen {
+		return 0, io.ErrUnexpectedEOF
+	}
+	return v, nil
+}

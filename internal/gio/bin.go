@@ -1,0 +1,201 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"pasgal/internal/graph"
+)
+
+// Binary CSR format (GBBS-style: header + raw offset/edge arrays, little
+// endian):
+//
+//	magic   [8]byte  "PASGAL01"
+//	flags   uint64   bit0 = directed, bit1 = weighted
+//	n       uint64
+//	m       uint64
+//	offsets (n+1) x uint64
+//	edges   m x uint32
+//	weights m x uint32   (if weighted)
+var binMagic = [8]byte{'P', 'A', 'S', 'G', 'A', 'L', '0', '1'}
+
+const (
+	flagDirected = 1 << 0
+	flagWeighted = 1 << 1
+)
+
+// WriteBin writes g in the binary CSR format.
+func WriteBin(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	var flags uint64
+	if g.Directed {
+		flags |= flagDirected
+	}
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint64(hdr[0:], flags)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.N))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeUint64s(bw, g.Offsets); err != nil {
+		return err
+	}
+	if err := writeUint32s(bw, g.Edges); err != nil {
+		return err
+	}
+	if g.Weighted() {
+		if err := writeUint32s(bw, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBin reads the binary CSR format.
+func ReadBin(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("gio: reading magic: %w", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("gio: bad magic %q", magic[:])
+	}
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("gio: reading header: %w", err)
+	}
+	flags := binary.LittleEndian.Uint64(hdr[0:])
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	m := binary.LittleEndian.Uint64(hdr[16:])
+	if n >= 1<<40 || m >= 1<<42 {
+		return nil, fmt.Errorf("gio: implausible header (n=%d, m=%d)", n, m)
+	}
+	// Arrays are read incrementally (growing with the data actually
+	// present) so a corrupt header cannot force a huge allocation before
+	// the stream runs dry.
+	offsets, err := readUint64sIncr(br, n+1)
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading offsets: %w", err)
+	}
+	edges, err := readUint32sIncr(br, m)
+	if err != nil {
+		return nil, fmt.Errorf("gio: reading edges: %w", err)
+	}
+	g := &graph.Graph{
+		N:        int(n),
+		Offsets:  offsets,
+		Edges:    edges,
+		Directed: flags&flagDirected != 0,
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights, err = readUint32sIncr(br, m)
+		if err != nil {
+			return nil, fmt.Errorf("gio: reading weights: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: %w", err)
+	}
+	return g, nil
+}
+
+// WriteBinFile writes g to path in .bin format.
+func WriteBinFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBin(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBinFile reads a .bin file.
+func ReadBinFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBin(f)
+}
+
+const ioChunk = 1 << 14
+
+func writeUint64s(w io.Writer, vals []uint64) error {
+	buf := make([]byte, 8*ioChunk)
+	for len(vals) > 0 {
+		k := min(len(vals), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], vals[i])
+		}
+		if _, err := w.Write(buf[:8*k]); err != nil {
+			return err
+		}
+		vals = vals[k:]
+	}
+	return nil
+}
+
+func writeUint32s(w io.Writer, vals []uint32) error {
+	buf := make([]byte, 4*ioChunk)
+	for len(vals) > 0 {
+		k := min(len(vals), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], vals[i])
+		}
+		if _, err := w.Write(buf[:4*k]); err != nil {
+			return err
+		}
+		vals = vals[k:]
+	}
+	return nil
+}
+
+// readUint64sIncr reads exactly count values, growing the result slice as
+// data arrives so truncated input fails before large allocations.
+func readUint64sIncr(r io.Reader, count uint64) ([]uint64, error) {
+	out := make([]uint64, 0, min(count, ioChunk))
+	buf := make([]byte, 8*ioChunk)
+	for remaining := count; remaining > 0; {
+		k := min(remaining, ioChunk)
+		if _, err := io.ReadFull(r, buf[:8*k]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		remaining -= k
+	}
+	return out, nil
+}
+
+// readUint32sIncr is readUint64sIncr for uint32 values.
+func readUint32sIncr(r io.Reader, count uint64) ([]uint32, error) {
+	out := make([]uint32, 0, min(count, ioChunk))
+	buf := make([]byte, 4*ioChunk)
+	for remaining := count; remaining > 0; {
+		k := min(remaining, ioChunk)
+		if _, err := io.ReadFull(r, buf[:4*k]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < k; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+		remaining -= k
+	}
+	return out, nil
+}

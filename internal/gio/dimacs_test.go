@@ -1,0 +1,67 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pasgal/internal/gen"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := gen.AddUniformWeights(gen.SampledGrid(10, 10, 0.9, true, 1), 1, 100, 2)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("dimacs round trip mismatch")
+	}
+}
+
+func TestDIMACSParsing(t *testing.T) {
+	in := `c road network
+c more comments
+p sp 4 3
+a 1 2 10
+a 2 3 20
+a 4 1 5
+`
+	g, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 3 || !g.Directed || !g.Weighted() {
+		t.Fatalf("parsed %v", g)
+	}
+	e := g.FindArc(0, 1)
+	if e == ^uint64(0) || g.Weights[e] != 10 {
+		t.Fatal("arc (1,2,10) lost")
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem":   "a 1 2 3\n",
+		"double p":     "p sp 2 0\np sp 2 0\n",
+		"wrong kind":   "p max 2 1\na 1 2 3\n",
+		"out of range": "p sp 2 1\na 1 5 3\n",
+		"count":        "p sp 2 5\na 1 2 3\n",
+		"record":       "p sp 2 1\nz 1 2\n",
+		"missing":      "c only comments\n",
+		"huge":         "p sp 99999999999999999 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	// Unweighted graphs cannot be written.
+	if err := WriteDIMACS(&bytes.Buffer{}, gen.Chain(3, true)); err == nil {
+		t.Fatal("expected error writing unweighted graph")
+	}
+}

@@ -1,0 +1,89 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pasgal/internal/graph"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" or "u v w"
+// per line; lines starting with '#' or '%' are comments). n < 0 infers the
+// vertex count as max id + 1.
+func ReadEdgeList(r io.Reader, n int, directed bool) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	weighted := false
+	maxID := uint32(0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("gio: line %d: need at least 2 fields", lineNo)
+		}
+		var u, v, w uint64
+		if _, err := fmt.Sscan(f[0], &u); err != nil {
+			return nil, fmt.Errorf("gio: line %d: %w", lineNo, err)
+		}
+		if _, err := fmt.Sscan(f[1], &v); err != nil {
+			return nil, fmt.Errorf("gio: line %d: %w", lineNo, err)
+		}
+		if len(f) >= 3 {
+			if _, err := fmt.Sscan(f[2], &w); err != nil {
+				return nil, fmt.Errorf("gio: line %d: %w", lineNo, err)
+			}
+			weighted = true
+		}
+		e := graph.Edge{U: uint32(u), V: uint32(v), W: uint32(w)}
+		if e.U > maxID {
+			maxID = e.U
+		}
+		if e.V > maxID {
+			maxID = e.V
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		if len(edges) == 0 {
+			n = 0
+		} else {
+			n = int(maxID) + 1
+		}
+	}
+	return graph.FromEdges(n, edges, directed, graph.BuildOptions{Weighted: weighted}), nil
+}
+
+// WriteEdgeList writes each arc once as "u v" (or "u v w"), in CSR order.
+// For symmetric graphs each undirected edge is written once (u < v).
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for u := uint32(0); u < uint32(g.N); u++ {
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			v := g.Edges[e]
+			if !g.Directed && v < u {
+				continue
+			}
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", u, v, g.Weights[e])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package gio
+
+import (
+	"errors"
+	"testing"
+
+	"pasgal/internal/gen"
+)
+
+// failingWriter errors after allowing n bytes through — exercising every
+// writer's error-propagation branches.
+type failingWriter struct{ remaining int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) <= w.remaining {
+		w.remaining -= len(p)
+		return len(p), nil
+	}
+	n := w.remaining
+	w.remaining = 0
+	return n, errors.New("disk full")
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(20, 20, false, 1), 1, 9, 2)
+	writers := map[string]func(*failingWriter) error{
+		"adj":    func(w *failingWriter) error { return WriteAdj(w, g) },
+		"bin":    func(w *failingWriter) error { return WriteBin(w, g) },
+		"mtx":    func(w *failingWriter) error { return WriteMTX(w, g) },
+		"el":     func(w *failingWriter) error { return WriteEdgeList(w, g) },
+		"dimacs": func(w *failingWriter) error { return WriteDIMACS(w, g) },
+	}
+	// Fail at several cut points: header, mid-array, near the end — scaled
+	// to each format's actual encoded size.
+	for name, write := range writers {
+		full := &captureWriter{}
+		switch name {
+		case "adj":
+			_ = WriteAdj(full, g)
+		case "bin":
+			_ = WriteBin(full, g)
+		case "mtx":
+			_ = WriteMTX(full, g)
+		case "el":
+			_ = WriteEdgeList(full, g)
+		case "dimacs":
+			_ = WriteDIMACS(full, g)
+		}
+		size := len(full.buf)
+		for _, allow := range []int{0, 10, size / 2, size - 1} {
+			if err := write(&failingWriter{remaining: allow}); err == nil {
+				t.Fatalf("%s: expected error with %d-byte budget (full size %d)",
+					name, allow, size)
+			}
+		}
+	}
+}
+
+func TestFileHelperErrors(t *testing.T) {
+	g := gen.Grid2D(4, 4, false, 1)
+	for name, fn := range map[string]func() error{
+		"adj write": func() error { return WriteAdjFile("/nonexistent-dir/x.adj", g) },
+		"bin write": func() error { return WriteBinFile("/nonexistent-dir/x.bin", g) },
+	} {
+		if fn() == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+	if _, err := ReadAdjFile("/nonexistent-dir/x.adj", false); err == nil {
+		t.Fatal("adj read: expected error")
+	}
+	if _, err := ReadBinFile("/nonexistent-dir/x.bin"); err == nil {
+		t.Fatal("bin read: expected error")
+	}
+	// Reading a directory as a graph errors too.
+	dir := t.TempDir()
+	if _, err := ReadBinFile(dir); err == nil {
+		t.Fatal("reading a directory should fail")
+	}
+}
+
+func TestReadBinTruncation(t *testing.T) {
+	// A valid header followed by truncated arrays must error, not hang or
+	// over-allocate.
+	g := gen.Grid2D(30, 30, false, 1)
+	var full []byte
+	{
+		w := &captureWriter{}
+		if err := WriteBin(w, g); err != nil {
+			t.Fatal(err)
+		}
+		full = w.buf
+	}
+	for _, cut := range []int{8, 30, 33, len(full) / 2, len(full) - 1} {
+		if _, err := readBinBytes(full[:cut]); err == nil {
+			t.Fatalf("expected error at cut %d", cut)
+		}
+	}
+	if _, err := readBinBytes(full); err != nil {
+		t.Fatalf("full data should parse: %v", err)
+	}
+}
+
+type captureWriter struct{ buf []byte }
+
+func (w *captureWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func readBinBytes(b []byte) (any, error) {
+	g, err := ReadBin(&sliceReader{b: b})
+	return g, err
+}
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}

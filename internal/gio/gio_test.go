@@ -1,0 +1,156 @@
+package gio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N != b.N || len(a.Edges) != len(b.Edges) || a.Directed != b.Directed ||
+		a.Weighted() != b.Weighted() {
+		return false
+	}
+	for i := range a.Offsets {
+		if a.Offsets[i] != b.Offsets[i] {
+			return false
+		}
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			return false
+		}
+		if a.Weighted() && a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAdjRoundTrip(t *testing.T) {
+	g := gen.SocialRMAT(8, 6, true, 1)
+	var buf bytes.Buffer
+	if err := WriteAdj(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdj(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("adj round trip mismatch")
+	}
+}
+
+func TestAdjWeightedRoundTrip(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(15, 15, false, 1), 1, 50, 2)
+	var buf bytes.Buffer
+	if err := WriteAdj(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "WeightedAdjacencyGraph\n") {
+		t.Fatal("missing weighted header")
+	}
+	got, err := ReadAdj(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("weighted adj round trip mismatch")
+	}
+}
+
+func TestAdjRejectsGarbage(t *testing.T) {
+	if _, err := ReadAdj(strings.NewReader("NotAGraph\n1\n0\n0\n"), false); err == nil {
+		t.Fatal("expected header error")
+	}
+	if _, err := ReadAdj(strings.NewReader("AdjacencyGraph\n2\n1\n0\n0\n9\n"), false); err == nil {
+		t.Fatal("expected out-of-range edge error")
+	}
+	if _, err := ReadAdj(strings.NewReader("AdjacencyGraph\n2\n"), false); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestBinRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		gen.SocialRMAT(8, 6, true, 3),
+		gen.AddUniformWeights(gen.Grid2D(10, 20, false, 4), 1, 9, 5),
+		graph.FromEdges(0, nil, true, graph.BuildOptions{}),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBin(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBin(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("bin round trip mismatch for %v", g)
+		}
+	}
+}
+
+func TestBinRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBin(bytes.NewReader([]byte("WRONGMAGICxxxxxxxxxxxxxxxxxxxxxx"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	dir := t.TempDir()
+	g := gen.Grid2D(8, 8, false, 1)
+	adjPath := filepath.Join(dir, "g.adj")
+	binPath := filepath.Join(dir, "g.bin")
+	if err := WriteAdjFile(adjPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	ga, err := ReadAdjFile(adjPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := ReadBinFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, ga) || !graphsEqual(g, gb) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(6, 6, false, 1), 1, 10, 2)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, g.N, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("edge list round trip mismatch")
+	}
+}
+
+func TestEdgeListParsing(t *testing.T) {
+	in := "# comment\n% another\n0 1\n\n1 2\n3 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0\n"), -1, true); err == nil {
+		t.Fatal("expected field-count error")
+	}
+}

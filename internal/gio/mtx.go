@@ -1,0 +1,125 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pasgal/internal/graph"
+)
+
+// ReadMTX parses a MatrixMarket coordinate file as a graph: rows/columns
+// are vertices (the matrix must be square), entries are edges, and the
+// "symmetric" qualifier selects an undirected graph. Entry values, when
+// present and integral, become edge weights; pattern matrices are
+// unweighted. MatrixMarket uses 1-based indices.
+func ReadMTX(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+	if !sc.Scan() {
+		return nil, fmt.Errorf("gio: empty mtx file")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" ||
+		header[2] != "coordinate" {
+		return nil, fmt.Errorf("gio: unsupported mtx header %q", sc.Text())
+	}
+	field, symmetry := header[3], header[4]
+	weighted := field == "integer" || field == "real"
+	directed := symmetry == "general"
+	if symmetry != "general" && symmetry != "symmetric" {
+		return nil, fmt.Errorf("gio: unsupported mtx symmetry %q", symmetry)
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int64
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("gio: mtx size line: %w", err)
+		}
+		break
+	}
+	if rows != cols {
+		return nil, fmt.Errorf("gio: mtx matrix is %dx%d, need square", rows, cols)
+	}
+	edges := make([]graph.Edge, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '%' {
+			continue
+		}
+		var u, v int64
+		var w float64 = 1
+		var err error
+		if weighted {
+			_, err = fmt.Sscan(line, &u, &v, &w)
+		} else {
+			_, err = fmt.Sscan(line, &u, &v)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gio: mtx entry %q: %w", line, err)
+		}
+		if u < 1 || u > rows || v < 1 || v > rows {
+			return nil, fmt.Errorf("gio: mtx entry (%d,%d) out of range", u, v)
+		}
+		wt := uint32(w)
+		if w < 0 {
+			wt = 0
+		}
+		edges = append(edges, graph.Edge{U: uint32(u - 1), V: uint32(v - 1), W: wt})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if int64(len(edges)) != nnz {
+		return nil, fmt.Errorf("gio: mtx has %d entries, header says %d", len(edges), nnz)
+	}
+	return graph.FromEdges(int(rows), edges, directed,
+		graph.BuildOptions{Weighted: weighted}), nil
+}
+
+// WriteMTX writes g as a MatrixMarket coordinate file (pattern or integer
+// field; general or symmetric depending on g.Directed).
+func WriteMTX(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	field := "pattern"
+	if g.Weighted() {
+		field = "integer"
+	}
+	symmetry := "general"
+	if !g.Directed {
+		symmetry = "symmetric"
+	}
+	nnz := len(g.Edges)
+	if !g.Directed {
+		nnz /= 2
+	}
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s %s\n%d %d %d\n",
+		field, symmetry, g.N, g.N, nnz); err != nil {
+		return err
+	}
+	for u := uint32(0); u < uint32(g.N); u++ {
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			v := g.Edges[e]
+			if !g.Directed && v < u {
+				continue
+			}
+			var err error
+			if g.Weighted() {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", u+1, v+1, g.Weights[e])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u+1, v+1)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,77 @@
+package gio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pasgal/internal/gen"
+)
+
+func TestMTXRoundTripDirected(t *testing.T) {
+	g := gen.SocialRMAT(8, 4, true, 1)
+	var buf bytes.Buffer
+	if err := WriteMTX(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "%%MatrixMarket matrix coordinate pattern general") {
+		t.Fatalf("header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadMTX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("mtx directed round trip mismatch")
+	}
+}
+
+func TestMTXRoundTripSymmetricWeighted(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(8, 8, false, 1), 1, 9, 2)
+	var buf bytes.Buffer
+	if err := WriteMTX(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "integer symmetric") {
+		t.Fatal("expected integer symmetric header")
+	}
+	got, err := ReadMTX(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("mtx symmetric round trip mismatch")
+	}
+}
+
+func TestMTXParsing(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment
+3 3 2
+1 2
+3 1
+`
+	g, err := ReadMTX(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.UndirectedM() != 2 || g.Directed {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestMTXErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "%%MatrixMarket matrix array real general\n2 2 0\n",
+		"not square": "%%MatrixMarket matrix coordinate pattern general\n2 3 0\n",
+		"bad range":  "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n5 1\n",
+		"bad count":  "%%MatrixMarket matrix coordinate pattern general\n2 2 5\n1 2\n",
+		"symmetry":   "%%MatrixMarket matrix coordinate pattern hermitian\n2 2 0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMTX(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,459 @@
+// Package graph provides the compressed-sparse-row graph representation
+// shared by every algorithm in the library, together with parallel builders
+// (edge list -> CSR), transforms (transpose, symmetrize), and statistics
+// (including the sampled diameter estimates reported in the paper's
+// Table 1).
+//
+// Vertices are uint32 ids in [0, N). Edge weights, when present, are uint32
+// and stored parallel to the adjacency array. Adjacency lists are sorted and
+// deduplicated, and self-loops are dropped by the builders; several
+// algorithms (biconnectivity in particular) rely on these invariants.
+package graph
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pasgal/internal/parallel"
+)
+
+// atomicAddInt64 is a shorthand for atomic.AddInt64 on a slice element.
+func atomicAddInt64(p *int64, delta int64) int64 {
+	return atomic.AddInt64(p, delta)
+}
+
+// None is the "no vertex" sentinel.
+const None = ^uint32(0)
+
+// InfDist is the "unreached" distance sentinel used by the traversal
+// algorithms in this module tree.
+const InfDist = ^uint32(0)
+
+// Edge is a directed (or, in symmetric graphs, canonical) edge with an
+// optional weight.
+type Edge struct {
+	U, V uint32
+	W    uint32
+}
+
+// Graph is a CSR graph. For directed graphs, Edges holds out-neighbors;
+// in-neighbors are available through Transpose. For undirected graphs every
+// edge appears as two arcs and Transpose returns the graph itself.
+type Graph struct {
+	N        int
+	Offsets  []uint64 // length N+1
+	Edges    []uint32 // length M
+	Weights  []uint32 // nil if unweighted, else length M
+	Directed bool
+
+	tr *Graph // cached transpose
+}
+
+// M returns the number of arcs (directed edges) stored.
+func (g *Graph) M() int { return len(g.Edges) }
+
+// UndirectedM returns the number of undirected edges in a symmetric graph
+// (M/2). It panics on directed graphs.
+func (g *Graph) UndirectedM() int {
+	if g.Directed {
+		panic("graph: UndirectedM on a directed graph")
+	}
+	return len(g.Edges) / 2
+}
+
+// Degree returns the out-degree of v.
+func (g *Graph) Degree(v uint32) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the out-neighbor slice of v (do not modify).
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weight slice parallel to Neighbors(v).
+func (g *Graph) NeighborWeights(v uint32) []uint32 {
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Weighted reports whether the graph carries edge weights.
+func (g *Graph) Weighted() bool { return g.Weights != nil }
+
+func (g *Graph) String() string {
+	kind := "undirected"
+	m := len(g.Edges) / 2
+	if g.Directed {
+		kind = "directed"
+		m = len(g.Edges)
+	}
+	w := ""
+	if g.Weighted() {
+		w = " weighted"
+	}
+	return fmt.Sprintf("%s%s graph: n=%d m=%d", kind, w, g.N, m)
+}
+
+// BuildOptions controls FromEdges.
+type BuildOptions struct {
+	// Symmetrize adds the reverse of every edge and marks the graph
+	// undirected.
+	Symmetrize bool
+	// KeepSelfLoops retains u->u edges (dropped by default).
+	KeepSelfLoops bool
+	// KeepDuplicates retains parallel edges (deduplicated by default; for
+	// weighted graphs the copy with the smallest weight wins).
+	KeepDuplicates bool
+	// Weighted stores edge weights.
+	Weighted bool
+}
+
+// FromEdges builds a CSR graph from an edge list in parallel: count degrees,
+// scan offsets, scatter, then sort + dedup each adjacency list and compact.
+func FromEdges(n int, edges []Edge, directed bool, opt BuildOptions) *Graph {
+	if directed && opt.Symmetrize {
+		panic("graph: Symmetrize requires directed=false")
+	}
+	arcs := edges
+	if opt.Symmetrize || !directed {
+		// Undirected: materialize both arcs.
+		arcs = make([]Edge, 0, 2*len(edges))
+		arcs = arcs[:2*len(edges)]
+		parallel.For(len(edges), 0, func(i int) {
+			arcs[2*i] = edges[i]
+			arcs[2*i+1] = Edge{U: edges[i].V, V: edges[i].U, W: edges[i].W}
+		})
+	}
+
+	// Degree count.
+	deg := make([]int64, n)
+	parallel.ForRange(len(arcs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := arcs[i]
+			if e.U >= uint32(n) || e.V >= uint32(n) {
+				panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+			}
+			if !opt.KeepSelfLoops && e.U == e.V {
+				continue
+			}
+			atomicAddInt64(&deg[e.U], 1)
+		}
+	})
+	offsets := make([]uint64, n+1)
+	var running int64
+	for v := 0; v < n; v++ {
+		offsets[v] = uint64(running)
+		running += deg[v]
+	}
+	offsets[n] = uint64(running)
+
+	dst := make([]uint32, running)
+	var wts []uint32
+	if opt.Weighted {
+		wts = make([]uint32, running)
+	}
+	cursor := make([]int64, n)
+	parallel.Copy(cursor, offsetsToInt64(offsets[:n]))
+	parallel.ForRange(len(arcs), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := arcs[i]
+			if !opt.KeepSelfLoops && e.U == e.V {
+				continue
+			}
+			at := atomicAddInt64(&cursor[e.U], 1) - 1
+			dst[at] = e.V
+			if wts != nil {
+				wts[at] = e.W
+			}
+		}
+	})
+
+	g := &Graph{N: n, Offsets: offsets, Edges: dst, Weights: wts,
+		Directed: directed && !opt.Symmetrize}
+	g.sortAdjacency()
+	if !opt.KeepDuplicates {
+		g.dedup()
+	}
+	return g
+}
+
+func offsetsToInt64(off []uint64) []int64 {
+	out := make([]int64, len(off))
+	parallel.For(len(off), 0, func(i int) { out[i] = int64(off[i]) })
+	return out
+}
+
+// sortAdjacency sorts each adjacency list (with weights permuted along).
+func (g *Graph) sortAdjacency() {
+	parallel.For(g.N, 64, func(v int) {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		if hi-lo < 2 {
+			return
+		}
+		adj := g.Edges[lo:hi]
+		if g.Weights == nil {
+			insertionSortU32(adj, nil)
+		} else {
+			insertionSortU32(adj, g.Weights[lo:hi])
+		}
+	})
+}
+
+// insertionSortU32 sorts adj ascending, permuting w alongside. Adjacency
+// lists are short on the sparse graphs this library targets; for long lists
+// it falls back to a simple binary-insertion-free heapsort-style approach is
+// unnecessary — we shell sort to keep worst cases tame.
+func insertionSortU32(adj []uint32, w []uint32) {
+	// Shell sort with Ciura-ish gaps; O(n^(4/3))-ish, fine for adjacency
+	// lists and allocation-free (important inside a parallel loop).
+	n := len(adj)
+	gaps := [...]int{57, 23, 10, 4, 1}
+	for _, gap := range gaps {
+		if gap >= n {
+			continue
+		}
+		for i := gap; i < n; i++ {
+			a := adj[i]
+			var wi uint32
+			if w != nil {
+				wi = w[i]
+			}
+			j := i
+			for j >= gap && adj[j-gap] > a {
+				adj[j] = adj[j-gap]
+				if w != nil {
+					w[j] = w[j-gap]
+				}
+				j -= gap
+			}
+			adj[j] = a
+			if w != nil {
+				w[j] = wi
+			}
+		}
+	}
+}
+
+// dedup removes duplicate neighbors (keeping the minimum weight) and
+// rebuilds the CSR arrays compactly.
+func (g *Graph) dedup() {
+	newDeg := make([]int64, g.N)
+	parallel.For(g.N, 64, func(v int) {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		var d int64
+		var prev uint32 = None
+		for i := lo; i < hi; i++ {
+			if g.Edges[i] != prev {
+				d++
+				prev = g.Edges[i]
+			}
+		}
+		newDeg[v] = d
+	})
+	total := parallel.Sum(g.N, func(v int) int64 { return newDeg[v] })
+	if total == int64(len(g.Edges)) {
+		return // nothing to do
+	}
+	newOff := make([]uint64, g.N+1)
+	var running int64
+	for v := 0; v < g.N; v++ {
+		newOff[v] = uint64(running)
+		running += newDeg[v]
+	}
+	newOff[g.N] = uint64(running)
+	newEdges := make([]uint32, running)
+	var newW []uint32
+	if g.Weights != nil {
+		newW = make([]uint32, running)
+	}
+	parallel.For(g.N, 64, func(v int) {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		at := newOff[v]
+		var prev uint32 = None
+		for i := lo; i < hi; i++ {
+			if g.Edges[i] != prev {
+				prev = g.Edges[i]
+				newEdges[at] = prev
+				if newW != nil {
+					newW[at] = g.Weights[i]
+				}
+				at++
+			} else if newW != nil && g.Weights[i] < newW[at-1] {
+				newW[at-1] = g.Weights[i] // min weight wins
+			}
+		}
+	})
+	g.Offsets, g.Edges, g.Weights = newOff, newEdges, newW
+}
+
+// Transpose returns the reverse graph (in-neighbors). For undirected graphs
+// it returns g itself. The result is cached.
+func (g *Graph) Transpose() *Graph {
+	if !g.Directed {
+		return g
+	}
+	if g.tr != nil {
+		return g.tr
+	}
+	deg := make([]int64, g.N)
+	parallel.ForRange(len(g.Edges), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomicAddInt64(&deg[g.Edges[i]], 1)
+		}
+	})
+	off := make([]uint64, g.N+1)
+	var running int64
+	for v := 0; v < g.N; v++ {
+		off[v] = uint64(running)
+		running += deg[v]
+	}
+	off[g.N] = uint64(running)
+	edges := make([]uint32, running)
+	var wts []uint32
+	if g.Weights != nil {
+		wts = make([]uint32, running)
+	}
+	cursor := make([]int64, g.N)
+	parallel.Copy(cursor, offsetsToInt64(off[:g.N]))
+	parallel.For(g.N, 64, func(u int) {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi; i++ {
+			v := g.Edges[i]
+			at := atomicAddInt64(&cursor[v], 1) - 1
+			edges[at] = uint32(u)
+			if wts != nil {
+				wts[at] = g.Weights[i]
+			}
+		}
+	})
+	tr := &Graph{N: g.N, Offsets: off, Edges: edges, Weights: wts, Directed: true}
+	tr.sortAdjacency()
+	tr.tr = g
+	g.tr = tr
+	return tr
+}
+
+// Symmetrized returns the undirected version of g (u~v iff u->v or v->u).
+// For undirected graphs it returns g itself.
+func (g *Graph) Symmetrized() *Graph {
+	if !g.Directed {
+		return g
+	}
+	edges := make([]Edge, len(g.Edges))
+	parallel.For(g.N, 64, func(u int) {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi; i++ {
+			var w uint32
+			if g.Weights != nil {
+				w = g.Weights[i]
+			}
+			edges[i] = Edge{U: uint32(u), V: g.Edges[i], W: w}
+		}
+	})
+	return FromEdges(g.N, edges, false, BuildOptions{
+		Symmetrize: false, Weighted: g.Weights != nil,
+	})
+}
+
+// ReverseArc returns the arc index of (v,u) given the arc index e of (u,v)
+// in a symmetric deduplicated graph, using binary search in v's sorted
+// adjacency list. Returns ^uint64(0) if absent.
+func (g *Graph) ReverseArc(u uint32, e uint64) uint64 {
+	v := g.Edges[e]
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Edges[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < g.Offsets[v+1] && g.Edges[lo] == u {
+		return lo
+	}
+	return ^uint64(0)
+}
+
+// FindArc returns the arc index of edge (u,v), or ^uint64(0) if absent.
+func (g *Graph) FindArc(u, v uint32) uint64 {
+	lo, hi := g.Offsets[u], g.Offsets[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.Edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < g.Offsets[u+1] && g.Edges[lo] == v {
+		return lo
+	}
+	return ^uint64(0)
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	if g.N == 0 {
+		return 0
+	}
+	return int(parallel.Max(g.N, func(v int) int64 {
+		return int64(g.Offsets[v+1] - g.Offsets[v])
+	}))
+}
+
+// AvgDegree returns the average out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.N == 0 {
+		return 0
+	}
+	return float64(len(g.Edges)) / float64(g.N)
+}
+
+// Validate checks structural invariants (monotone offsets, in-range
+// neighbors, sorted adjacency). Used by tests and the IO layer.
+func (g *Graph) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || g.Offsets[g.N] != uint64(len(g.Edges)) {
+		return fmt.Errorf("graph: offset endpoints invalid")
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Edges) {
+		return fmt.Errorf("graph: weights length mismatch")
+	}
+	var bad int64
+	bad = parallel.Sum(g.N, func(v int) int64 {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		if lo > hi || hi > uint64(len(g.Edges)) {
+			return 1
+		}
+		for i := lo; i < hi; i++ {
+			if g.Edges[i] >= uint32(g.N) {
+				return 1
+			}
+			if i > lo && g.Edges[i-1] > g.Edges[i] {
+				return 1
+			}
+		}
+		return 0
+	})
+	if bad != 0 {
+		return fmt.Errorf("graph: %d vertices with invalid adjacency", bad)
+	}
+	return nil
+}
+
+// IsSymmetric verifies that every arc has a reverse arc (expensive; test
+// helper).
+func (g *Graph) IsSymmetric() bool {
+	bad := parallel.Sum(g.N, func(u int) int64 {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		for i := lo; i < hi; i++ {
+			if g.ReverseArc(uint32(u), i) == ^uint64(0) {
+				return 1
+			}
+		}
+		return 0
+	})
+	return bad == 0
+}

@@ -1,0 +1,248 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasicDirected(t *testing.T) {
+	edges := []Edge{{0, 1, 0}, {0, 2, 0}, {1, 2, 0}, {2, 0, 0}}
+	g := FromEdges(3, edges, true, BuildOptions{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 1 {
+		t.Fatalf("bad degrees %d %d %d", g.Degree(0), g.Degree(1), g.Degree(2))
+	}
+	nb := g.Neighbors(0)
+	if nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors of 0: %v", nb)
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 0, 0}, {0, 1, 0}, {1, 1, 0}}, true, BuildOptions{})
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1 (self loops dropped)", g.M())
+	}
+	gk := FromEdges(3, []Edge{{0, 0, 0}, {0, 1, 0}}, true, BuildOptions{KeepSelfLoops: true})
+	if gk.M() != 2 {
+		t.Fatalf("M = %d, want 2 with KeepSelfLoops", gk.M())
+	}
+}
+
+func TestDuplicatesDeduped(t *testing.T) {
+	edges := []Edge{{0, 1, 9}, {0, 1, 3}, {0, 1, 7}, {0, 2, 1}}
+	g := FromEdges(3, edges, true, BuildOptions{Weighted: true})
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	// Min weight wins on dedup.
+	if g.NeighborWeights(0)[0] != 3 {
+		t.Fatalf("weight = %d, want 3", g.NeighborWeights(0)[0])
+	}
+	gk := FromEdges(3, edges, true, BuildOptions{Weighted: true, KeepDuplicates: true})
+	if gk.M() != 4 {
+		t.Fatalf("M = %d, want 4 with KeepDuplicates", gk.M())
+	}
+}
+
+func TestUndirectedBuildSymmetric(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {1, 2, 6}, {3, 0, 7}}
+	g := FromEdges(4, edges, false, BuildOptions{Weighted: true})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 6 {
+		t.Fatalf("M = %d, want 6", g.M())
+	}
+	if !g.IsSymmetric() {
+		t.Fatal("undirected build is not symmetric")
+	}
+	if g.UndirectedM() != 3 {
+		t.Fatalf("UndirectedM = %d", g.UndirectedM())
+	}
+	// Weight preserved on both arcs.
+	e := g.FindArc(1, 0)
+	if e == ^uint64(0) || g.Weights[e] != 5 {
+		t.Fatal("reverse arc weight lost")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	edges := []Edge{{0, 1, 2}, {0, 2, 3}, {2, 1, 4}}
+	g := FromEdges(3, edges, true, BuildOptions{Weighted: true})
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Degree(1) != 2 || tr.Degree(0) != 0 || tr.Degree(2) != 1 {
+		t.Fatalf("transpose degrees wrong: %d %d %d", tr.Degree(0), tr.Degree(1), tr.Degree(2))
+	}
+	e := tr.FindArc(1, 2)
+	if e == ^uint64(0) || tr.Weights[e] != 4 {
+		t.Fatal("transpose weight lost")
+	}
+	// Cached and involutive.
+	if g.Transpose() != tr || tr.Transpose() != g {
+		t.Fatal("transpose caching broken")
+	}
+	// Undirected graphs are their own transpose.
+	ug := FromEdges(3, edges, false, BuildOptions{})
+	if ug.Transpose() != ug {
+		t.Fatal("undirected transpose should be identity")
+	}
+}
+
+func TestSymmetrized(t *testing.T) {
+	g := FromEdges(4, []Edge{{0, 1, 0}, {1, 0, 0}, {2, 3, 0}}, true, BuildOptions{})
+	sym := g.Symmetrized()
+	if sym.Directed {
+		t.Fatal("symmetrized graph marked directed")
+	}
+	if !sym.IsSymmetric() {
+		t.Fatal("not symmetric")
+	}
+	// (0,1)+(1,0) collapse to one undirected edge; (2,3) becomes one.
+	if sym.UndirectedM() != 2 {
+		t.Fatalf("UndirectedM = %d, want 2", sym.UndirectedM())
+	}
+}
+
+func TestReverseArcAndFindArc(t *testing.T) {
+	g := FromEdges(5, []Edge{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 4, 0}, {4, 0, 0}}, false, BuildOptions{})
+	for u := uint32(0); u < 5; u++ {
+		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+			r := g.ReverseArc(u, e)
+			if r == ^uint64(0) {
+				t.Fatalf("missing reverse arc for (%d,%d)", u, g.Edges[e])
+			}
+			if g.Edges[r] != u {
+				t.Fatalf("reverse arc of (%d,%d) points to %d", u, g.Edges[e], g.Edges[r])
+			}
+		}
+	}
+	if g.FindArc(0, 3) != ^uint64(0) {
+		t.Fatal("FindArc found a non-edge")
+	}
+}
+
+func randomEdges(rng *rand.Rand, n, m int) []Edge {
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{
+			U: uint32(rng.IntN(n)),
+			V: uint32(rng.IntN(n)),
+			W: rng.Uint32N(100) + 1,
+		}
+	}
+	return edges
+}
+
+func TestRandomBuildInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(500)
+		m := rng.IntN(4 * n)
+		edges := randomEdges(rng, n, m)
+		directed := trial%2 == 0
+		g := FromEdges(n, edges, directed, BuildOptions{Weighted: true})
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !directed && !g.IsSymmetric() {
+			t.Fatalf("trial %d: undirected graph not symmetric", trial)
+		}
+		if directed {
+			tr := g.Transpose()
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d transpose: %v", trial, err)
+			}
+			if tr.M() != g.M() {
+				t.Fatalf("trial %d: transpose arc count mismatch", trial)
+			}
+		}
+	}
+}
+
+// Property: every input edge (modulo self loops / duplicates) is findable in
+// the built graph.
+func TestQuickEdgesPresent(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		n := 2 + rng.IntN(100)
+		edges := randomEdges(rng, n, rng.IntN(300))
+		g := FromEdges(n, edges, true, BuildOptions{})
+		for _, e := range edges {
+			if e.U == e.V {
+				continue
+			}
+			if g.FindArc(e.U, e.V) == ^uint64(0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateDiameterPath(t *testing.T) {
+	// A path of n vertices has diameter n-1; double sweep finds it exactly.
+	n := 200
+	edges := make([]Edge, n-1)
+	for i := range edges {
+		edges[i] = Edge{U: uint32(i), V: uint32(i + 1)}
+	}
+	g := FromEdges(n, edges, false, BuildOptions{})
+	if d := EstimateDiameter(g, 3, 1); d != n-1 {
+		t.Fatalf("path diameter estimate %d, want %d", d, n-1)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Directed 4-cycle.
+	edges := []Edge{{0, 1, 0}, {1, 2, 0}, {2, 3, 0}, {3, 0, 0}}
+	g := FromEdges(4, edges, true, BuildOptions{})
+	st := ComputeStats(g, 4, 7)
+	if st.N != 4 || st.MDirected != 4 || st.MSymmetric != 8 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.DiamLBDir != 3 { // farthest pair along the directed cycle
+		t.Fatalf("D' = %d, want 3", st.DiamLBDir)
+	}
+	if st.DiamLB != 2 { // undirected 4-cycle
+		t.Fatalf("D = %d, want 2", st.DiamLB)
+	}
+	if st.MaxDeg != 1 || st.AvgDeg != 1 {
+		t.Fatalf("degree stats: %+v", st)
+	}
+}
+
+func TestEmptyAndSingletonGraphs(t *testing.T) {
+	g := FromEdges(0, nil, true, BuildOptions{})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() != 0 || g.AvgDegree() != 0 {
+		t.Fatal("empty graph degree stats")
+	}
+	g1 := FromEdges(1, nil, false, BuildOptions{})
+	if d := EstimateDiameter(g1, 2, 1); d != 0 {
+		t.Fatalf("singleton diameter %d", d)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	FromEdges(2, []Edge{{0, 5, 0}}, true, BuildOptions{})
+}

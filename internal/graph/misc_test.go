@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}}, true, BuildOptions{})
+	if got := g.String(); !strings.Contains(got, "directed graph: n=3 m=1") {
+		t.Fatalf("String() = %q", got)
+	}
+	ug := FromEdges(3, []Edge{{U: 0, V: 1, W: 2}}, false, BuildOptions{Weighted: true})
+	got := ug.String()
+	if !strings.Contains(got, "undirected weighted graph: n=3 m=1") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestUndirectedMPanicsOnDirected(t *testing.T) {
+	g := FromEdges(2, []Edge{{U: 0, V: 1}}, true, BuildOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.UndirectedM()
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *Graph {
+		return FromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}}, false, BuildOptions{})
+	}
+	// Baseline valid.
+	if err := mk().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong offsets length.
+	g := mk()
+	g.Offsets = g.Offsets[:3]
+	if g.Validate() == nil {
+		t.Fatal("short offsets accepted")
+	}
+	// Non-monotone offsets.
+	g = mk()
+	g.Offsets[1], g.Offsets[2] = g.Offsets[2]+1, g.Offsets[1]
+	if g.Validate() == nil {
+		t.Fatal("non-monotone offsets accepted")
+	}
+	// Endpoint invariant broken.
+	g = mk()
+	g.Offsets[g.N] = 99
+	if g.Validate() == nil {
+		t.Fatal("bad final offset accepted")
+	}
+	// Out-of-range neighbor.
+	g = mk()
+	g.Edges[0] = 99
+	if g.Validate() == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+	// Unsorted adjacency.
+	g = mk()
+	lo, hi := g.Offsets[1], g.Offsets[2]
+	if hi-lo >= 2 {
+		g.Edges[lo], g.Edges[lo+1] = g.Edges[lo+1], g.Edges[lo]
+		if g.Validate() == nil {
+			t.Fatal("unsorted adjacency accepted")
+		}
+	}
+	// Weight length mismatch.
+	g = mk()
+	g.Weights = make([]uint32, 1)
+	if g.Validate() == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+}

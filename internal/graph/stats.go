@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand/v2"
+)
+
+// Stats summarizes a graph the way the paper's Table 1 does: vertex count,
+// arc count (m' for directed, m for the symmetrized view), and sampled
+// diameter lower bounds D' (directed) and D (undirected/symmetrized).
+type Stats struct {
+	N          int
+	MDirected  int // m' — arcs in the directed graph (0 if undirected)
+	MSymmetric int // m — arcs in the undirected/symmetrized graph
+	DiamLB     int // D — sampled diameter lower bound, symmetrized
+	DiamLBDir  int // D' — sampled diameter lower bound, directed (0 if undirected)
+	MaxDeg     int
+	AvgDeg     float64
+}
+
+// bfsEcc runs a simple sequential BFS from src over g and returns the
+// eccentricity observed (max finite hop distance) and the farthest vertex.
+// It is intentionally self-contained so the graph package has no dependency
+// on the algorithm packages built on top of it.
+func bfsEcc(g *Graph, src uint32, dist []uint32, queue []uint32) (int, uint32) {
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	dist[src] = 0
+	queue = queue[:0]
+	queue = append(queue, src)
+	far := src
+	ecc := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == InfDist {
+				dist[v] = du + 1
+				if int(dist[v]) > ecc {
+					ecc = int(dist[v])
+					far = v
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return ecc, far
+}
+
+// EstimateDiameter returns a diameter lower bound obtained by `samples`
+// double-sweep BFS runs (pick a vertex, BFS to the farthest vertex, BFS
+// again from there — the classic heuristic; the paper's Table 1 numbers are
+// likewise sampled lower bounds).
+func EstimateDiameter(g *Graph, samples int, seed uint64) int {
+	if g.N == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+	dist := make([]uint32, g.N)
+	queue := make([]uint32, 0, g.N)
+	best := 0
+	for s := 0; s < samples; s++ {
+		// Sample a non-isolated source (isolated vertices report
+		// eccentricity 0 and waste the sweep); give up after a few tries
+		// on edgeless graphs.
+		src := uint32(rng.IntN(g.N))
+		for try := 0; try < 32 && g.Degree(src) == 0; try++ {
+			src = uint32(rng.IntN(g.N))
+		}
+		ecc, far := bfsEcc(g, src, dist, queue)
+		// Second sweep from the farthest vertex.
+		ecc2, _ := bfsEcc(g, far, dist, queue)
+		if ecc > best {
+			best = ecc
+		}
+		if ecc2 > best {
+			best = ecc2
+		}
+	}
+	return best
+}
+
+// ComputeStats gathers the Table 1 row for g. diamSamples <= 0 skips the
+// (BFS-heavy) diameter estimation.
+func ComputeStats(g *Graph, diamSamples int, seed uint64) Stats {
+	st := Stats{
+		N:      g.N,
+		MaxDeg: g.MaxDegree(),
+		AvgDeg: g.AvgDegree(),
+	}
+	if g.Directed {
+		st.MDirected = len(g.Edges)
+		sym := g.Symmetrized()
+		st.MSymmetric = len(sym.Edges)
+		if diamSamples > 0 {
+			st.DiamLBDir = EstimateDiameter(g, diamSamples, seed)
+			st.DiamLB = EstimateDiameter(sym, diamSamples, seed)
+		}
+	} else {
+		st.MSymmetric = len(g.Edges)
+		if diamSamples > 0 {
+			st.DiamLB = EstimateDiameter(g, diamSamples, seed)
+		}
+	}
+	return st
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"sort"
+
+	"pasgal/internal/parallel"
+)
+
+// InducedSubgraph returns the subgraph of g induced by verts (which must
+// contain no duplicates), together with the mapping from new vertex ids to
+// the original ids (origOf[i] = original id of new vertex i). Vertices are
+// renumbered in the sorted order of verts. Weights are preserved.
+func InducedSubgraph(g *Graph, verts []uint32) (*Graph, []uint32) {
+	origOf := append([]uint32(nil), verts...)
+	sort.Slice(origOf, func(i, j int) bool { return origOf[i] < origOf[j] })
+	for i := 1; i < len(origOf); i++ {
+		if origOf[i] == origOf[i-1] {
+			panic("graph: InducedSubgraph with duplicate vertices")
+		}
+	}
+	newID := make(map[uint32]uint32, len(origOf))
+	for i, v := range origOf {
+		newID[v] = uint32(i)
+	}
+	var edges []Edge
+	for i, v := range origOf {
+		wts := []uint32(nil)
+		if g.Weighted() {
+			wts = g.NeighborWeights(v)
+		}
+		for j, w := range g.Neighbors(v) {
+			if nw, ok := newID[w]; ok {
+				var wt uint32
+				if wts != nil {
+					wt = wts[j]
+				}
+				if g.Directed || origOf[i] <= w {
+					edges = append(edges, Edge{U: uint32(i), V: nw, W: wt})
+				}
+			}
+		}
+	}
+	sub := FromEdges(len(origOf), edges, g.Directed, BuildOptions{Weighted: g.Weighted()})
+	return sub, origOf
+}
+
+// ComponentsOf labels the connected components of the symmetrized view of
+// g with a simple sequential union-free BFS (a helper for extraction
+// utilities; the parallel labeling lives in internal/conn). Returns labels
+// (representative = smallest id in the component) and component count.
+func componentsSimple(g *Graph) ([]uint32, int) {
+	sym := g
+	if g.Directed {
+		sym = g.Symmetrized()
+	}
+	labels := make([]uint32, sym.N)
+	for i := range labels {
+		labels[i] = None
+	}
+	count := 0
+	queue := make([]uint32, 0, 1024)
+	for s := 0; s < sym.N; s++ {
+		if labels[s] != None {
+			continue
+		}
+		count++
+		labels[s] = uint32(s)
+		queue = append(queue[:0], uint32(s))
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range sym.Neighbors(u) {
+				if labels[v] == None {
+					labels[v] = uint32(s)
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return labels, count
+}
+
+// LargestComponent returns the subgraph induced by the largest (weakly)
+// connected component of g, plus the original-id mapping. Useful for
+// benchmarking traversals on generated graphs that leave isolated
+// vertices.
+func LargestComponent(g *Graph) (*Graph, []uint32) {
+	if g.N == 0 {
+		return g, nil
+	}
+	labels, _ := componentsSimple(g)
+	sizes := map[uint32]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best, bestSize := uint32(0), -1
+	for l, s := range sizes {
+		if s > bestSize || (s == bestSize && l < best) {
+			best, bestSize = l, s
+		}
+	}
+	verts := parallel.PackIndex(g.N, func(v int) bool { return labels[v] == best })
+	return InducedSubgraph(g, verts)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with out-degree
+// d, for d in [0, MaxDegree].
+func DegreeHistogram(g *Graph) []int64 {
+	maxDeg := g.MaxDegree()
+	counts := make([]int64, maxDeg+1)
+	if g.N == 0 {
+		return counts
+	}
+	keys := parallel.Tabulate(g.N, func(v int) uint32 {
+		return uint32(g.Degree(uint32(v)))
+	})
+	return parallel.Histogram(keys, maxDeg+1)
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	// Directed triangle 0-1-2 plus tail 3->4.
+	edges := []Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 6}, {U: 2, V: 0, W: 7},
+		{U: 3, V: 4, W: 8}, {U: 0, V: 3, W: 9}}
+	g := FromEdges(5, edges, true, BuildOptions{Weighted: true})
+	sub, orig := InducedSubgraph(g, []uint32{0, 2, 1})
+	if sub.N != 3 || sub.M() != 3 {
+		t.Fatalf("sub: n=%d m=%d", sub.N, sub.M())
+	}
+	if orig[0] != 0 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatalf("origOf = %v", orig)
+	}
+	// Weights preserved.
+	e := sub.FindArc(0, 1)
+	if e == ^uint64(0) || sub.Weights[e] != 5 {
+		t.Fatal("weight lost in subgraph")
+	}
+	// Edges leaving the vertex set are dropped.
+	if sub.FindArc(0, 2) == ^uint64(0) { // 2->0 means FindArc(2,0)
+		_ = e
+	}
+	if got := sub.FindArc(2, 0); got == ^uint64(0) {
+		t.Fatal("edge 2->0 missing")
+	}
+}
+
+func TestInducedSubgraphUndirected(t *testing.T) {
+	g := FromEdges(6, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}},
+		false, BuildOptions{})
+	sub, _ := InducedSubgraph(g, []uint32{1, 2, 3})
+	if sub.N != 3 || sub.UndirectedM() != 2 {
+		t.Fatalf("sub: n=%d m=%d", sub.N, sub.UndirectedM())
+	}
+	if !sub.IsSymmetric() {
+		t.Fatal("induced subgraph lost symmetry")
+	}
+}
+
+func TestInducedSubgraphDuplicatePanics(t *testing.T) {
+	g := FromEdges(3, []Edge{{U: 0, V: 1}}, false, BuildOptions{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicates")
+		}
+	}()
+	InducedSubgraph(g, []uint32{1, 1})
+}
+
+func TestLargestComponent(t *testing.T) {
+	// Two components: a 4-path and a 2-edge.
+	edges := []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 4, V: 5}}
+	g := FromEdges(7, edges, false, BuildOptions{}) // vertex 6 isolated
+	lc, orig := LargestComponent(g)
+	if lc.N != 4 {
+		t.Fatalf("largest component n = %d, want 4", lc.N)
+	}
+	for i, v := range orig {
+		if v != uint32(i) {
+			t.Fatalf("orig mapping %v", orig)
+		}
+	}
+	// Directed input goes through the symmetrized view.
+	dg := FromEdges(5, []Edge{{U: 0, V: 1}, {U: 2, V: 1}, {U: 3, V: 4}}, true, BuildOptions{})
+	lc, orig = LargestComponent(dg)
+	if lc.N != 3 || !lc.Directed {
+		t.Fatalf("directed largest component: n=%d directed=%v", lc.N, lc.Directed)
+	}
+	if orig[0] != 0 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatalf("orig = %v", orig)
+	}
+	// Empty graph.
+	eg := FromEdges(0, nil, false, BuildOptions{})
+	if lc, _ := LargestComponent(eg); lc.N != 0 {
+		t.Fatal("empty graph largest component")
+	}
+}
+
+func TestLargestComponentRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.IntN(200)
+		m := rng.IntN(n)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{U: uint32(rng.IntN(n)), V: uint32(rng.IntN(n))}
+		}
+		g := FromEdges(n, edges, false, BuildOptions{})
+		lc, orig := LargestComponent(g)
+		if lc.N != len(orig) {
+			t.Fatal("mapping length mismatch")
+		}
+		// The extracted subgraph must be connected.
+		if lc.N > 0 {
+			if _, count := componentsSimple(lc); count != 1 {
+				t.Fatalf("trial %d: largest component not connected (%d comps)", trial, count)
+			}
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star: center degree n-1, leaves degree 1.
+	edges := make([]Edge, 9)
+	for i := range edges {
+		edges[i] = Edge{U: 0, V: uint32(i + 1)}
+	}
+	g := FromEdges(10, edges, false, BuildOptions{})
+	h := DegreeHistogram(g)
+	if h[1] != 9 || h[9] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("histogram total %d", total)
+	}
+	if got := DegreeHistogram(FromEdges(0, nil, false, BuildOptions{})); len(got) != 1 {
+		t.Fatal("empty graph histogram")
+	}
+}

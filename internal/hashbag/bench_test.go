@@ -1,0 +1,51 @@
+package hashbag
+
+import (
+	"testing"
+
+	"pasgal/internal/parallel"
+)
+
+func BenchmarkInsertSequential(b *testing.B) {
+	bag := New(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bag.Insert(uint32(i))
+		if i&0xffff == 0xffff {
+			bag.Reset()
+		}
+	}
+}
+
+func BenchmarkInsertParallel(b *testing.B) {
+	bag := New(1 << 16)
+	const batch = 1 << 15
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parallel.For(batch, 0, func(j int) { bag.Insert(uint32(j)) })
+		bag.Reset()
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	for _, fill := range []int{64, 1 << 12, 1 << 16} {
+		name := "64"
+		if fill > 64 {
+			name = "4K"
+		}
+		if fill > 1<<12 {
+			name = "64K"
+		}
+		b.Run(name, func(b *testing.B) {
+			bag := New(1 << 10)
+			for i := 0; i < b.N; i++ {
+				for v := 0; v < fill; v++ {
+					bag.Insert(uint32(v))
+				}
+				if got := bag.Extract(); len(got) != fill {
+					b.Fatalf("lost values: %d", len(got))
+				}
+			}
+		})
+	}
+}

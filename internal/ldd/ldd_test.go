@@ -1,0 +1,146 @@
+package ldd
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+func TestDecomposeCoversAllVertices(t *testing.T) {
+	g := gen.Grid2D(40, 40, false, 1)
+	labels, rounds := Decompose(g, 0.2, 7)
+	for v, l := range labels {
+		if l == graph.None {
+			t.Fatalf("vertex %d unclustered", v)
+		}
+		// Cluster label is a center that labels itself.
+		if labels[l] != l {
+			t.Fatalf("cluster label %d of %d is not a center", l, v)
+		}
+	}
+	if rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+func TestDecomposeClustersAreConnected(t *testing.T) {
+	// Every cluster must induce a connected subgraph: check by BFS within
+	// the cluster from its center.
+	g := gen.SampledGrid(30, 30, 0.85, false, 3)
+	labels, _ := Decompose(g, 0.3, 11)
+	reached := make(map[uint32]int)
+	sizes := make(map[uint32]int)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for center := range sizes {
+		queue := []uint32{center}
+		seen := map[uint32]bool{center: true}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, w := range g.Neighbors(u) {
+				if labels[w] == center && !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		reached[center] = len(seen)
+	}
+	for center, sz := range sizes {
+		if reached[center] != sz {
+			t.Fatalf("cluster %d: %d of %d vertices reachable within cluster",
+				center, reached[center], sz)
+		}
+	}
+}
+
+func TestDecomposeBetaTradeoff(t *testing.T) {
+	// Larger beta => more clusters (smaller diameter each).
+	g := gen.Grid2D(50, 50, false, 2)
+	count := func(beta float64) int {
+		labels, _ := Decompose(g, beta, 5)
+		set := map[uint32]bool{}
+		for _, l := range labels {
+			set[l] = true
+		}
+		return len(set)
+	}
+	small, large := count(0.05), count(0.8)
+	if small*2 >= large {
+		t.Fatalf("beta=0.05 gives %d clusters, beta=0.8 gives %d — no trade-off", small, large)
+	}
+}
+
+func TestComponentsMatchesUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(400)
+		g := gen.ER(n, rng.IntN(3*n+1), false, uint64(trial))
+		want, wantCount := conn.Components(g)
+		got, gotCount, rounds := Components(g, 0.2, uint64(100+trial))
+		if gotCount != wantCount {
+			t.Fatalf("trial %d: %d components, want %d", trial, gotCount, wantCount)
+		}
+		for v := range want {
+			// Both label components by their minimum member.
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: label[%d] = %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+		if len(g.Edges) > 0 && rounds == 0 {
+			t.Fatalf("trial %d: no rounds", trial)
+		}
+	}
+}
+
+func TestComponentsStructuredGraphs(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"grid":  gen.Grid2D(30, 30, false, 1),
+		"chain": gen.Chain(5000, false),
+		"star":  gen.Star(1000),
+		"knn":   gen.KNN(2000, 4, 8, false, 2),
+		"empty": graph.FromEdges(10, nil, false, graph.BuildOptions{}),
+	} {
+		want, wantCount := conn.Components(g)
+		got, gotCount, _ := Components(g, 0.2, 9)
+		if gotCount != wantCount {
+			t.Fatalf("%s: %d components, want %d", name, gotCount, wantCount)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: label mismatch at %d", name, v)
+			}
+		}
+	}
+}
+
+// The synchronization story: LDD connectivity pays BFS rounds where the
+// union–find pays none; on a long chain the round count is substantial.
+func TestComponentsRoundsOnChain(t *testing.T) {
+	g := gen.Chain(20000, false)
+	_, count, rounds := Components(g, 0.1, 3)
+	if count != 1 {
+		t.Fatalf("chain components = %d", count)
+	}
+	if rounds < 10 {
+		t.Fatalf("expected many BFS rounds on a chain, got %d", rounds)
+	}
+}
+
+func TestDecomposeBadBetaPanics(t *testing.T) {
+	g := gen.Chain(10, false)
+	for _, beta := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for beta=%v", beta)
+				}
+			}()
+			Decompose(g, beta, 1)
+		}()
+	}
+}

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkFor(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			dst := make([]int64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				For(n, 0, func(j int) { dst[j] = int64(j) })
+			}
+		})
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	for _, n := range []int{1 << 16, 1 << 20} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			src := make([]int64, n)
+			for i := range src {
+				src[i] = int64(i & 7)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Scan(src)
+			}
+		})
+	}
+}
+
+func BenchmarkPackIndex(b *testing.B) {
+	n := 1 << 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackIndex(n, func(j int) bool { return j&7 == 0 })
+	}
+}
+
+func BenchmarkSortFunc(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	n := 1 << 18
+	orig := make([]uint64, n)
+	for i := range orig {
+		orig[i] = rng.Uint64()
+	}
+	s := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(s, orig)
+		SortFunc(s, func(a, c uint64) bool { return a < c })
+	}
+}
+
+func BenchmarkSortUint64Radix(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 1 << 18
+	orig := make([]uint64, n)
+	for i := range orig {
+		orig[i] = rng.Uint64()
+	}
+	s := make([]uint64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(s, orig)
+		SortUint64(s)
+	}
+}
+
+func BenchmarkHistogram(b *testing.B) {
+	n := 1 << 20
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(i % 256)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Histogram(keys, 256)
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1M"
+	case n >= 1<<16:
+		return "64K"
+	default:
+		return "1K"
+	}
+}

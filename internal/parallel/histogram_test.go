@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogram(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{0, 1, 100, 100000} {
+		k := 64
+		keys := make([]uint32, n)
+		want := make([]int64, k)
+		for i := range keys {
+			keys[i] = rng.Uint32N(uint32(k))
+			want[keys[i]]++
+		}
+		got := Histogram(keys, k)
+		for key := 0; key < k; key++ {
+			if got[key] != want[key] {
+				t.Fatalf("n=%d: hist[%d] = %d, want %d", n, key, got[key], want[key])
+			}
+		}
+	}
+}
+
+func TestHistogramLargeKeyRange(t *testing.T) {
+	// k > 2^16 takes the sequential fallback.
+	keys := []uint32{0, 99999, 99999, 5}
+	got := Histogram(keys, 100000)
+	if got[99999] != 2 || got[0] != 1 || got[5] != 1 {
+		t.Fatal("large-range histogram wrong")
+	}
+}
+
+func TestCountingSortByKey(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, n := range []int{0, 1, 50, 77777} {
+		k := 32
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = rng.Uint32N(uint32(k))
+		}
+		perm, offsets := CountingSortByKey(keys, k)
+		if len(perm) != n || offsets[k] != int64(n) {
+			t.Fatalf("n=%d: shape wrong", n)
+		}
+		// Grouped by key, stable within groups, and a real permutation.
+		seen := make([]bool, n)
+		for key := 0; key < k; key++ {
+			prev := int64(-1)
+			for at := offsets[key]; at < offsets[key+1]; at++ {
+				i := perm[at]
+				if seen[i] {
+					t.Fatalf("duplicate index %d", i)
+				}
+				seen[i] = true
+				if keys[i] != uint32(key) {
+					t.Fatalf("index %d with key %d in group %d", i, keys[i], key)
+				}
+				if int64(i) <= prev {
+					t.Fatalf("instability in group %d", key)
+				}
+				prev = int64(i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] {
+				t.Fatalf("index %d missing", i)
+			}
+		}
+	}
+}
+
+func TestCountingSortQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		keys := make([]uint32, len(raw))
+		for i, r := range raw {
+			keys[i] = uint32(r) % 16
+		}
+		perm, offsets := CountingSortByKey(keys, 16)
+		if offsets[16] != int64(len(keys)) {
+			return false
+		}
+		for key := 0; key < 16; key++ {
+			for at := offsets[key]; at < offsets[key+1]; at++ {
+				if keys[perm[at]] != uint32(key) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 1000, 50000} {
+		perm := RandomPermutation(n, 42)
+		seen := make([]bool, n)
+		for _, v := range perm {
+			if int(v) >= n || seen[v] {
+				t.Fatalf("n=%d: not a permutation", n)
+			}
+			seen[v] = true
+		}
+		// Deterministic.
+		again := RandomPermutation(n, 42)
+		for i := range perm {
+			if perm[i] != again[i] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	// Different seeds give different permutations (overwhelmingly).
+	a := RandomPermutation(1000, 1)
+	b := RandomPermutation(1000, 2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("seeds too correlated: %d fixed points", same)
+	}
+	// Identity is vanishingly unlikely: check it actually shuffles.
+	fixed := 0
+	for i, v := range a {
+		if int(v) == i {
+			fixed++
+		}
+	}
+	if fixed > 100 {
+		t.Fatalf("barely shuffled: %d fixed points", fixed)
+	}
+}

@@ -1,0 +1,178 @@
+// Package parallel implements the fork-join runtime that underpins every
+// algorithm in this library. It plays the role ParlayLib plays for the C++
+// PASGAL: nested fork-join via Do, dynamically scheduled parallel loops via
+// For/ForRange, and the usual work-efficient primitives (reduce, scan, pack,
+// sort) built on top of them.
+//
+// The scheduler is deliberately simple: a loop is split into chunks of
+// `grain` iterations and a small team of goroutines pulls chunks off a
+// shared atomic counter. This gives dynamic load balancing without a full
+// work-stealing deque, which is sufficient because PASGAL-style algorithms
+// control granularity themselves (that is the whole point of vertical
+// granularity control).
+//
+// Note that chunked loops spawn goroutines even when only one worker is
+// configured: synchronization overhead is an explicit object of study in
+// this library ("parallelism comes at a cost"), so the runtime does not
+// silently elide it. Loops that fit in a single chunk run inline.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workers holds the current worker-team size. It defaults to GOMAXPROCS and
+// can be overridden (e.g. by the scaling experiments in Figure 1).
+var workers atomic.Int32
+
+func init() {
+	workers.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// Workers returns the number of workers parallel loops will use.
+func Workers() int { return int(workers.Load()) }
+
+// SetWorkers overrides the worker-team size. p < 1 resets to GOMAXPROCS.
+// It returns the previous value.
+func SetWorkers(p int) int {
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	return int(workers.Swap(int32(p)))
+}
+
+// stats counts scheduling events; the benchmark harness reads these to
+// report machine-independent "synchronization cost" figures.
+var (
+	statForks atomic.Int64 // goroutines spawned by the runtime
+	statLoops atomic.Int64 // parallel loop launches (each is one join barrier)
+)
+
+// SchedStats reports cumulative (loopLaunches, goroutinesSpawned) since
+// process start or the last ResetSchedStats.
+func SchedStats() (loops, forks int64) {
+	return statLoops.Load(), statForks.Load()
+}
+
+// ResetSchedStats zeroes the scheduling counters.
+func ResetSchedStats() {
+	statForks.Store(0)
+	statLoops.Store(0)
+}
+
+// defaultGrain picks a chunk size that yields ~8 chunks per worker, clamped
+// to [1, 4096]. Eight chunks per worker gives the dynamic scheduler room to
+// balance load without drowning in scheduling overhead.
+func defaultGrain(n, p int) int {
+	g := n / (8 * p)
+	if g < 1 {
+		g = 1
+	}
+	if g > 4096 {
+		g = 4096
+	}
+	return g
+}
+
+// ForRange runs body over [0,n) split into half-open chunks [lo,hi).
+// grain <= 0 selects an automatic chunk size. Chunks are distributed
+// dynamically. Panics in the body are propagated to the caller.
+func ForRange(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := Workers()
+	if grain <= 0 {
+		grain = defaultGrain(n, p)
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 {
+		body(0, n)
+		return
+	}
+	nw := p
+	if nw > chunks {
+		nw = chunks
+	}
+	statLoops.Add(1)
+	statForks.Add(int64(nw))
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * grain
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}
+
+// For runs body(i) for every i in [0,n) in parallel. grain <= 0 selects an
+// automatic chunk size.
+func For(n, grain int, body func(i int)) {
+	ForRange(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Do runs the given functions as parallel fork-join tasks and waits for all
+// of them. With two arguments it is the classic binary fork.
+func Do(fns ...func()) {
+	switch len(fns) {
+	case 0:
+		return
+	case 1:
+		fns[0]()
+		return
+	}
+	statLoops.Add(1)
+	statForks.Add(int64(len(fns) - 1))
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	wg.Add(len(fns) - 1)
+	for _, fn := range fns[1:] {
+		fn := fn
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn()
+		}()
+	}
+	fns[0]()
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

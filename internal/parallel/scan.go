@@ -1,0 +1,177 @@
+package parallel
+
+// Scan replaces src with its exclusive prefix sum and returns the total.
+// It is the classic two-pass blocked algorithm: per-block sums, a serial
+// scan over the (few) block sums, then a parallel fill pass.
+func Scan[T Number](src []T) T {
+	n := len(src)
+	if n == 0 {
+		return 0
+	}
+	p := Workers()
+	grain := defaultGrain(n, p)
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 {
+		var acc T
+		for i := range src {
+			v := src[i]
+			src[i] = acc
+			acc += v
+		}
+		return acc
+	}
+	sums := make([]T, chunks)
+	ForRange(n, grain, func(lo, hi int) {
+		var acc T
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+		}
+		sums[lo/grain] = acc
+	})
+	var total T
+	for i, v := range sums {
+		sums[i] = total
+		total += v
+	}
+	ForRange(n, grain, func(lo, hi int) {
+		acc := sums[lo/grain]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			src[i] = acc
+			acc += v
+		}
+	})
+	return total
+}
+
+// ScanInclusive replaces src with its inclusive prefix sum and returns the
+// total.
+func ScanInclusive[T Number](src []T) T {
+	n := len(src)
+	if n == 0 {
+		return 0
+	}
+	p := Workers()
+	grain := defaultGrain(n, p)
+	chunks := (n + grain - 1) / grain
+	if chunks <= 1 {
+		var acc T
+		for i := range src {
+			acc += src[i]
+			src[i] = acc
+		}
+		return acc
+	}
+	sums := make([]T, chunks)
+	ForRange(n, grain, func(lo, hi int) {
+		var acc T
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+		}
+		sums[lo/grain] = acc
+	})
+	var total T
+	for i, v := range sums {
+		sums[i] = total
+		total += v
+	}
+	ForRange(n, grain, func(lo, hi int) {
+		acc := sums[lo/grain]
+		for i := lo; i < hi; i++ {
+			acc += src[i]
+			src[i] = acc
+		}
+	})
+	return total
+}
+
+// PackIndex returns, in increasing order, every i in [0,n) with keep(i)
+// true. keep is evaluated twice per index (count pass, then write pass) and
+// must therefore be pure.
+func PackIndex(n int, keep func(i int) bool) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	p := Workers()
+	grain := defaultGrain(n, p)
+	chunks := (n + grain - 1) / grain
+	counts := make([]int, chunks)
+	ForRange(n, grain, func(lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[lo/grain] = c
+	})
+	total := Scan(counts)
+	out := make([]uint32, total)
+	ForRange(n, grain, func(lo, hi int) {
+		at := counts[lo/grain]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = uint32(i)
+				at++
+			}
+		}
+	})
+	return out
+}
+
+// Pack returns the elements of src whose index satisfies keep, in order.
+// keep is evaluated twice per index and must be pure.
+func Pack[T any](src []T, keep func(i int) bool) []T {
+	n := len(src)
+	if n == 0 {
+		return nil
+	}
+	p := Workers()
+	grain := defaultGrain(n, p)
+	chunks := (n + grain - 1) / grain
+	counts := make([]int, chunks)
+	ForRange(n, grain, func(lo, hi int) {
+		c := 0
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[lo/grain] = c
+	})
+	total := Scan(counts)
+	out := make([]T, total)
+	ForRange(n, grain, func(lo, hi int) {
+		at := counts[lo/grain]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = src[i]
+				at++
+			}
+		}
+	})
+	return out
+}
+
+// Fill sets every element of dst to v in parallel.
+func Fill[T any](dst []T, v T) {
+	ForRange(len(dst), 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// Copy copies src into dst (which must be at least as long) in parallel.
+func Copy[T any](dst, src []T) {
+	ForRange(len(src), 0, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// Tabulate builds a slice of length n with out[i] = f(i), in parallel.
+func Tabulate[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, 0, func(i int) { out[i] = f(i) })
+	return out
+}

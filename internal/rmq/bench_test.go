@@ -1,0 +1,39 @@
+package rmq
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	vals := make([]uint32, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewMin(vals)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 1 << 20
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	r := NewMin(vals)
+	// Pre-draw query ranges so the RNG is out of the hot loop.
+	qs := make([][2]int, 4096)
+	for i := range qs {
+		lo := rng.IntN(n)
+		qs[i] = [2]int{lo, lo + rng.IntN(n-lo)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i&4095]
+		r.Query(q[0], q[1])
+	}
+}

@@ -1,0 +1,101 @@
+package rmq
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func bruteMin(vals []uint32, lo, hi int) uint32 {
+	acc := vals[lo]
+	for i := lo + 1; i <= hi; i++ {
+		if vals[i] < acc {
+			acc = vals[i]
+		}
+	}
+	return acc
+}
+
+func bruteMax(vals []uint32, lo, hi int) uint32 {
+	acc := vals[lo]
+	for i := lo + 1; i <= hi; i++ {
+		if vals[i] > acc {
+			acc = vals[i]
+		}
+	}
+	return acc
+}
+
+func TestRMQExhaustiveSmall(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, n := range []int{1, 2, 31, 32, 33, 64, 100, 257} {
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = rng.Uint32N(1000)
+		}
+		mn := NewMin(vals)
+		mx := NewMax(vals)
+		for lo := 0; lo < n; lo++ {
+			for hi := lo; hi < n; hi++ {
+				if got, want := mn.Query(lo, hi), bruteMin(vals, lo, hi); got != want {
+					t.Fatalf("n=%d min[%d,%d] = %d, want %d", n, lo, hi, got, want)
+				}
+				if got, want := mx.Query(lo, hi), bruteMax(vals, lo, hi); got != want {
+					t.Fatalf("n=%d max[%d,%d] = %d, want %d", n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRMQRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	n := 100000
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	mn := NewMin(vals)
+	mx := NewMax(vals)
+	for q := 0; q < 2000; q++ {
+		lo := rng.IntN(n)
+		hi := lo + rng.IntN(n-lo)
+		if got, want := mn.Query(lo, hi), bruteMin(vals, lo, hi); got != want {
+			t.Fatalf("min[%d,%d] = %d, want %d", lo, hi, got, want)
+		}
+		if got, want := mx.Query(lo, hi), bruteMax(vals, lo, hi); got != want {
+			t.Fatalf("max[%d,%d] = %d, want %d", lo, hi, got, want)
+		}
+	}
+}
+
+func TestRMQQuick(t *testing.T) {
+	f := func(raw []uint32, a, b uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		lo := int(a) % len(raw)
+		hi := int(b) % len(raw)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return NewMin(raw).Query(lo, hi) == bruteMin(raw, lo, hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMQPanicsOutOfRange(t *testing.T) {
+	r := NewMin([]uint32{1, 2, 3})
+	for _, q := range [][2]int{{2, 1}, {-1, 0}, {0, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for query %v", q)
+				}
+			}()
+			r.Query(q[0], q[1])
+		}()
+	}
+}

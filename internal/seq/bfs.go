@@ -1,0 +1,34 @@
+// Package seq implements the standard sequential algorithms the paper uses
+// as baselines: queue-based BFS, Tarjan's SCC algorithm, the
+// Hopcroft–Tarjan biconnectivity algorithm, and Dijkstra's algorithm (plus
+// Bellman–Ford as a test oracle). All are iterative — no recursion — so
+// they run on billion-hop-deep graphs without blowing the stack.
+package seq
+
+import "pasgal/internal/graph"
+
+// BFS returns hop distances from src (graph.InfDist for unreachable
+// vertices), using the classic FIFO-queue algorithm.
+func BFS(g *graph.Graph, src uint32) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	if g.N == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]uint32, 0, 1024)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == graph.InfDist {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,82 @@
+package seq
+
+import "pasgal/internal/graph"
+
+// KCore computes the coreness of every vertex of an undirected graph with
+// the Matula–Beck bucket algorithm (O(n+m)): repeatedly remove a
+// minimum-degree vertex; its coreness is the running maximum of the
+// degrees at removal time. Returns the coreness array and the maximum
+// coreness (the degeneracy).
+func KCore(g *graph.Graph) ([]uint32, int) {
+	if g.Directed {
+		panic("seq: KCore requires an undirected graph")
+	}
+	n := g.N
+	core := make([]uint32, n)
+	if n == 0 {
+		return core, 0
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(uint32(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	pos := make([]int, n)  // position of vertex in vert
+	vert := make([]int, n) // vertices sorted by current degree
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	k := 0
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > k {
+			k = deg[v]
+		}
+		core[v] = uint32(k)
+		for _, w := range g.Neighbors(uint32(v)) {
+			wi := int(w)
+			if deg[wi] > deg[v] {
+				// Move w one bucket down: swap with the first vertex of
+				// its current bucket.
+				dw := deg[wi]
+				pw := pos[wi]
+				pfirst := bin[dw]
+				vfirst := vert[pfirst]
+				if wi != vfirst {
+					vert[pw], vert[pfirst] = vfirst, wi
+					pos[wi], pos[vfirst] = pfirst, pw
+				}
+				bin[dw]++
+				deg[wi]--
+			}
+		}
+	}
+	maxCore := 0
+	for _, c := range core {
+		if int(c) > maxCore {
+			maxCore = int(c)
+		}
+	}
+	return core, maxCore
+}

@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+// bruteCoreness applies the definition directly: coreness(v) is the
+// largest k such that v survives repeated deletion of vertices with
+// degree < k.
+func bruteCoreness(g *graph.Graph) []uint32 {
+	n := g.N
+	core := make([]uint32, n)
+	for k := 1; ; k++ {
+		alive := make([]bool, n)
+		deg := make([]int, n)
+		for v := 0; v < n; v++ {
+			alive[v] = true
+			deg[v] = g.Degree(uint32(v))
+		}
+		for changed := true; changed; {
+			changed = false
+			for v := 0; v < n; v++ {
+				if alive[v] && deg[v] < k {
+					alive[v] = false
+					changed = true
+					for _, w := range g.Neighbors(uint32(v)) {
+						deg[w]--
+					}
+				}
+			}
+		}
+		any := false
+		for v := 0; v < n; v++ {
+			if alive[v] {
+				core[v] = uint32(k)
+				any = true
+			}
+		}
+		if !any {
+			return core
+		}
+	}
+}
+
+func TestKCoreAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.IntN(120)
+		g := gen.ER(n, rng.IntN(4*n+1), false, uint64(trial))
+		want := bruteCoreness(g)
+		got, maxCore := KCore(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: coreness[%d] = %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+		wantMax := 0
+		for _, c := range want {
+			if int(c) > wantMax {
+				wantMax = int(c)
+			}
+		}
+		if maxCore != wantMax {
+			t.Fatalf("trial %d: degeneracy %d, want %d", trial, maxCore, wantMax)
+		}
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	// K5: everyone has coreness 4.
+	var edges []graph.Edge
+	for i := uint32(0); i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	g := graph.FromEdges(5, edges, false, graph.BuildOptions{})
+	core, maxc := KCore(g)
+	if maxc != 4 {
+		t.Fatalf("K5 degeneracy = %d", maxc)
+	}
+	for v, c := range core {
+		if c != 4 {
+			t.Fatalf("K5 coreness[%d] = %d", v, c)
+		}
+	}
+}

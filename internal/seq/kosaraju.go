@@ -1,0 +1,73 @@
+package seq
+
+import "pasgal/internal/graph"
+
+// KosarajuSCC computes strongly connected components with Kosaraju's
+// two-pass algorithm (iterative): a reverse-postorder pass over g, then a
+// sweep of the transpose in that order. It exists as an independent oracle
+// for cross-checking Tarjan's algorithm and the parallel implementations —
+// three algorithms agreeing is a much stronger correctness signal than
+// two. Returns labels and the component count.
+func KosarajuSCC(g *graph.Graph) ([]uint32, int) {
+	n := g.N
+	comp := make([]uint32, n)
+	for i := range comp {
+		comp[i] = graph.None
+	}
+	if n == 0 {
+		return comp, 0
+	}
+	// Pass 1: vertices in reverse finish order via iterative DFS.
+	order := make([]uint32, 0, n)
+	visited := make([]bool, n)
+	type frame struct {
+		v  uint32
+		ei uint64
+	}
+	stack := make([]frame, 0, 1024)
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack = append(stack, frame{uint32(s), g.Offsets[s]})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < g.Offsets[f.v+1] {
+				w := g.Edges[f.ei]
+				f.ei++
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, frame{w, g.Offsets[w]})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Pass 2: sweep the transpose in reverse finish order.
+	tr := g.Transpose()
+	var count uint32
+	work := make([]uint32, 0, 1024)
+	for i := n - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] != graph.None {
+			continue
+		}
+		comp[root] = count
+		work = append(work[:0], root)
+		for len(work) > 0 {
+			u := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, w := range tr.Neighbors(u) {
+				if comp[w] == graph.None {
+					comp[w] = count
+					work = append(work, w)
+				}
+			}
+		}
+		count++
+	}
+	return comp, int(count)
+}

@@ -1,0 +1,41 @@
+package seq
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/gen"
+)
+
+// Three-way SCC agreement: Kosaraju and Tarjan are independent algorithms;
+// their agreement over random digraphs is a strong correctness signal for
+// both (and transitively for the parallel implementations tested against
+// Tarjan).
+func TestKosarajuAgreesWithTarjan(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.IntN(300)
+		g := gen.ER(n, rng.IntN(4*n+1), true, uint64(trial))
+		kc, kn := KosarajuSCC(g)
+		tc, tn := TarjanSCC(g)
+		if kn != tn {
+			t.Fatalf("trial %d: kosaraju %d comps, tarjan %d", trial, kn, tn)
+		}
+		if !samePartition(kc, tc) {
+			t.Fatalf("trial %d: partitions differ", trial)
+		}
+	}
+}
+
+func TestKosarajuKnownCases(t *testing.T) {
+	if _, c := KosarajuSCC(gen.Cycle(10, true)); c != 1 {
+		t.Fatalf("cycle = %d", c)
+	}
+	if _, c := KosarajuSCC(gen.Chain(10, true)); c != 10 {
+		t.Fatalf("chain = %d", c)
+	}
+	// Deep graph, iterative safety.
+	if _, c := KosarajuSCC(gen.Chain(200000, true)); c != 200000 {
+		t.Fatal("deep chain wrong")
+	}
+}

@@ -1,0 +1,91 @@
+package seq
+
+import (
+	"container/heap"
+
+	"pasgal/internal/graph"
+)
+
+// InfWeight is the "unreachable" distance for weighted shortest paths.
+const InfWeight = ^uint64(0)
+
+type heapItem struct {
+	dist uint64
+	v    uint32
+}
+
+type distHeap []heapItem
+
+func (h distHeap) Len() int           { return len(h) }
+func (h distHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)        { *h = append(*h, x.(heapItem)) }
+func (h *distHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Dijkstra returns shortest-path distances from src using a binary heap
+// with lazy deletion. g must be weighted with non-negative weights (uint32
+// weights guarantee that).
+func Dijkstra(g *graph.Graph, src uint32) []uint64 {
+	if !g.Weighted() {
+		panic("seq: Dijkstra requires a weighted graph")
+	}
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = InfWeight
+	}
+	if g.N == 0 {
+		return dist
+	}
+	dist[src] = 0
+	h := &distHeap{{0, src}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(heapItem)
+		if it.dist != dist[it.v] {
+			continue // stale entry
+		}
+		u := it.v
+		wts := g.NeighborWeights(u)
+		for i, v := range g.Neighbors(u) {
+			nd := it.dist + uint64(wts[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, heapItem{nd, v})
+			}
+		}
+	}
+	return dist
+}
+
+// BellmanFord returns shortest-path distances from src by iterating
+// relaxations to a fixpoint. O(n*m) worst case — a test oracle, not a
+// baseline.
+func BellmanFord(g *graph.Graph, src uint32) []uint64 {
+	if !g.Weighted() {
+		panic("seq: BellmanFord requires a weighted graph")
+	}
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = InfWeight
+	}
+	if g.N == 0 {
+		return dist
+	}
+	dist[src] = 0
+	for changed := true; changed; {
+		changed = false
+		for u := uint32(0); u < uint32(g.N); u++ {
+			du := dist[u]
+			if du == InfWeight {
+				continue
+			}
+			wts := g.NeighborWeights(u)
+			for i, v := range g.Neighbors(u) {
+				if nd := du + uint64(wts[i]); nd < dist[v] {
+					dist[v] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}

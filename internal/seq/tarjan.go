@@ -1,0 +1,83 @@
+package seq
+
+import "pasgal/internal/graph"
+
+// TarjanSCC computes strongly connected components with Tarjan's algorithm
+// (iterative). It returns a label per vertex (labels are arbitrary ids in
+// [0, count)) and the number of components.
+func TarjanSCC(g *graph.Graph) ([]uint32, int) {
+	n := g.N
+	const unset = ^uint32(0)
+	index := make([]uint32, n)
+	low := make([]uint32, n)
+	comp := make([]uint32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unset
+		comp[i] = unset
+	}
+	var next uint32
+	var count uint32
+	stack := make([]uint32, 0, 1024) // Tarjan's vertex stack
+
+	// Explicit DFS frames: vertex + position within its adjacency list.
+	type frame struct {
+		v  uint32
+		ei uint64
+	}
+	frames := make([]frame, 0, 1024)
+
+	for s := 0; s < n; s++ {
+		if index[s] != unset {
+			continue
+		}
+		frames = append(frames, frame{uint32(s), g.Offsets[s]})
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, uint32(s))
+		onStack[s] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei < g.Offsets[v+1] {
+				w := g.Edges[f.ei]
+				f.ei++
+				if index[w] == unset {
+					// Tree edge: descend.
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, g.Offsets[w]})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished.
+			frames = frames[:len(frames)-1]
+			if low[v] == index[v] {
+				// v is a root: pop its SCC.
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = count
+					if w == v {
+						break
+					}
+				}
+				count++
+			}
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp, int(count)
+}

@@ -1,0 +1,95 @@
+package pasgal
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pasgal/internal/gio"
+)
+
+// LoadGraph reads a graph file, dispatching on the extension: ".adj" (PBBS
+// text adjacency), ".bin" (binary CSR), ".mtx" (MatrixMarket coordinate),
+// ".gr" (DIMACS shortest-path); anything else is parsed as a whitespace
+// edge list. A trailing ".gz" on any of these transparently gunzips. The
+// directed flag applies to formats that do not encode direction themselves
+// (.adj and edge lists).
+func LoadGraph(path string, directed bool) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	ext := path
+	if strings.HasSuffix(ext, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("pasgal: gunzip %s: %w", path, err)
+		}
+		defer zr.Close()
+		r = zr
+		ext = strings.TrimSuffix(ext, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(ext, ".adj"):
+		return gio.ReadAdj(r, directed)
+	case strings.HasSuffix(ext, ".bin"):
+		return gio.ReadBin(r)
+	case strings.HasSuffix(ext, ".mtx"):
+		return gio.ReadMTX(r)
+	case strings.HasSuffix(ext, ".gr"):
+		return gio.ReadDIMACS(r)
+	default:
+		return gio.ReadEdgeList(r, -1, directed)
+	}
+}
+
+// SaveGraph writes a graph file, dispatching on the extension like
+// LoadGraph (edge-list text for unknown extensions); a trailing ".gz"
+// gzips the output.
+func SaveGraph(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var zw *gzip.Writer
+	ext := path
+	if strings.HasSuffix(ext, ".gz") {
+		zw = gzip.NewWriter(f)
+		w = zw
+		ext = strings.TrimSuffix(ext, ".gz")
+	}
+	switch {
+	case strings.HasSuffix(ext, ".adj"):
+		err = gio.WriteAdj(w, g)
+	case strings.HasSuffix(ext, ".bin"):
+		err = gio.WriteBin(w, g)
+	case strings.HasSuffix(ext, ".mtx"):
+		err = gio.WriteMTX(w, g)
+	case strings.HasSuffix(ext, ".gr"):
+		err = gio.WriteDIMACS(w, g)
+	default:
+		err = gio.WriteEdgeList(w, g)
+	}
+	if err == nil && zw != nil {
+		err = zw.Close()
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MustLoadGraph is LoadGraph, panicking on error (examples and tools).
+func MustLoadGraph(path string, directed bool) *Graph {
+	g, err := LoadGraph(path, directed)
+	if err != nil {
+		panic(fmt.Sprintf("pasgal: loading %s: %v", path, err))
+	}
+	return g
+}

@@ -1,0 +1,239 @@
+// Package pasgal is a Go implementation of PASGAL — the Parallel And
+// Scalable Graph Algorithm Library (Dong, Gu, Sun, Wang; SPAA 2024) — a
+// shared-memory parallel graph library designed to stay fast on
+// large-diameter graphs, where conventional level-synchronous systems pay a
+// global synchronization per hop and can lose to sequential code.
+//
+// The library's core technique is vertical granularity control (VGC):
+// frontier vertices are processed by bounded multi-hop local searches that
+// amortize scheduling overhead and grow frontiers quickly, backed by
+// hash-bag frontier data structures. On top of these it provides:
+//
+//   - BFS   — VGC label-correcting BFS with distance-bucketed frontiers and
+//     direction optimization;
+//   - SCC   — multi-pivot forward/backward reachability with subproblem
+//     refinement and trimming;
+//   - BCC   — the FAST-BCC algorithm (spanning forest + Euler tour +
+//     skeleton connectivity; O(n+m) work, O(n) auxiliary space, no BFS);
+//   - SSSP  — the stepping-algorithm framework (ρ-stepping, Δ-stepping,
+//     Bellman–Ford) with VGC relaxation.
+//
+// Every algorithm returns machine-independent Metrics (rounds = global
+// synchronizations, edges visited, frontier sizes) alongside its result.
+// Graphs are CSR (see Graph); deterministic seeded generators for the
+// paper's 22 evaluation workloads live behind the Generate* functions, and
+// LoadGraph/SaveGraph speak the PBBS .adj, binary .bin, and edge-list
+// formats.
+package pasgal
+
+import (
+	"pasgal/internal/conn"
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+	"pasgal/internal/seq"
+)
+
+// SetWorkers overrides the worker-team size used by every parallel loop in
+// the library (default: GOMAXPROCS). p < 1 resets to the default. Returns
+// the previous value. Used by the scaling experiments; most callers should
+// leave it alone.
+func SetWorkers(p int) int { return parallel.SetWorkers(p) }
+
+// Workers returns the current worker-team size.
+func Workers() int { return parallel.Workers() }
+
+// Graph is a compressed-sparse-row graph. See internal/graph for methods:
+// Degree, Neighbors, Transpose, Symmetrized, Validate, ...
+type Graph = graph.Graph
+
+// Edge is an edge (or arc) with an optional weight.
+type Edge = graph.Edge
+
+// BuildOptions controls NewGraph.
+type BuildOptions = graph.BuildOptions
+
+// Stats is the Table 1-style summary produced by ComputeStats.
+type Stats = graph.Stats
+
+// Options tunes the PASGAL algorithms; the zero value selects defaults
+// (τ = 512, hash-bag frontiers, direction optimization on).
+type Options = core.Options
+
+// Metrics reports the cost profile of a run: rounds (global
+// synchronizations), edges visited, frontier sizes.
+type Metrics = core.Metrics
+
+// BCCResult is a biconnectivity decomposition.
+type BCCResult = core.BCCResult
+
+// StepPolicy selects SSSP thresholds; see RhoStepping, DeltaStepping,
+// BellmanFordPolicy.
+type StepPolicy = core.StepPolicy
+
+// RhoStepping processes the ~ρ closest active vertices per phase (PASGAL's
+// default SSSP policy).
+type RhoStepping = core.RhoStepping
+
+// DeltaStepping processes fixed-width distance bands.
+type DeltaStepping = core.DeltaStepping
+
+// BellmanFordPolicy processes every active vertex every phase.
+type BellmanFordPolicy = core.BellmanFordPolicy
+
+const (
+	// None is the "no vertex" sentinel.
+	None = graph.None
+	// InfDist marks unreachable vertices in BFS output.
+	InfDist = graph.InfDist
+	// InfWeight marks unreachable vertices in SSSP output.
+	InfWeight = core.InfWeight
+)
+
+// NewGraph builds a CSR graph from an edge list in parallel. Self loops are
+// dropped and duplicate edges merged (see BuildOptions to override).
+func NewGraph(n int, edges []Edge, directed bool, opt BuildOptions) *Graph {
+	return graph.FromEdges(n, edges, directed, opt)
+}
+
+// BFS returns hop distances from src (InfDist when unreachable) using
+// PASGAL's vertical-granularity-control BFS.
+func BFS(g *Graph, src uint32, opt Options) ([]uint32, *Metrics) {
+	return core.BFS(g, src, opt)
+}
+
+// BFSTree returns hop distances and a BFS-tree parent per reached vertex
+// (None for the source and unreached vertices). Distance/parent pairs are
+// updated with a single packed CAS, so the tree is always consistent.
+func BFSTree(g *Graph, src uint32, opt Options) (dist, parent []uint32, met *Metrics) {
+	return core.BFSTree(g, src, opt)
+}
+
+// SCC returns, for a directed graph, a strongly-connected-component label
+// per vertex (the id of a representative member) and the component count.
+func SCC(g *Graph, opt Options) ([]uint32, int, *Metrics) {
+	return core.SCC(g, opt)
+}
+
+// BCC returns the biconnected components of an undirected graph using
+// FAST-BCC: a label per arc, the component count, and articulation points.
+// Symmetrize directed graphs first (g.Symmetrized()).
+func BCC(g *Graph, opt Options) (BCCResult, *Metrics) {
+	return core.BCC(g, opt)
+}
+
+// SSSP returns shortest-path distances from src on a weighted graph using
+// the stepping framework. policy == nil selects ρ-stepping defaults.
+func SSSP(g *Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics) {
+	return core.SSSP(g, src, policy, opt)
+}
+
+// SSSPTree returns shortest-path distances and a shortest-path tree
+// (parent per reached vertex; None for src and unreachable vertices).
+// Use PathTo to reconstruct routes.
+func SSSPTree(g *Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics) {
+	return core.SSSPTree(g, src, policy, opt)
+}
+
+// PathTo reconstructs the root-to-v path from a parent array produced by
+// SSSPTree or BFSTree (nil if v is unreachable).
+func PathTo(parent []uint32, root, v uint32) []uint32 {
+	return core.PathTo(parent, root, v)
+}
+
+// KCore returns the coreness of every vertex of an undirected graph and
+// the degeneracy, by parallel peeling with VGC (one of the paper's named
+// extensions).
+func KCore(g *Graph, opt Options) ([]uint32, int, *Metrics) {
+	return core.KCore(g, opt)
+}
+
+// PointToPoint returns the shortest-path distance from src to dst on a
+// weighted graph (InfWeight if unreachable), using the stepping framework
+// with goal-directed pruning (one of the paper's named extensions).
+// policy == nil selects ρ-stepping defaults.
+func PointToPoint(g *Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics) {
+	return core.PointToPoint(g, src, dst, policy, opt)
+}
+
+// SequentialKCore is the Matula–Beck bucket algorithm, the sequential
+// k-core baseline.
+func SequentialKCore(g *Graph) ([]uint32, int) { return seq.KCore(g) }
+
+// Reachable marks every vertex reachable from any source, using the
+// paper's order-relaxed VGC reachability search.
+func Reachable(g *Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
+	return core.Reachable(g, srcs, opt)
+}
+
+// ConnectedComponents labels the connected components of an undirected
+// graph (labels are component-minimum vertex ids) using BFS-free parallel
+// union–find, and returns the component count. Symmetrize directed graphs
+// first.
+func ConnectedComponents(g *Graph) ([]uint32, int) {
+	return conn.Components(g)
+}
+
+// SpanningForest returns a spanning forest of an undirected graph (one
+// edge list; n - #components edges), the component labeling, and the
+// component count.
+func SpanningForest(g *Graph) ([]Edge, []uint32, int) {
+	return conn.SpanningForest(g)
+}
+
+// InducedSubgraph returns the subgraph of g induced by verts plus the
+// original-id mapping.
+func InducedSubgraph(g *Graph, verts []uint32) (*Graph, []uint32) {
+	return graph.InducedSubgraph(g, verts)
+}
+
+// LargestComponent returns the subgraph induced by g's largest (weakly)
+// connected component plus the original-id mapping.
+func LargestComponent(g *Graph) (*Graph, []uint32) {
+	return graph.LargestComponent(g)
+}
+
+// DegreeHistogram returns counts[d] = number of vertices with out-degree d.
+func DegreeHistogram(g *Graph) []int64 { return graph.DegreeHistogram(g) }
+
+// Bridges flags the bridge edges of an undirected graph (per arc; both
+// arcs of a bridge are flagged) and returns the bridge count — a direct
+// corollary of FAST-BCC (a bridge is a single-edge biconnected component).
+func Bridges(g *Graph, opt Options) ([]bool, int, *Metrics) {
+	return core.Bridges(g, opt)
+}
+
+// DensestSubgraph returns Charikar's peeling 2-approximation of the
+// maximum-density subgraph, computed from the VGC k-core decomposition:
+// the vertex set, its density (edges/vertices), and metrics.
+func DensestSubgraph(g *Graph, opt Options) ([]uint32, float64, *Metrics) {
+	return core.DensestSubgraph(g, opt)
+}
+
+// SequentialBFS is the queue-based sequential baseline (the "*" column of
+// the paper's BFS table).
+func SequentialBFS(g *Graph, src uint32) []uint32 { return seq.BFS(g, src) }
+
+// SequentialSCC is Tarjan's algorithm, the sequential SCC baseline.
+func SequentialSCC(g *Graph) ([]uint32, int) { return seq.TarjanSCC(g) }
+
+// SequentialBCC is the Hopcroft–Tarjan algorithm, the sequential BCC
+// baseline. Its result type is convertible to BCCResult field-by-field.
+func SequentialBCC(g *Graph) BCCResult {
+	r := seq.HopcroftTarjanBCC(g)
+	return BCCResult{NumBCC: r.NumBCC, ArcLabel: r.ArcLabel, IsArt: r.IsArtPort}
+}
+
+// SequentialSSSP is Dijkstra's algorithm, the sequential SSSP baseline.
+func SequentialSSSP(g *Graph, src uint32) []uint64 { return seq.Dijkstra(g, src) }
+
+// ComputeStats gathers the paper's Table 1 row for g: n, m, m', and sampled
+// diameter lower bounds. diamSamples <= 0 skips diameter estimation.
+func ComputeStats(g *Graph, diamSamples int, seed uint64) Stats {
+	return graph.ComputeStats(g, diamSamples, seed)
+}
+
+// EstimateDiameter returns a sampled double-sweep BFS diameter lower bound.
+func EstimateDiameter(g *Graph, samples int, seed uint64) int {
+	return graph.EstimateDiameter(g, samples, seed)
+}

@@ -1,0 +1,283 @@
+package pasgal
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestPublicAPIEndToEnd drives the whole public surface the way the
+// quickstart does, with assertions.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	edges := []Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 2, V: 3},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+		{U: 5, V: 6}, {U: 6, V: 7},
+	}
+	g := NewGraph(8, edges, true, BuildOptions{})
+
+	dist, met := BFS(g, 0, Options{})
+	wantDist := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	for v := range wantDist {
+		if dist[v] != wantDist[v] {
+			t.Fatalf("BFS dist[%d] = %d, want %d", v, dist[v], wantDist[v])
+		}
+	}
+	if met.Rounds == 0 {
+		t.Fatal("BFS metrics missing")
+	}
+	seqDist := SequentialBFS(g, 0)
+	for v := range dist {
+		if dist[v] != seqDist[v] {
+			t.Fatal("BFS disagrees with SequentialBFS")
+		}
+	}
+
+	labels, count, _ := SCC(g, Options{})
+	if count != 4 {
+		t.Fatalf("SCC count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[0] != labels[2] || labels[0] == labels[3] {
+		t.Fatalf("SCC labels wrong: %v", labels)
+	}
+	if _, seqCount := SequentialSCC(g); seqCount != count {
+		t.Fatal("SCC disagrees with SequentialSCC")
+	}
+
+	sym := g.Symmetrized()
+	bcc, _ := BCC(sym, Options{})
+	if bcc.NumBCC != 5 {
+		t.Fatalf("BCC count = %d, want 5", bcc.NumBCC)
+	}
+	for _, v := range []int{2, 3, 5, 6} {
+		if !bcc.IsArt[v] {
+			t.Fatalf("vertex %d should articulate", v)
+		}
+	}
+	if SequentialBCC(sym).NumBCC != bcc.NumBCC {
+		t.Fatal("BCC disagrees with SequentialBCC")
+	}
+
+	wg := AddUniformWeights(g, 1, 10, 42)
+	wdist, _ := SSSP(wg, 0, nil, Options{})
+	seqW := SequentialSSSP(wg, 0)
+	for v := range wdist {
+		if wdist[v] != seqW[v] {
+			t.Fatalf("SSSP dist[%d] = %d, want %d", v, wdist[v], seqW[v])
+		}
+	}
+}
+
+func TestGeneratorsAndStats(t *testing.T) {
+	g := GenerateRMAT(10, 8, true, 1)
+	if g.N != 1024 || !g.Directed {
+		t.Fatalf("RMAT shape wrong: %v", g)
+	}
+	st := ComputeStats(g, 2, 1)
+	if st.N != 1024 || st.MDirected == 0 || st.MSymmetric < st.MDirected {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	grid := GenerateGrid(10, 200, false, 1)
+	if d := EstimateDiameter(grid, 3, 1); d != 208 {
+		t.Fatalf("grid diameter = %d, want 208", d)
+	}
+	chain := GenerateChain(100, true)
+	if chain.M() != 99 {
+		t.Fatal("chain wrong")
+	}
+	for _, g := range []*Graph{
+		GenerateWebLike(3000, 6, 0.2, 30, 2),
+		GenerateRGG(2000, 6, 3),
+		GenerateKNN(1500, 5, 8, false, 4),
+		GenerateSampledGrid(20, 20, 0.8, false, 5),
+		GenerateTriGrid(15, 15),
+		GeneratePerforatedGrid(30, 30, 8, 3, 6),
+		GenerateER(500, 1500, true, 7),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLoadSaveRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := AddUniformWeights(GenerateGrid(12, 12, false, 1), 1, 9, 2)
+	for _, name := range []string{"g.adj", "g.bin", "g.el"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadGraph(path, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.N != g.N || got.M() != g.M() || !got.Weighted() {
+			t.Fatalf("%s: round trip mismatch (%v vs %v)", name, got, g)
+		}
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing.adj"), false); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestMustLoadGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustLoadGraph("/nonexistent/definitely-missing.adj", false)
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := AddUniformWeights(GenerateGrid(10, 10, false, 1), 1, 5, 2)
+	for _, name := range []string{"g.adj.gz", "g.bin.gz", "g.el.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveGraph(path, g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadGraph(path, false)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.N != g.N || got.M() != g.M() || !got.Weighted() {
+			t.Fatalf("%s: gz round trip mismatch", name)
+		}
+	}
+	// A non-gzip file with .gz extension errors cleanly.
+	bad := filepath.Join(dir, "bad.adj.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGraph(bad, false); err == nil {
+		t.Fatal("expected gunzip error")
+	}
+}
+
+func TestReachableAndConnectivity(t *testing.T) {
+	// Two directed components: 0->1->2, 3->4.
+	g := NewGraph(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}, true, BuildOptions{})
+	reach, met := Reachable(g, []uint32{0}, Options{})
+	want := []bool{true, true, true, false, false}
+	for v := range want {
+		if reach[v] != want[v] {
+			t.Fatalf("reach[%d] = %v", v, reach[v])
+		}
+	}
+	if met.Rounds == 0 {
+		t.Fatal("no rounds")
+	}
+	// Multi-source.
+	reach, _ = Reachable(g, []uint32{0, 3}, Options{})
+	for v := 0; v < 5; v++ {
+		if !reach[v] {
+			t.Fatalf("multi-source reach[%d] false", v)
+		}
+	}
+	// Connectivity on the symmetrized view.
+	labels, count := ConnectedComponents(g.Symmetrized())
+	if count != 2 || labels[0] != 0 || labels[4] != 3 {
+		t.Fatalf("cc: count=%d labels=%v", count, labels)
+	}
+	tree, _, tc := SpanningForest(g.Symmetrized())
+	if len(tree) != 3 || tc != 2 {
+		t.Fatalf("forest: %d edges %d comps", len(tree), tc)
+	}
+	// KCore + subgraph utilities.
+	ug := GenerateTriGrid(10, 10)
+	core, degen, _ := KCore(ug, Options{})
+	seqCore, seqDegen := SequentialKCore(ug)
+	if degen != seqDegen {
+		t.Fatalf("degeneracy %d vs %d", degen, seqDegen)
+	}
+	for v := range core {
+		if core[v] != seqCore[v] {
+			t.Fatal("kcore mismatch")
+		}
+	}
+	lc, _ := LargestComponent(g)
+	if lc.N != 3 {
+		t.Fatalf("largest component n=%d", lc.N)
+	}
+	h := DegreeHistogram(ug)
+	if len(h) == 0 {
+		t.Fatal("empty degree histogram")
+	}
+	// Point-to-point.
+	wg := AddUniformWeights(GenerateGrid(8, 8, false, 3), 1, 9, 4)
+	d, _ := PointToPoint(wg, 0, 63, nil, Options{})
+	full := SequentialSSSP(wg, 0)
+	if d != full[63] {
+		t.Fatalf("ptp %d vs %d", d, full[63])
+	}
+}
+
+func TestWorkersControl(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	// Algorithms still correct under a forced worker count.
+	g := GenerateGrid(20, 20, false, 1)
+	dist, _ := BFS(g, 0, Options{})
+	want := SequentialBFS(g, 0)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatal("BFS wrong under SetWorkers")
+		}
+	}
+}
+
+func TestMiningWrappers(t *testing.T) {
+	// K4 plus pendant: densest subgraph is the K4.
+	g := NewGraph(6, []Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2},
+		{U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+	}, false, BuildOptions{})
+	verts, density, _ := DensestSubgraph(g, Options{})
+	if len(verts) != 4 || density != 1.5 {
+		t.Fatalf("densest: %d verts density %v", len(verts), density)
+	}
+	sub, orig := InducedSubgraph(g, verts)
+	if sub.N != 4 || sub.UndirectedM() != 6 {
+		t.Fatalf("induced: %v", sub)
+	}
+	for i, v := range orig {
+		if v != uint32(i) {
+			t.Fatalf("orig = %v", orig)
+		}
+	}
+}
+
+// No algorithm may leak goroutines: the worker teams join at every round.
+func TestNoGoroutineLeaks(t *testing.T) {
+	g := GenerateSampledGrid(40, 40, 0.9, false, 1)
+	wg := AddUniformWeights(g, 1, 50, 2)
+	before := runtime.NumGoroutine()
+	BFS(g, 0, Options{})
+	SCC(GenerateRMAT(10, 8, true, 3), Options{})
+	BCC(g, Options{})
+	SSSP(wg, 0, nil, Options{})
+	KCore(g, Options{})
+	SSSPTree(wg, 0, nil, Options{})
+	time.Sleep(50 * time.Millisecond) // let any stragglers exit
+	after := runtime.NumGoroutine()
+	if after > before+2 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+func TestSSSPTreeWrapper(t *testing.T) {
+	g := AddUniformWeights(GenerateChain(6, true), 2, 2, 1)
+	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	path := PathTo(parent, 0, 5)
+	if len(path) != 6 || dist[5] != 10 {
+		t.Fatalf("path %v dist %d", path, dist[5])
+	}
+}

@@ -89,11 +89,7 @@ func DeltaSteppingSSSP(g *graph.Graph, src uint32, delta uint64) ([]uint64, *cor
 				break
 			}
 			pending.Add(int64(-len(f)))
-			atomic.AddInt64(&met.Rounds, 1)
-			met.VerticesTaken += int64(len(f))
-			if int64(len(f)) > met.MaxFrontier {
-				met.MaxFrontier = int64(len(f))
-			}
+			met.Round(len(f))
 			parallel.ForRange(len(f), 1, func(flo, fhi int) {
 				var edges int64
 				for i := flo; i < fhi; i++ {
@@ -119,10 +115,10 @@ func DeltaSteppingSSSP(g *graph.Graph, src uint32, delta uint64) ([]uint64, *cor
 						}
 					}
 				}
-				atomic.AddInt64(&met.EdgesVisited, edges)
+				met.AddEdges(edges)
 			})
 		}
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
 	return out, met

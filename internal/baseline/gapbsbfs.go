@@ -31,11 +31,7 @@ func GAPBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 	frontierEdges := int64(g.Degree(src))
 
 	for round := uint32(0); len(frontier) > 0; round++ {
-		met.Rounds++
-		met.VerticesTaken += int64(len(frontier))
-		if int64(len(frontier)) > met.MaxFrontier {
-			met.MaxFrontier = int64(len(frontier))
-		}
+		met.Round(len(frontier))
 		if !bottomUp && frontierEdges > edgesRemaining/alpha {
 			bottomUp = true
 		}
@@ -44,7 +40,7 @@ func GAPBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 		}
 		var next []uint32
 		if bottomUp {
-			met.BottomUp++
+			met.AddBottomUp()
 			// Bitmap of the current frontier for O(1) membership.
 			bitmap := make([]atomic.Uint32, (n+31)/32)
 			parallel.For(len(frontier), 0, func(i int) {
@@ -79,14 +75,14 @@ func GAPBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 			next = parallel.PackIndex(n, func(vi int) bool {
 				return dist[vi].Load() == round+1
 			})
-			met.EdgesVisited += visited
+			met.AddEdges(visited)
 		} else {
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
 				offs[i] = int64(g.Degree(frontier[i]))
 			})
 			total := parallel.Scan(offs)
-			met.EdgesVisited += total
+			met.AddEdges(total)
 			outv := make([]uint32, total)
 			parallel.For(len(frontier), 1, func(i int) {
 				u := frontier[i]

@@ -41,17 +41,13 @@ func GBBSBCC(g *graph.Graph) (core.BCCResult, *core.Metrics) {
 		}
 		frontier := []uint32{uint32(start)}
 		for len(frontier) > 0 {
-			atomic.AddInt64(&met.Rounds, 1)
-			met.VerticesTaken += int64(len(frontier))
-			if int64(len(frontier)) > met.MaxFrontier {
-				met.MaxFrontier = int64(len(frontier))
-			}
+			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
 				offs[i] = int64(g.Degree(frontier[i]))
 			})
 			total := parallel.Scan(offs)
-			atomic.AddInt64(&met.EdgesVisited, total)
+			met.AddEdges(total)
 			outv := make([]uint32, total)
 			parallel.For(len(frontier), 1, func(i int) {
 				u := frontier[i]
@@ -76,6 +72,6 @@ func GBBSBCC(g *graph.Graph) (core.BCCResult, *core.Metrics) {
 
 	f := euler.Build(n, tree)
 	res, met2 := core.BCCFromForest(g, f)
-	met.EdgesVisited += met2.EdgesVisited
+	met.AddEdges(met2.EdgesVisited)
 	return res, met
 }

@@ -35,11 +35,7 @@ func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 	dist[src].Store(0)
 	frontier := []uint32{src}
 	for round := uint32(0); len(frontier) > 0; round++ {
-		met.Rounds++
-		met.VerticesTaken += int64(len(frontier))
-		if int64(len(frontier)) > met.MaxFrontier {
-			met.MaxFrontier = int64(len(frontier))
-		}
+		met.Round(len(frontier))
 		outEdges := parallel.Sum(len(frontier), func(i int) int64 {
 			return int64(g.Degree(frontier[i]))
 		})
@@ -47,7 +43,7 @@ func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 			// Bottom-up (dense) round: mark pass, then a pure pack (the
 			// pack predicate must be side-effect free because it is
 			// evaluated twice).
-			met.BottomUp++
+			met.AddBottomUp()
 			var visited int64
 			parallel.ForRange(n, 0, func(lo, hi int) {
 				var local int64
@@ -66,7 +62,7 @@ func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 				}
 				atomic.AddInt64(&visited, local)
 			})
-			met.EdgesVisited += visited
+			met.AddEdges(visited)
 			frontier = parallel.PackIndex(n, func(vi int) bool {
 				return dist[vi].Load() == round+1
 			})
@@ -79,7 +75,7 @@ func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
 			offs[i] = int64(g.Degree(frontier[i]))
 		})
 		total := parallel.Scan(offs)
-		met.EdgesVisited += total
+		met.AddEdges(total)
 		outv := make([]uint32, total)
 		parallel.For(len(frontier), 1, func(i int) {
 			u := frontier[i]

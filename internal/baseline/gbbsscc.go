@@ -35,7 +35,7 @@ func GBBSSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
 	pivotTarget := 1
 	seed := uint64(0x1234abcd5678ef90)
 	for len(live) > 0 {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		k := pivotTarget
 		if k > len(live) {
 			k = len(live)
@@ -81,17 +81,13 @@ func bfsReach(g *graph.Graph, comp []uint32, sub []uint64,
 
 	frontier := append([]uint32(nil), pivots...)
 	for len(frontier) > 0 {
-		atomic.AddInt64(&met.Rounds, 1)
-		met.VerticesTaken += int64(len(frontier))
-		if int64(len(frontier)) > met.MaxFrontier {
-			met.MaxFrontier = int64(len(frontier))
-		}
+		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
 			offs[i] = int64(g.Degree(frontier[i]))
 		})
 		total := parallel.Scan(offs)
-		atomic.AddInt64(&met.EdgesVisited, total)
+		met.AddEdges(total)
 		outv := make([]uint32, total)
 		parallel.For(len(frontier), 1, func(i int) {
 			u := frontier[i]

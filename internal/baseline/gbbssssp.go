@@ -29,17 +29,13 @@ func GBBSBellmanFordSSSP(g *graph.Graph, src uint32) ([]uint64, *core.Metrics) {
 	frontier := []uint32{src}
 	inNext := make([]atomic.Uint32, n) // dedup claims for the next frontier
 	for len(frontier) > 0 {
-		atomic.AddInt64(&met.Rounds, 1)
-		met.VerticesTaken += int64(len(frontier))
-		if int64(len(frontier)) > met.MaxFrontier {
-			met.MaxFrontier = int64(len(frontier))
-		}
+		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
 			offs[i] = int64(g.Degree(frontier[i]))
 		})
 		total := parallel.Scan(offs)
-		atomic.AddInt64(&met.EdgesVisited, total)
+		met.AddEdges(total)
 		outv := make([]uint32, total)
 		parallel.For(len(frontier), 1, func(i int) {
 			u := frontier[i]

@@ -57,7 +57,7 @@ func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
 	// Step 2: FW-BW from the max degree-product pivot (expected to hit the
 	// giant SCC of a power-law graph).
 	if len(live) > 0 {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		best := parallel.MaxIndex(len(live), func(i int) int64 {
 			v := live[i]
 			return int64(g.Degree(v)+1) * int64(tr.Degree(v)+1)
@@ -77,19 +77,18 @@ func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
 	// Step 3: coloring rounds.
 	color := make([]atomic.Uint32, n)
 	for len(live) > multistepSeqCutoff {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		parallel.For(len(live), 0, func(i int) { color[live[i]].Store(live[i]) })
 		// Propagate the maximum color forward to a fixpoint.
 		frontier := append([]uint32(nil), live...)
 		for len(frontier) > 0 {
-			atomic.AddInt64(&met.Rounds, 1)
-			met.VerticesTaken += int64(len(frontier))
+			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
 				offs[i] = int64(g.Degree(frontier[i]))
 			})
 			total := parallel.Scan(offs)
-			atomic.AddInt64(&met.EdgesVisited, total)
+			met.AddEdges(total)
 			outv := make([]uint32, total)
 			parallel.For(len(frontier), 1, func(i int) {
 				u := frontier[i]
@@ -122,14 +121,13 @@ func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
 		parallel.For(len(roots), 0, func(i int) { settled[roots[i]].Store(1) })
 		frontier = roots
 		for len(frontier) > 0 {
-			atomic.AddInt64(&met.Rounds, 1)
-			met.VerticesTaken += int64(len(frontier))
+			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
 				offs[i] = int64(tr.Degree(frontier[i]))
 			})
 			total := parallel.Scan(offs)
-			atomic.AddInt64(&met.EdgesVisited, total)
+			met.AddEdges(total)
 			outv := make([]uint32, total)
 			parallel.For(len(frontier), 1, func(i int) {
 				u := frontier[i]
@@ -157,7 +155,7 @@ func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
 
 	// Step 4: sequential Tarjan on the induced remainder.
 	if len(live) > 0 {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		idx := make(map[uint32]uint32, len(live))
 		for i, v := range live {
 			idx[v] = uint32(i)
@@ -199,17 +197,13 @@ func markReach(g *graph.Graph, comp []uint32, src uint32, met *core.Metrics) []b
 	mark[src].Store(1)
 	frontier := []uint32{src}
 	for len(frontier) > 0 {
-		atomic.AddInt64(&met.Rounds, 1)
-		met.VerticesTaken += int64(len(frontier))
-		if int64(len(frontier)) > met.MaxFrontier {
-			met.MaxFrontier = int64(len(frontier))
-		}
+		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
 			offs[i] = int64(g.Degree(frontier[i]))
 		})
 		total := parallel.Scan(offs)
-		atomic.AddInt64(&met.EdgesVisited, total)
+		met.AddEdges(total)
 		outv := make([]uint32, total)
 		parallel.For(len(frontier), 1, func(i int) {
 			u := frontier[i]

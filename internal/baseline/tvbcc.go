@@ -66,7 +66,7 @@ func TarjanVishkinBCC(g *graph.Graph) (core.BCCResult, *core.Metrics, int64) {
 	})
 	lowR := rmq.NewMin(localLow)
 	highR := rmq.NewMax(localHigh)
-	met.EdgesVisited += int64(len(g.Edges))
+	met.AddEdges(int64(len(g.Edges)))
 
 	// Materialize the auxiliary edge list. Aux node of tree edge
 	// (p(v), v) = v. TV conditions:

@@ -1,0 +1,121 @@
+package conn
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/parallel"
+)
+
+// seqDSU is a minimal sequential disjoint-set oracle.
+type seqDSU struct{ parent []uint32 }
+
+func newSeqDSU(n int) *seqDSU {
+	d := &seqDSU{parent: make([]uint32, n)}
+	for i := range d.parent {
+		d.parent[i] = uint32(i)
+	}
+	return d
+}
+
+func (d *seqDSU) find(v uint32) uint32 {
+	for d.parent[v] != v {
+		d.parent[v] = d.parent[d.parent[v]]
+		v = d.parent[v]
+	}
+	return v
+}
+
+func (d *seqDSU) union(a, b uint32) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		d.parent[rb] = ra
+	}
+}
+
+// TestStressUnionFindConcurrent unions a random edge multiset from many
+// goroutines — edges deliberately overlap across workers so the same pair
+// of roots is contended — and checks the resulting partition against a
+// sequential oracle processing the same edges. Under -race this stresses
+// the CAS linking in Union and the path-halving writes in Find.
+func TestStressUnionFindConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	rng := rand.New(rand.NewPCG(7, 9))
+	for trial := 0; trial < 5; trial++ {
+		n := 2000 + rng.IntN(8000)
+		m := n + rng.IntN(3*n)
+		edges := make([][2]uint32, m)
+		for i := range edges {
+			edges[i] = [2]uint32{rng.Uint32N(uint32(n)), rng.Uint32N(uint32(n))}
+		}
+
+		uf := NewUnionFind(n)
+		const workers = 8
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				// Overlapping striding: every edge is processed by two
+				// workers, maximizing CAS contention on the same roots.
+				for i := w / 2; i < m; i += workers / 2 {
+					uf.Union(edges[i][0], edges[i][1])
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		oracle := newSeqDSU(n)
+		for _, e := range edges {
+			oracle.union(e[0], e[1])
+		}
+		got := make([]uint32, n)
+		want := make([]uint32, n)
+		for v := 0; v < n; v++ {
+			got[v] = uf.Find(uint32(v))
+			want[v] = oracle.find(uint32(v))
+		}
+		if !samePartition(got, want) {
+			t.Fatalf("trial %d: concurrent union-find partition differs from sequential oracle", trial)
+		}
+		// Min-id linking means every root is the minimum of its set; the
+		// oracle uses the same convention, so labels must match exactly.
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: Find(%d) = %d, oracle has %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestStressComponentsUnderRace runs whole-graph Components (which layers
+// parallel.For over the union-find) on random graphs with the worker team
+// oversized relative to the machine, checking only internal consistency:
+// labels must be a valid partition rooted at component minima.
+func TestStressComponentsUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	old := parallel.SetWorkers(16)
+	defer parallel.SetWorkers(old)
+	rng := rand.New(rand.NewPCG(3, 5))
+	for trial := 0; trial < 4; trial++ {
+		n := 1000 + rng.IntN(4000)
+		g := gen.ER(n, 2*n, false, uint64(trial)+100)
+		labels, count := Components(g)
+		want, wantCount := bruteComponents(g)
+		if count != wantCount {
+			t.Fatalf("trial %d: %d components, oracle has %d", trial, count, wantCount)
+		}
+		if !samePartition(labels, want) {
+			t.Fatalf("trial %d: Components partition differs from BFS oracle", trial)
+		}
+	}
+}

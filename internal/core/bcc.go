@@ -61,7 +61,7 @@ func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
 	// (1) + (2): rooted spanning forest, no BFS.
 	tree, _, _ := conn.SpanningForest(g)
 	f := euler.Build(n, tree)
-	met.Phases = 2
+	met.SetPhases(2)
 	labelFromForest(g, f, &res, met)
 	return res, met
 }
@@ -118,7 +118,7 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 	})
 	lowR := rmq.NewMin(localLow)
 	highR := rmq.NewMax(localHigh)
-	met.edges(int64(len(g.Edges)))
+	met.AddEdges(int64(len(g.Edges)))
 
 	// (4) fence test per non-root vertex, against the parent's interval.
 	fence := make([]bool, n)

@@ -81,7 +81,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 			}
 			grabbed++
 		}
-		met.round(len(f))
+		met.Round(len(f))
 		if int64(len(f)) < windowGrowCut && window < tau {
 			window *= 2
 		} else if window > 1 {
@@ -95,7 +95,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 			// the frontier's out-edges would have performed, including
 			// repairs of distances a local search over-estimated, so the
 			// extracted entries need no further processing.
-			atomic.AddInt64(&met.BottomUp, 1)
+			met.AddBottomUp()
 			window = 1 // dense regime: back to level-at-a-time
 			target := uint32(cur + 1)
 			parallel.ForRange(n, 0, func(lo, hi int) {
@@ -121,7 +121,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 						pending.Add(1)
 					}
 				}
-				met.edges(local)
+				met.AddEdges(local)
 			})
 			continue
 		}
@@ -176,7 +176,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 

@@ -64,7 +64,7 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 				bucketOf = append(bucketOf, d)
 			}
 		}
-		met.round(len(f))
+		met.Round(len(f))
 		if int64(len(f)) < windowGrowCut && window < tau {
 			window *= 2
 		} else if window > 1 {
@@ -112,7 +112,7 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 	parallel.For(n, 0, func(i int) {

@@ -99,12 +99,17 @@ type Metrics struct {
 	record bool
 }
 
-func (m *Metrics) round(frontier int) {
+// Round records one frontier extraction of the given size: it bumps
+// Rounds and VerticesTaken and folds the size into MaxFrontier. All
+// updates are atomic, so algorithm code (here and in internal/baseline)
+// never touches the counter fields directly — pasgal-vet's mixed-access
+// rule enforces that split.
+func (m *Metrics) Round(frontier int) {
 	atomic.AddInt64(&m.Rounds, 1)
 	atomic.AddInt64(&m.VerticesTaken, int64(frontier))
 	if m.record {
 		// Rounds are extracted by a single coordinator goroutine; the
-		// append does not race with other round calls.
+		// append does not race with other Round calls.
 		m.FrontierSizes = append(m.FrontierSizes, int64(frontier))
 	}
 	for {
@@ -116,6 +121,25 @@ func (m *Metrics) round(frontier int) {
 	}
 }
 
-func (m *Metrics) edges(k int64) {
+// AddEdges adds k edge inspections to EdgesVisited. Safe to call from
+// parallel loop bodies.
+func (m *Metrics) AddEdges(k int64) {
 	atomic.AddInt64(&m.EdgesVisited, k)
+}
+
+// AddPhase records one outer phase (SCC peeling round, SSSP threshold
+// step, k-core peel, ...).
+func (m *Metrics) AddPhase() {
+	atomic.AddInt64(&m.Phases, 1)
+}
+
+// AddBottomUp records one bottom-up (direction-optimized) round.
+func (m *Metrics) AddBottomUp() {
+	atomic.AddInt64(&m.BottomUp, 1)
+}
+
+// SetPhases stores the phase count for algorithms whose structure is fixed
+// up front.
+func (m *Metrics) SetPhases(k int64) {
+	atomic.StoreInt64(&m.Phases, k)
 }

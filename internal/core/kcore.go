@@ -41,7 +41,7 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	live := parallel.PackIndex(n, func(int) bool { return true })
 
 	for k := int64(0); len(live) > 0; k++ {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		// Seed this level: all live vertices whose degree has fallen to
 		// <= k. The claim CAS makes seeding race-free against peeling.
 		parallel.For(len(live), 0, func(i int) {
@@ -52,7 +52,7 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 		})
 		for bag.Len() > 0 {
 			f := bag.Extract()
-			met.round(len(f))
+			met.Round(len(f))
 			parallel.ForRange(len(f), 1, func(lo, hi int) {
 				queue := make([]uint32, 0, 64)
 				var edgeCount int64
@@ -85,7 +85,7 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 						}
 					}
 				}
-				met.edges(edgeCount)
+				met.AddEdges(edgeCount)
 			})
 		}
 		live = parallel.Pack(live, func(i int) bool { return claimed[live[i]].Load() == 0 })

@@ -46,7 +46,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	best.Store(InfWeight)
 
 	processFrontier := func(f []uint32) {
-		met.round(len(f))
+		met.Round(len(f))
 		localBudget := tau
 		if theta == InfWeight {
 			localBudget = 0
@@ -113,7 +113,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 
@@ -125,7 +125,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 		if far.Len() == 0 {
 			break
 		}
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		f := far.Extract()
 		sampleCap := 1024
 		sample := make([]uint64, 0, sampleCap)

@@ -29,7 +29,7 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 	}
 	for bag.Len() > 0 {
 		f := bag.Extract()
-		met.round(len(f))
+		met.Round(len(f))
 		parallel.ForRange(len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
@@ -57,7 +57,7 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 	parallel.For(n, 0, func(i int) { out[i] = visited[i].Load() == 1 })

@@ -61,7 +61,7 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	pivotTarget := 1
 	seed := uint64(0x9e3779b97f4a7c15)
 	for len(live) > 0 {
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		// Deterministic pseudo-random pivot choice: order live vertices by
 		// a per-round hash and take the first k.
 		k := pivotTarget
@@ -148,7 +148,7 @@ func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
 	}
 	for bag.Len() > 0 {
 		f := bag.Extract()
-		met.round(len(f))
+		met.Round(len(f))
 		// FIFO local worklist: labels propagate breadth-first within a
 		// task, minimizing claim-then-reclaim churn between pivots.
 		parallel.ForRange(len(f), 1, func(lo, hi int) {
@@ -190,7 +190,7 @@ func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 }

@@ -107,7 +107,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	theta := uint64(0) // process dist <= theta; first phase handles src only
 
 	processFrontier := func(f []uint32) {
-		met.round(len(f))
+		met.Round(len(f))
 		// Multi-hop local expansion is only sound under a finite θ: it
 		// bounds how wrong an eagerly-expanded tentative distance can be.
 		// With θ = ∞ (Bellman–Ford policy) every improvement round-trips
@@ -163,7 +163,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 					}
 				}
 			}
-			met.edges(edgeCount)
+			met.AddEdges(edgeCount)
 		})
 	}
 
@@ -176,7 +176,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 			break
 		}
 		// New phase: pick θ from the far set and promote the ready part.
-		atomic.AddInt64(&met.Phases, 1)
+		met.AddPhase()
 		f := far.Extract()
 		// Drop stale entries (already settled below a previous θ and
 		// re-processed); keep one representative per improvable vertex.

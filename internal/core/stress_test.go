@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+	"pasgal/internal/seq"
+)
+
+// TestStressBFSConcurrentQueries runs several BFS queries concurrently on
+// one shared graph with the worker team oversized, so hash-bag frontiers,
+// VGC local searches, and the fork-join runtime from different queries all
+// interleave on the same cores. Each query's distances are checked against
+// the sequential oracle. Under -race this is the closest approximation of
+// the production serving scenario: many traversals in flight at once.
+func TestStressBFSConcurrentQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	old := parallel.SetWorkers(16)
+	defer parallel.SetWorkers(old)
+
+	graphs := []*graph.Graph{
+		gen.Chain(3000, false),
+		gen.ER(2500, 7000, false, 11),
+		gen.ER(2000, 4000, true, 12),
+	}
+	for gi, g := range graphs {
+		srcs := []uint32{0, uint32(g.N / 3), uint32(g.N - 1)}
+		want := make([][]uint32, len(srcs))
+		for i, s := range srcs {
+			want[i] = seq.BFS(g, s)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan string, len(srcs)*2)
+		for rep := 0; rep < 2; rep++ {
+			for i, s := range srcs {
+				wg.Add(1)
+				go func(i int, s uint32) {
+					defer wg.Done()
+					dist, _ := BFS(g, s, Options{})
+					for v := range dist {
+						if dist[v] != want[i][v] {
+							errc <- "distance mismatch"
+							return
+						}
+					}
+				}(i, s)
+			}
+		}
+		wg.Wait()
+		close(errc)
+		for msg := range errc {
+			t.Fatalf("graph %d: %s", gi, msg)
+		}
+	}
+}
+
+// TestStressSCCUnderRace runs SCC with tiny tau (maximum scheduling
+// pressure: every discovered vertex goes back through the shared hash bag)
+// on random directed graphs and cross-checks the component count against
+// the sequential Kosaraju oracle.
+func TestStressSCCUnderRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	old := parallel.SetWorkers(16)
+	defer parallel.SetWorkers(old)
+	rng := rand.New(rand.NewPCG(21, 4))
+	for trial := 0; trial < 3; trial++ {
+		n := 500 + rng.IntN(1500)
+		g := gen.ER(n, 3*n, true, uint64(trial)+40)
+		_, gotCount, _ := SCC(g, Options{Tau: 1})
+		_, wantCount := seq.KosarajuSCC(g)
+		if gotCount != wantCount {
+			t.Fatalf("trial %d: %d SCCs, oracle has %d", trial, gotCount, wantCount)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pasgal/internal/parallel"
@@ -46,7 +47,8 @@ type Graph struct {
 	Weights  []uint32 // nil if unweighted, else length M
 	Directed bool
 
-	tr *Graph // cached transpose
+	trOnce sync.Once
+	tr     *Graph // cached transpose, built once under trOnce
 }
 
 // M returns the number of arcs (directed edges) stored.
@@ -291,9 +293,13 @@ func (g *Graph) Transpose() *Graph {
 	if !g.Directed {
 		return g
 	}
-	if g.tr != nil {
-		return g.tr
-	}
+	// Concurrent queries sharing one graph may all demand the transpose;
+	// the Once makes the lazy build safe (and single) under contention.
+	g.trOnce.Do(func() { g.tr = g.buildTranspose() })
+	return g.tr
+}
+
+func (g *Graph) buildTranspose() *Graph {
 	deg := make([]int64, g.N)
 	parallel.ForRange(len(g.Edges), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -327,8 +333,10 @@ func (g *Graph) Transpose() *Graph {
 	})
 	tr := &Graph{N: g.N, Offsets: off, Edges: edges, Weights: wts, Directed: true}
 	tr.sortAdjacency()
-	tr.tr = g
-	g.tr = tr
+	// Point the transpose's own cache back at g so the round trip is
+	// free; firing its Once here keeps a later tr.Transpose() from
+	// rebuilding.
+	tr.trOnce.Do(func() { tr.tr = g })
 	return tr
 }
 

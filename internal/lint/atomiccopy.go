@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicCopyAnalyzer reports sync/atomic values (atomic.Int64, atomic.Uint32,
+// atomic.Pointer[T], ...) that are copied by value: assigned, passed or
+// returned by value, ranged over, or declared as value parameters. A copy
+// forks the counter — subsequent atomic operations hit two different memory
+// cells and every invariant built on the original silently breaks. Atomic
+// values must be shared by pointer (or embedded in a struct that is).
+func AtomicCopyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomic-copy",
+		Doc:  "sync/atomic value copied by value instead of shared by pointer",
+		Run:  runAtomicCopy,
+	}
+}
+
+var atomicValueTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicValue reports whether t is (or is an array of) one of the
+// sync/atomic struct types, by value.
+func isAtomicValue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if arr, ok := t.(*types.Array); ok {
+		return isAtomicValue(arr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && atomicValueTypes[obj.Name()]
+}
+
+func runAtomicCopy(pkg *Package) []Finding {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	seen := map[token.Pos]bool{}
+	report := func(pos token.Pos, what string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Finding{
+			Pos:     pkg.position(pos),
+			Rule:    "atomic-copy",
+			Message: fmt.Sprintf("sync/atomic value %s; share it by pointer instead", what),
+		})
+	}
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := pkg.Info.Types[e]; ok {
+			return tv.Type
+		}
+		// Bare identifiers (range variables, some operands) live in
+		// Defs/Uses rather than Types.
+		if id, ok := unparen(e).(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil {
+				return obj.Type()
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				return obj.Type()
+			}
+		}
+		return nil
+	}
+	// copiesAtomic reports whether evaluating e produces a by-value copy of
+	// an existing atomic. Composite literals construct a fresh value
+	// in place (the idiomatic zero-value initialization), so they are
+	// exempt.
+	copiesAtomic := func(e ast.Expr) bool {
+		e = unparen(e)
+		if _, isLit := e.(*ast.CompositeLit); isLit {
+			return false
+		}
+		return isAtomicValue(typeOf(e))
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true // tuple from a call; flagged at the callee's return
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+					if copiesAtomic(rhs) {
+						report(rhs.Pos(), "copied by assignment")
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if copiesAtomic(v) {
+						report(v.Pos(), "copied by assignment")
+					}
+				}
+			case *ast.CallExpr:
+				// Conversions like atomic.Int64(x) don't exist; every arg
+				// of atomic value type is a by-value pass.
+				for _, arg := range n.Args {
+					if copiesAtomic(arg) {
+						report(arg.Pos(), "passed by value")
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					if copiesAtomic(res) {
+						report(res.Pos(), "returned by value")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && isAtomicValue(typeOf(n.Value)) {
+					report(n.Value.Pos(), "copied by range; iterate by index")
+				}
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, f := range n.Recv.List {
+						if isAtomicValue(typeOf(f.Type)) {
+							report(f.Type.Pos(), "used as a value receiver")
+						}
+					}
+				}
+			case *ast.FuncType:
+				for _, fl := range [...]*ast.FieldList{n.Params, n.Results} {
+					if fl == nil {
+						continue
+					}
+					for _, f := range fl.List {
+						if isAtomicValue(typeOf(f.Type)) {
+							report(f.Type.Pos(), "declared as a by-value parameter or result")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures loads every package under testdata/src and checks the
+// analyzer output exactly against the `// want:<rule>` markers in the
+// fixture sources: each marked line must be flagged with that rule, and no
+// unmarked line may be flagged. Allowlisted lines carry an ignore comment
+// and no marker, so suppression is verified by the same equality.
+func TestFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{filepath.Join(loader.ModuleRoot, "internal", "lint", "testdata", "src") + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 4 {
+		t.Fatalf("expected at least 4 fixture packages, got %d", len(pkgs))
+	}
+
+	want := map[string]bool{}
+	got := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					i := strings.Index(c.Text, "want:")
+					if i < 0 {
+						continue
+					}
+					rule := strings.TrimSpace(c.Text[i+len("want:"):])
+					if j := strings.IndexAny(rule, " \t"); j >= 0 {
+						rule = rule[:j]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					want[fmt.Sprintf("%s:%d:%s", filepath.Base(pos.Filename), pos.Line, rule)] = true
+				}
+			}
+		}
+		for _, f := range Analyze(pkg, nil) {
+			got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("no want markers found in fixtures")
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing expected finding %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected finding %s", k)
+		}
+	}
+	// Every rule must be exercised by at least one positive fixture case.
+	for _, name := range AnalyzerNames() {
+		found := false
+		for k := range want {
+			if strings.HasSuffix(k, ":"+name) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("rule %s has no positive fixture case", name)
+		}
+	}
+}
+
+// TestRuleSelection checks that restricting Rules drops other analyzers'
+// findings.
+func TestRuleSelection(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(loader.ModuleRoot, "internal", "lint", "testdata", "src", "mixed")
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(Analyze(pkg, []string{"atomic-copy"})); n != 0 {
+		t.Fatalf("mixed fixture should have no atomic-copy findings, got %d", n)
+	}
+	if n := len(Analyze(pkg, []string{"mixed-access"})); n == 0 {
+		t.Fatal("mixed fixture should have mixed-access findings")
+	}
+}
+
+// TestRepoIsClean runs the full suite over the module itself: every real
+// finding must be fixed or explicitly allowlisted with a justification.
+// This is the same gate `pasgal-vet ./...` enforces in scripts/check.sh.
+func TestRepoIsClean(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run([]string{"./..."}, Options{Dir: loader.ModuleRoot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestIgnoreParsing covers the comment-parsing corner cases directly.
+func TestIgnoreParsing(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(loader.ModuleRoot, "internal", "lint", "testdata", "src", "mixed")
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig := collectIgnores(pkg)
+	if len(ig.byLine) == 0 {
+		t.Fatal("expected at least one ignore comment in the mixed fixture")
+	}
+}

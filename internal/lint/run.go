@@ -1,0 +1,49 @@
+package lint
+
+// Options configures a vet run.
+type Options struct {
+	// Dir anchors module discovery and relative patterns; "" means the
+	// current working directory.
+	Dir string
+	// IncludeTests adds in-package _test.go files to each analyzed unit.
+	IncludeTests bool
+	// Rules selects a subset of analyzers by name; empty runs all.
+	Rules []string
+}
+
+// Run loads the packages matched by patterns (e.g. "./...") and returns all
+// findings, sorted, with allowlist suppressions applied.
+func Run(patterns []string, opts Options) ([]Finding, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = opts.IncludeTests
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs := make([]string, len(patterns))
+	for i, p := range patterns {
+		abs[i] = p
+		if p != "..." && !isAbs(p) {
+			abs[i] = dir + "/" + p
+		}
+	}
+	pkgs, err := loader.Load(abs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, Analyze(pkg, opts.Rules)...)
+	}
+	return out, nil
+}
+
+func isAbs(p string) bool {
+	return len(p) > 0 && p[0] == '/'
+}

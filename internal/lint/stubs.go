@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// The loader type-checks without compiled export data (none is shipped for
+// the standard library since Go 1.20, and x/tools is off-limits). Instead,
+// the two packages whose types the analyzers actually reason about —
+// sync/atomic and sync — are stubbed from embedded declaration-only source,
+// so atomic.Int64, sync.WaitGroup, atomic.AddInt64, etc. resolve to real
+// types.Objects with the correct package path. Every other import resolves
+// to an empty placeholder package; expressions using them get invalid types
+// and the tolerant type-checker carries on.
+
+const atomicStubSrc = `package atomic
+
+type Bool struct{ v uint32 }
+
+func (x *Bool) Load() bool
+func (x *Bool) Store(val bool)
+func (x *Bool) Swap(new bool) (old bool)
+func (x *Bool) CompareAndSwap(old, new bool) (swapped bool)
+
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32
+func (x *Int32) Store(val int32)
+func (x *Int32) Add(delta int32) (new int32)
+func (x *Int32) And(mask int32) (old int32)
+func (x *Int32) Or(mask int32) (old int32)
+func (x *Int32) Swap(new int32) (old int32)
+func (x *Int32) CompareAndSwap(old, new int32) (swapped bool)
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64
+func (x *Int64) Store(val int64)
+func (x *Int64) Add(delta int64) (new int64)
+func (x *Int64) And(mask int64) (old int64)
+func (x *Int64) Or(mask int64) (old int64)
+func (x *Int64) Swap(new int64) (old int64)
+func (x *Int64) CompareAndSwap(old, new int64) (swapped bool)
+
+type Uint32 struct{ v uint32 }
+
+func (x *Uint32) Load() uint32
+func (x *Uint32) Store(val uint32)
+func (x *Uint32) Add(delta uint32) (new uint32)
+func (x *Uint32) And(mask uint32) (old uint32)
+func (x *Uint32) Or(mask uint32) (old uint32)
+func (x *Uint32) Swap(new uint32) (old uint32)
+func (x *Uint32) CompareAndSwap(old, new uint32) (swapped bool)
+
+type Uint64 struct{ v uint64 }
+
+func (x *Uint64) Load() uint64
+func (x *Uint64) Store(val uint64)
+func (x *Uint64) Add(delta uint64) (new uint64)
+func (x *Uint64) And(mask uint64) (old uint64)
+func (x *Uint64) Or(mask uint64) (old uint64)
+func (x *Uint64) Swap(new uint64) (old uint64)
+func (x *Uint64) CompareAndSwap(old, new uint64) (swapped bool)
+
+type Uintptr struct{ v uintptr }
+
+func (x *Uintptr) Load() uintptr
+func (x *Uintptr) Store(val uintptr)
+func (x *Uintptr) Add(delta uintptr) (new uintptr)
+func (x *Uintptr) Swap(new uintptr) (old uintptr)
+func (x *Uintptr) CompareAndSwap(old, new uintptr) (swapped bool)
+
+type Pointer[T any] struct{ v *T }
+
+func (x *Pointer[T]) Load() *T
+func (x *Pointer[T]) Store(val *T)
+func (x *Pointer[T]) Swap(new *T) (old *T)
+func (x *Pointer[T]) CompareAndSwap(old, new *T) (swapped bool)
+
+type Value struct{ v any }
+
+func (v *Value) Load() (val any)
+func (v *Value) Store(val any)
+func (v *Value) Swap(new any) (old any)
+func (v *Value) CompareAndSwap(old, new any) (swapped bool)
+
+func AddInt32(addr *int32, delta int32) (new int32)
+func AddInt64(addr *int64, delta int64) (new int64)
+func AddUint32(addr *uint32, delta uint32) (new uint32)
+func AddUint64(addr *uint64, delta uint64) (new uint64)
+func AddUintptr(addr *uintptr, delta uintptr) (new uintptr)
+func CompareAndSwapInt32(addr *int32, old, new int32) (swapped bool)
+func CompareAndSwapInt64(addr *int64, old, new int64) (swapped bool)
+func CompareAndSwapUint32(addr *uint32, old, new uint32) (swapped bool)
+func CompareAndSwapUint64(addr *uint64, old, new uint64) (swapped bool)
+func CompareAndSwapUintptr(addr *uintptr, old, new uintptr) (swapped bool)
+func LoadInt32(addr *int32) (val int32)
+func LoadInt64(addr *int64) (val int64)
+func LoadUint32(addr *uint32) (val uint32)
+func LoadUint64(addr *uint64) (val uint64)
+func LoadUintptr(addr *uintptr) (val uintptr)
+func StoreInt32(addr *int32, val int32)
+func StoreInt64(addr *int64, val int64)
+func StoreUint32(addr *uint32, val uint32)
+func StoreUint64(addr *uint64, val uint64)
+func StoreUintptr(addr *uintptr, val uintptr)
+func SwapInt32(addr *int32, new int32) (old int32)
+func SwapInt64(addr *int64, new int64) (old int64)
+func SwapUint32(addr *uint32, new uint32) (old uint32)
+func SwapUint64(addr *uint64, new uint64) (old uint64)
+func SwapUintptr(addr *uintptr, new uintptr) (old uintptr)
+`
+
+const syncStubSrc = `package sync
+
+type Mutex struct {
+	state int32
+	sema  uint32
+}
+
+func (m *Mutex) Lock()
+func (m *Mutex) TryLock() bool
+func (m *Mutex) Unlock()
+
+type RWMutex struct {
+	w           Mutex
+	writerSem   uint32
+	readerSem   uint32
+	readerCount int32
+	readerWait  int32
+}
+
+func (rw *RWMutex) Lock()
+func (rw *RWMutex) TryLock() bool
+func (rw *RWMutex) Unlock()
+func (rw *RWMutex) RLock()
+func (rw *RWMutex) TryRLock() bool
+func (rw *RWMutex) RUnlock()
+func (rw *RWMutex) RLocker() Locker
+
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type WaitGroup struct {
+	state uint64
+	sema  uint32
+}
+
+func (wg *WaitGroup) Add(delta int)
+func (wg *WaitGroup) Done()
+func (wg *WaitGroup) Wait()
+
+type Once struct {
+	done uint32
+	m    Mutex
+}
+
+func (o *Once) Do(f func())
+
+func OnceFunc(f func()) func()
+
+type Pool struct {
+	New func() any
+}
+
+func (p *Pool) Put(x any)
+func (p *Pool) Get() any
+
+type Map struct{}
+
+func (m *Map) Load(key any) (value any, ok bool)
+func (m *Map) Store(key, value any)
+func (m *Map) LoadOrStore(key, value any) (actual any, loaded bool)
+func (m *Map) LoadAndDelete(key any) (value any, loaded bool)
+func (m *Map) Delete(key any)
+func (m *Map) Swap(key, value any) (previous any, loaded bool)
+func (m *Map) Range(f func(key, value any) bool)
+
+type Cond struct {
+	L Locker
+}
+
+func NewCond(l Locker) *Cond
+func (c *Cond) Wait()
+func (c *Cond) Signal()
+func (c *Cond) Broadcast()
+`
+
+var stubSources = map[string]string{
+	"sync/atomic": atomicStubSrc,
+	"sync":        syncStubSrc,
+}
+
+// buildStub type-checks one embedded stub source into a real types.Package
+// under its true import path.
+func buildStub(fset *token.FileSet, importPath, src string, imp types.Importer) (*types.Package, error) {
+	file, err := parser.ParseFile(fset, importPath+"/stub.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // tolerant
+	}
+	pkg, err := conf.Check(importPath, fset, []*ast.File{file}, nil)
+	if pkg != nil {
+		pkg.MarkComplete()
+		return pkg, nil
+	}
+	return nil, err
+}
+
+// placeholderName guesses a package name from an import path. It is only
+// used for placeholder (empty) packages, where a wrong guess merely means a
+// few more swallowed type errors.
+func placeholderName(importPath string) string {
+	base := path.Base(importPath)
+	// Strip major-version suffixes (".../v2") and hyphens ("go-foo").
+	if strings.HasPrefix(base, "v") && len(base) > 1 && base[1] >= '0' && base[1] <= '9' {
+		base = path.Base(path.Dir(importPath))
+	}
+	if i := strings.LastIndexByte(base, '-'); i >= 0 {
+		base = base[i+1:]
+	}
+	return base
+}

@@ -1,0 +1,69 @@
+// Package atomcopy exercises the atomic-copy analyzer: sync/atomic values
+// must be shared by pointer; copying one forks the counter.
+package atomcopy
+
+import "sync/atomic"
+
+type stats struct {
+	n atomic.Int64 // ok: embedding an atomic in a struct is the idiom
+}
+
+// badAssign copies an atomic value into a second variable.
+func badAssign() int64 {
+	var a atomic.Int64
+	a.Store(1)
+	b := a // want:atomic-copy
+	return b.Load()
+}
+
+// badPass passes an atomic by value; badParam declares the by-value
+// parameter that receives it.
+func badPass() int64 {
+	var a atomic.Int64
+	return badParam(a) // want:atomic-copy
+}
+
+func badParam(v atomic.Int64) int64 { // want:atomic-copy
+	return v.Load()
+}
+
+// badReturn returns an atomic by value (result type and return site).
+func badReturn() atomic.Int64 { // want:atomic-copy
+	var a atomic.Int64
+	return a // want:atomic-copy
+}
+
+// badRange copies each element out of a slice of atomics.
+func badRange(xs []atomic.Uint32) uint32 {
+	var sum uint32
+	for _, v := range xs { // want:atomic-copy
+		sum += v.Load()
+	}
+	return sum
+}
+
+// goodPointer shares the atomic by pointer everywhere.
+func goodPointer() int64 {
+	a := &atomic.Int64{} // ok: composite literal constructs in place
+	goodParam(a)
+	return a.Load()
+}
+
+func goodParam(v *atomic.Int64) {
+	v.Add(1)
+}
+
+// goodIndex iterates a slice of atomics by index, never copying.
+func goodIndex(xs []atomic.Uint32) uint32 {
+	var sum uint32
+	for i := range xs {
+		sum += xs[i].Load()
+	}
+	return sum
+}
+
+// goodField uses the embedded atomic through the enclosing pointer.
+func goodField(s *stats) int64 {
+	s.n.Add(1)
+	return s.n.Load()
+}

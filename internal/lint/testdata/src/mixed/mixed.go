@@ -1,0 +1,62 @@
+// Package mixed exercises the mixed-access analyzer: positive cases mix
+// sync/atomic and plain accesses on the same field or package variable;
+// negative cases are either consistently atomic or read plainly only after
+// the join. Lines carrying an expectation marker must be flagged; every
+// other line must stay clean.
+package mixed
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits   int64
+	misses int64
+	clean  int64
+}
+
+// bad mixes an atomic add with plain writes on the same field.
+func bad(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+	c.hits++   // want:mixed-access
+	c.hits = 5 // want:mixed-access
+}
+
+var global int64
+
+// badConcurrentRead reads an atomically-updated package variable plainly
+// from inside a goroutine.
+func badConcurrentRead() int64 {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := global // want:mixed-access
+		_ = v
+	}()
+	atomic.AddInt64(&global, 1)
+	wg.Wait()
+	return atomic.LoadInt64(&global)
+}
+
+// goodConsistent touches a field only through sync/atomic.
+func goodConsistent(c *counters) int64 {
+	atomic.AddInt64(&c.clean, 1)
+	return atomic.LoadInt64(&c.clean)
+}
+
+// goodPostJoinRead reads the field plainly, but in straight-line code after
+// all concurrent updates have joined — the standard result-collection
+// pattern, deliberately not flagged.
+func goodPostJoinRead(c *counters) int64 {
+	atomic.AddInt64(&c.clean, 1)
+	return c.clean
+}
+
+// allowlisted shows the suppression mechanism: a provably safe plain write
+// vetted with a justification. It must produce no finding.
+func allowlisted(c *counters) {
+	atomic.AddInt64(&c.misses, 1)
+	c.misses = 0 //pasgal:vet ignore=mixed-access -- reset runs after every worker has joined
+}

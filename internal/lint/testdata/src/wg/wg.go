@@ -1,0 +1,55 @@
+// Package wg exercises the wait-group-misuse analyzer.
+package wg
+
+import "sync"
+
+// badAddInside calls Add from within the spawned goroutine: Wait can run
+// before the goroutine is scheduled and return immediately.
+func badAddInside(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want:wait-group-misuse
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// badMissingWait launches but never joins.
+func badMissingWait(work func()) {
+	var wg sync.WaitGroup // want:wait-group-misuse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// goodClassic is the correct pattern: Add before launch, Wait at the end.
+func goodClassic(work func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// goodEscapes hands the WaitGroup to a helper; the Wait legitimately
+// happens elsewhere, so no missing-Wait diagnostic.
+func goodEscapes(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	join(&wg)
+}
+
+func join(wg *sync.WaitGroup) {
+	wg.Wait()
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// WaitGroupAnalyzer reports the two classic sync.WaitGroup mistakes:
+//
+//  1. wg.Add called *inside* the spawned goroutine. The launcher can reach
+//     wg.Wait before the goroutine is scheduled, see a zero counter, and
+//     return while work is still running — Add must happen-before the
+//     launch.
+//  2. A WaitGroup that is Add-ed but never waited on in the declaring
+//     function (and whose address never escapes to a helper that could
+//     wait), which leaks goroutines past the function's return.
+func WaitGroupAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wait-group-misuse",
+		Doc:  "wg.Add inside the spawned goroutine, or Add without a matching Wait",
+		Run:  runWaitGroup,
+	}
+}
+
+func isWaitGroup(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func runWaitGroup(pkg *Package) []Finding {
+	if pkg.Info == nil {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		concurrent := concurrentLits(pkg, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, checkWaitGroups(pkg, fd, concurrent)...)
+		}
+	}
+	return out
+}
+
+// wgState tracks, for one WaitGroup object inside one function, everything
+// the two checks need.
+type wgState struct {
+	decl      *ast.Ident // declaring identifier (nil if not declared here)
+	hasAdd    bool
+	hasWait   bool
+	escapes   bool // address taken outside a method call / passed along
+	localDecl bool
+}
+
+func checkWaitGroups(pkg *Package, fd *ast.FuncDecl, concurrent map[*ast.FuncLit]bool) []Finding {
+	states := map[types.Object]*wgState{}
+	get := func(obj types.Object) *wgState {
+		s := states[obj]
+		if s == nil {
+			s = &wgState{}
+			states[obj] = s
+		}
+		return s
+	}
+	var out []Finding
+	walkStack(fd, func(stack []ast.Node) bool {
+		switch n := stack[len(stack)-1].(type) {
+		case *ast.Ident:
+			obj := pkg.Info.Defs[n]
+			if obj != nil && isWaitGroup(obj.Type()) {
+				if v, ok := obj.(*types.Var); ok && !v.IsField() {
+					s := get(obj)
+					s.decl = n
+					s.localDecl = true
+				}
+				return true
+			}
+			// A use that is not the receiver of a method call marks the
+			// WaitGroup as escaping (passed to a helper, stored, etc.):
+			// the Wait may legitimately happen elsewhere.
+			useObj := pkg.Info.Uses[n]
+			if useObj == nil || !isWaitGroup(useObj.Type()) {
+				return true
+			}
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.X == n {
+					return true // receiver position; handled via CallExpr below
+				}
+			}
+			get(useObj).escapes = true
+		case *ast.CallExpr:
+			sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[recv]
+			if obj == nil || !isWaitGroup(obj.Type()) {
+				return true
+			}
+			s := get(obj)
+			switch sel.Sel.Name {
+			case "Add":
+				s.hasAdd = true
+				if lit := nearestConcurrentLit(stack, concurrent); lit != nil &&
+					(obj.Pos() < lit.Pos() || obj.Pos() > lit.End()) {
+					out = append(out, Finding{
+						Pos:  pkg.position(n.Pos()),
+						Rule: "wait-group-misuse",
+						Message: fmt.Sprintf(
+							"%s.Add is called inside the spawned goroutine; call Add before launching so Wait cannot observe a zero counter early",
+							recv.Name),
+					})
+				}
+			case "Wait":
+				s.hasWait = true
+			}
+		}
+		return true
+	})
+	for obj, s := range states {
+		if s.localDecl && s.hasAdd && !s.hasWait && !s.escapes {
+			out = append(out, Finding{
+				Pos:  pkg.position(s.decl.Pos()),
+				Rule: "wait-group-misuse",
+				Message: fmt.Sprintf(
+					"%s is Add-ed but %s.Wait is never called in %s; goroutines may outlive the function",
+					obj.Name(), obj.Name(), fd.Name.Name),
+			})
+		}
+	}
+	return out
+}

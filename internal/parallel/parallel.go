@@ -109,7 +109,9 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
+					// Exactly one writer wins via sync.Once, and the read
+					// below happens after wg.Wait.
+					panicOnce.Do(func() { panicVal = r }) //pasgal:vet ignore=parallel-capture -- single Once-guarded write, read after join
 				}
 			}()
 			for {
@@ -164,7 +166,9 @@ func Do(fns ...func()) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicVal = r })
+					// Exactly one writer wins via sync.Once, and the read
+					// below happens after wg.Wait.
+					panicOnce.Do(func() { panicVal = r }) //pasgal:vet ignore=parallel-capture -- single Once-guarded write, read after join
 				}
 			}()
 			fn()

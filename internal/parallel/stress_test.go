@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressForOversubscribed runs parallel loops with the worker team
+// deliberately mismatched to GOMAXPROCS in both directions — many more
+// workers than processors (oversubscription) and more processors than
+// workers — across several GOMAXPROCS settings. Each configuration checks
+// that every index is visited exactly once and that the join is complete
+// before ForRange returns. Under -race this shakes out ordering bugs in
+// the chunk-counter scheduler that a matched configuration never hits.
+func TestStressForOversubscribed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	origProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(origProcs)
+
+	for _, procs := range []int{1, 2, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 7, 32, 128} {
+			old := SetWorkers(workers)
+			n := 1 << 15
+			visits := make([]int32, n)
+			var sum atomic.Int64
+			ForRange(n, 64, func(lo, hi int) {
+				var local int64
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+					local += int64(i)
+				}
+				sum.Add(local)
+			})
+			SetWorkers(old)
+			want := int64(n) * int64(n-1) / 2
+			if got := sum.Load(); got != want {
+				t.Fatalf("procs=%d workers=%d: sum = %d, want %d", procs, workers, got, want)
+			}
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("procs=%d workers=%d: index %d visited %d times", procs, workers, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestStressDoNestedForkJoin nests Do inside For under oversubscription,
+// the shape VGC algorithms produce (a parallel loop whose body forks
+// sub-tasks), and checks the counters balance.
+func TestStressDoNestedForkJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	old := SetWorkers(32)
+	defer SetWorkers(old)
+	var total atomic.Int64
+	For(256, 1, func(i int) {
+		Do(
+			func() { total.Add(int64(i)) },
+			func() { total.Add(int64(i)) },
+			func() { total.Add(1) },
+		)
+	})
+	want := int64(2*(255*256/2) + 256)
+	if got := total.Load(); got != want {
+		t.Fatalf("total = %d, want %d", got, want)
+	}
+}

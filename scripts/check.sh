@@ -1,0 +1,38 @@
+#!/bin/sh
+# check.sh — the full local verification gate, in increasing cost order:
+# formatting, go vet, build + unit tests, the pasgal-vet concurrency
+# checker, then the -race stress tier over the concurrency-critical
+# packages. Run from anywhere inside the repository. Set PASGAL_SKIP_RACE=1
+# to stop before the race tier (it dominates the runtime, ~30s).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== gofmt'
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo '== go vet'
+go vet ./...
+
+echo '== build + tests'
+go build ./...
+go test ./...
+
+echo '== pasgal-vet'
+go run ./cmd/pasgal-vet ./...
+
+if [ "${PASGAL_SKIP_RACE:-0}" = 1 ]; then
+    echo '== race tier skipped (PASGAL_SKIP_RACE=1)'
+    exit 0
+fi
+
+echo '== race stress tier'
+go test -race -run Stress -count=3 \
+    ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core
+
+echo 'all checks passed'

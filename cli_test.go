@@ -1,6 +1,7 @@
 package pasgal
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -107,6 +108,119 @@ func TestCLIEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "Frontier growth") {
 		t.Fatalf("bench output: %s", out)
 	}
+}
+
+// TestCLITraceAndCompare covers the acceptance path of the tracing +
+// regression-gate work: `-trace` must emit a loadable Chrome trace, and
+// `-compare` must exit non-zero exactly when a result file regressed.
+func TestCLITraceAndCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	benchBin := filepath.Join(bins, "pasgal-bench")
+
+	traceDir := filepath.Join(work, "trace")
+	newJSON := filepath.Join(work, "new.json")
+	out := run(t, benchBin, "-exp", "bfs", "-scale", "0.02", "-reps", "1",
+		"-graphs", "REC,TW", "-trace", traceDir, "-json", newJSON,
+		"-cpuprofile", filepath.Join(work, "cpu.pprof"),
+		"-memprofile", filepath.Join(work, "mem.pprof"))
+	for _, want := range []string{"rounds.log", "events.jsonl", "chrome_trace.json"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("bench did not report writing %s:\n%s", want, out)
+		}
+	}
+
+	// The Chrome trace must be valid JSON with a traceEvents array holding
+	// complete ("X") round slices — the shape chrome://tracing loads.
+	raw, err := os.ReadFile(filepath.Join(traceDir, "chrome_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chromeTrace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &chromeTrace); err != nil {
+		t.Fatalf("chrome_trace.json is not valid JSON: %v", err)
+	}
+	slices := 0
+	for _, ev := range chromeTrace.TraceEvents {
+		if ev.Ph == "X" {
+			slices++
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("chrome trace has no round slices among %d events", len(chromeTrace.TraceEvents))
+	}
+	for _, prof := range []string{"cpu.pprof", "mem.pprof"} {
+		if st, err := os.Stat(filepath.Join(work, prof)); err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty (err=%v)", prof, err)
+		}
+	}
+
+	// Self-compare: no regression, exit 0.
+	out = run(t, benchBin, "-compare", newJSON, newJSON)
+	if !strings.Contains(out, "0 regression(s)") {
+		t.Fatalf("self-compare reported regressions:\n%s", out)
+	}
+
+	// Doctor an "old" file with faster times: comparing old -> new must
+	// flag regressions and exit 1.
+	var records []map[string]any
+	if err := json.Unmarshal(mustRead(t, newJSON), &records); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		for _, res := range rec["results"].([]any) {
+			times := res.(map[string]any)["Times"].(map[string]any)
+			for impl, v := range times {
+				times[impl] = v.(float64) / 10
+			}
+		}
+	}
+	doctored, err := json.Marshal(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldJSON := filepath.Join(work, "old.json")
+	if err := os.WriteFile(oldJSON, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(benchBin, "-compare", oldJSON, newJSON)
+	msg, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("compare against 10x-faster old file exited 0:\n%s", msg)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("compare exit = %v, want exit code 1:\n%s", err, msg)
+	}
+	if !strings.Contains(string(msg), "REGRESSION") {
+		t.Fatalf("compare output does not mark regressions:\n%s", msg)
+	}
+
+	// A huge threshold swallows the same delta.
+	run(t, benchBin, "-compare", "-threshold", "100", oldJSON, newJSON)
+
+	// Bad usage exits non-zero.
+	if err := exec.Command(benchBin, "-compare", oldJSON).Run(); err == nil {
+		t.Fatal("compare with one file did not fail")
+	}
+	if err := exec.Command(benchBin, "-compare", oldJSON, filepath.Join(work, "nope.json")).Run(); err == nil {
+		t.Fatal("compare with missing file did not fail")
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestCLIErrors(t *testing.T) {

@@ -9,17 +9,33 @@
 //	pasgal-bench -exp all -scale 1.0 -reps 3
 //	pasgal-bench -exp scc -graphs TW,OK,NA,REC
 //	pasgal-bench -exp fig1 -workers 8
+//	pasgal-bench -exp bfs -trace /tmp/trace          # tracing sinks
+//	pasgal-bench -exp bfs -cpuprofile cpu.pprof      # pprof hooks
+//	pasgal-bench -compare old.json new.json          # regression gate
+//
+// With -trace DIR, every algorithm run (PASGAL and baselines) plus the
+// parallel runtime feeds one trace.Tracer, and three sinks are written into
+// DIR: rounds.log (human-readable), events.jsonl (event stream), and
+// chrome_trace.json (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// With -compare OLD NEW, no experiments run; the two result files (written
+// by -json) are diffed per (experiment, graph, implementation) and the
+// process exits 1 if any cell slowed down by more than -threshold
+// (default 0.25 = 25%).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pasgal/internal/bench"
 	"pasgal/internal/parallel"
+	"pasgal/internal/trace"
 )
 
 func main() {
@@ -30,12 +46,58 @@ func main() {
 	graphs := flag.String("graphs", "", "comma-separated workload subset (default: all 22)")
 	jsonOut := flag.String("json", "", "also write table results to this JSON file")
 	svgDir := flag.String("svg", "", "also render Figure 2-style speedup charts into this directory")
+	traceDir := flag.String("trace", "", "write trace sinks (rounds.log, events.jsonl, chrome_trace.json) into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	compare := flag.Bool("compare", false, "compare two result JSON files (args: old.json new.json); exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: slowdown fraction that counts as a regression")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: pasgal-bench -compare [-threshold 0.25] old.json new.json")
+			os.Exit(2)
+		}
+		n, err := bench.CompareFiles(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: compare: %v\n", err)
+			os.Exit(2)
+		}
+		if n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
-	cfg := bench.Config{Scale: *scale, Reps: *reps, Out: os.Stdout}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
+	var tracer *trace.Tracer
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		tracer = trace.New()
+		parallel.SetTracer(tracer)
+		defer parallel.SetTracer(nil)
+	}
+
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Out: os.Stdout, Tracer: tracer}
 	if *graphs != "" {
 		cfg.Graphs = strings.Split(*graphs, ",")
 	}
@@ -124,4 +186,51 @@ func main() {
 		}
 		fmt.Printf("wrote %d experiment records to %s\n", len(records), *jsonOut)
 	}
+	if tracer != nil {
+		if err := writeTraceSinks(*traceDir, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-bench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeTraceSinks renders the recording in all three formats.
+func writeTraceSinks(dir string, tr *trace.Tracer) error {
+	sinks := []struct {
+		name  string
+		write func(*os.File) error
+	}{
+		{"rounds.log", func(f *os.File) error { return tr.WriteRoundLog(f) }},
+		{"events.jsonl", func(f *os.File) error { return tr.WriteJSONL(f) }},
+		{"chrome_trace.json", func(f *os.File) error { return tr.WriteChromeTrace(f) }},
+	}
+	for _, s := range sinks {
+		path := filepath.Join(dir, s.name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
 }

@@ -49,10 +49,16 @@ func (r *bucketRing) take(b int) []uint32 {
 // through the shared buckets, one global synchronization per inner round.
 // delta <= 0 picks a heuristic Δ (average edge weight).
 func DeltaSteppingSSSP(g *graph.Graph, src uint32, delta uint64) ([]uint64, *core.Metrics) {
+	return DeltaSteppingSSSPOpt(g, src, delta, core.Options{})
+}
+
+// DeltaSteppingSSSPOpt is DeltaSteppingSSSP with Options plumbing (tracer
+// and metric options only; Δ remains this baseline's own parameter).
+func DeltaSteppingSSSPOpt(g *graph.Graph, src uint32, delta uint64, opt core.Options) ([]uint64, *core.Metrics) {
 	if !g.Weighted() {
 		panic("baseline: DeltaSteppingSSSP requires a weighted graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "delta-sssp")
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(core.InfWeight) })

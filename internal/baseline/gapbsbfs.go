@@ -13,8 +13,14 @@ import (
 // 1/alpha of the unexplored edges, then bitmap-based bottom-up rounds until
 // the frontier shrinks below n/beta.
 func GAPBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
+	return GAPBSBFSOpt(g, src, core.Options{})
+}
+
+// GAPBSBFSOpt is GAPBSBFS with Options plumbing (tracer and metric options
+// only; alpha/beta stay fixed at GAPBS's published constants).
+func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics) {
 	const alpha, beta = 15, 18
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "gapbs-bfs")
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })

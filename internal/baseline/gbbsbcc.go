@@ -16,10 +16,16 @@ import (
 // FAST-BCC. Components are processed one BFS at a time, as a BFS-based
 // system must.
 func GBBSBCC(g *graph.Graph) (core.BCCResult, *core.Metrics) {
+	return GBBSBCCOpt(g, core.Options{})
+}
+
+// GBBSBCCOpt is GBBSBCC with Options plumbing (tracer and metric options
+// only).
+func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics) {
 	if g.Directed {
 		panic("baseline: GBBSBCC requires an undirected graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "gbbs-bcc")
 	n := g.N
 	if n == 0 {
 		res, _ := core.BCCFromForest(g, euler.Build(0, nil))

@@ -21,7 +21,13 @@ import (
 // sweep when the frontier covers enough of the edge set (direction
 // optimization). One global synchronization per hop.
 func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
-	met := &core.Metrics{}
+	return GBBSBFSOpt(g, src, core.Options{})
+}
+
+// GBBSBFSOpt is GBBSBFS with Options plumbing (only the tracer and metric
+// options apply; the algorithmic knobs are PASGAL's, not GBBS's).
+func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics) {
+	met := core.NewMetrics(opt, "gbbs-bfs")
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })

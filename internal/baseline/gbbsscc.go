@@ -16,10 +16,16 @@ import (
 // synchronizations per search, which is precisely the behavior Figure 1
 // contrasts PASGAL against.
 func GBBSSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
+	return GBBSSCCOpt(g, core.Options{})
+}
+
+// GBBSSCCOpt is GBBSSCC with Options plumbing (tracer and metric options
+// only).
+func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics) {
 	if !g.Directed {
 		panic("baseline: GBBSSCC requires a directed graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "gbbs-scc")
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)

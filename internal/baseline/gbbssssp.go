@@ -14,10 +14,16 @@ import (
 // relative to Δ-stepping on heavy-tailed weight ranges but simple and
 // level-synchronous — the profile of GBBS's general-weight SSSP.
 func GBBSBellmanFordSSSP(g *graph.Graph, src uint32) ([]uint64, *core.Metrics) {
+	return GBBSBellmanFordSSSPOpt(g, src, core.Options{})
+}
+
+// GBBSBellmanFordSSSPOpt is GBBSBellmanFordSSSP with Options plumbing
+// (tracer and metric options only).
+func GBBSBellmanFordSSSPOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint64, *core.Metrics) {
 	if !g.Weighted() {
 		panic("baseline: GBBSBellmanFordSSSP requires a weighted graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "gbbs-sssp")
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(core.InfWeight) })

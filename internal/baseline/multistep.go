@@ -19,10 +19,16 @@ const multistepSeqCutoff = 256
 // BFS), then rounds of max-color propagation with per-color backward
 // sweeps, finishing the tail sequentially with Tarjan's algorithm.
 func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
+	return MultistepSCCOpt(g, core.Options{})
+}
+
+// MultistepSCCOpt is MultistepSCC with Options plumbing (tracer and metric
+// options only).
+func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics) {
 	if !g.Directed {
 		panic("baseline: MultistepSCC requires a directed graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "multistep-scc")
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)

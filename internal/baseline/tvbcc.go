@@ -23,10 +23,16 @@ import (
 // metrics-side value reports the materialized size so the benchmark harness
 // can chart the space blow-up.
 func TarjanVishkinBCC(g *graph.Graph) (core.BCCResult, *core.Metrics, int64) {
+	return TarjanVishkinBCCOpt(g, core.Options{})
+}
+
+// TarjanVishkinBCCOpt is TarjanVishkinBCC with Options plumbing (tracer and
+// metric options only).
+func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics, int64) {
 	if g.Directed {
 		panic("baseline: TarjanVishkinBCC requires an undirected graph")
 	}
-	met := &core.Metrics{}
+	met := core.NewMetrics(opt, "tv-bcc")
 	n := g.N
 	res := core.BCCResult{
 		ArcLabel: make([]uint32, len(g.Edges)),

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Delta is one (experiment, graph, implementation) comparison between two
+// result files. Ratio is new/old median time; RoundsOld/RoundsNew carry the
+// machine-independent synchronization counts when both sides recorded them
+// (-1 otherwise).
+type Delta struct {
+	Experiment string
+	Graph      string
+	Impl       string
+	Old, New   float64 // median seconds
+	Ratio      float64
+	RoundsOld  int64
+	RoundsNew  int64
+}
+
+// Regressed reports whether the delta exceeds the given slowdown threshold
+// (0.25 = "new is more than 25% slower than old").
+func (d Delta) Regressed(threshold float64) bool {
+	return d.Ratio > 1+threshold
+}
+
+// Compare matches two result sets by (experiment, graph, implementation)
+// and returns the per-cell deltas, sorted by descending ratio (worst
+// regression first). Cells present on only one side are skipped — a changed
+// registry must not masquerade as a perf change.
+func Compare(oldRecs, newRecs []Record) []Delta {
+	type key struct{ exp, graph, impl string }
+	oldIdx := map[key]Result{}
+	oldExp := map[key]string{}
+	for _, rec := range oldRecs {
+		for _, res := range rec.Results {
+			for impl := range res.Times {
+				k := key{rec.Experiment, res.Graph, impl}
+				oldIdx[k] = res
+				oldExp[k] = rec.Experiment
+			}
+		}
+	}
+	var deltas []Delta
+	for _, rec := range newRecs {
+		for _, res := range rec.Results {
+			for impl, newT := range res.Times {
+				k := key{rec.Experiment, res.Graph, impl}
+				oldRes, ok := oldIdx[k]
+				if !ok {
+					continue
+				}
+				oldT := oldRes.Times[impl]
+				d := Delta{
+					Experiment: rec.Experiment, Graph: res.Graph, Impl: impl,
+					Old: oldT, New: newT, RoundsOld: -1, RoundsNew: -1,
+				}
+				if oldT > 0 {
+					d.Ratio = newT / oldT
+				}
+				if m := oldRes.Metrics[impl]; m != nil {
+					d.RoundsOld = m.Rounds
+				}
+				if m := res.Metrics[impl]; m != nil {
+					d.RoundsNew = m.Rounds
+				}
+				deltas = append(deltas, d)
+			}
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Ratio != deltas[j].Ratio {
+			return deltas[i].Ratio > deltas[j].Ratio
+		}
+		a, b := deltas[i], deltas[j]
+		return a.Experiment+a.Graph+a.Impl < b.Experiment+b.Graph+b.Impl
+	})
+	return deltas
+}
+
+// PrintDeltas renders the comparison table and returns the number of
+// regressions past the threshold. Every compared cell is printed;
+// regressions are marked, so the report is useful even when it gates
+// nothing.
+func PrintDeltas(w io.Writer, deltas []Delta, threshold float64) int {
+	if len(deltas) == 0 {
+		fmt.Fprintln(w, "no comparable (experiment, graph, impl) cells")
+		return 0
+	}
+	rows := [][]string{{"Experiment", "Graph", "Impl", "old", "new", "ratio", "rounds", ""}}
+	regressions := 0
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed(threshold) {
+			mark = "REGRESSION"
+			regressions++
+		}
+		rounds := "-"
+		if d.RoundsOld >= 0 && d.RoundsNew >= 0 {
+			rounds = fmt.Sprintf("%d->%d", d.RoundsOld, d.RoundsNew)
+		}
+		rows = append(rows, []string{
+			d.Experiment, d.Graph, d.Impl,
+			fmtTime(d.Old), fmtTime(d.New), fmt.Sprintf("%.2fx", d.Ratio),
+			rounds, mark,
+		})
+	}
+	printAligned(w, rows)
+	fmt.Fprintf(w, "%d cells compared, %d regression(s) past %.0f%%\n",
+		len(deltas), regressions, threshold*100)
+	return regressions
+}
+
+// CompareFiles reads two result files, prints their delta table to w, and
+// returns the regression count — the pasgal-bench -compare entry point.
+func CompareFiles(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldRecs, err := ReadJSON(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRecs, err := ReadJSON(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "comparing %s (old) vs %s (new), threshold %.0f%%\n",
+		oldPath, newPath, threshold*100)
+	return PrintDeltas(w, Compare(oldRecs, newRecs), threshold), nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pasgal/internal/core"
+)
+
+func mkRecord(exp, graph string, times map[string]float64, rounds map[string]int64) Record {
+	res := Result{Graph: graph, Category: "test", Times: times,
+		Metrics: map[string]*core.Metrics{}, Extra: map[string]string{}}
+	for impl, r := range rounds {
+		res.Metrics[impl] = &core.Metrics{Rounds: r}
+	}
+	return Record{Experiment: exp, Scale: 1, Reps: 1, Workers: 1, Results: []Result{res}}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	oldRecs := []Record{mkRecord("bfs", "REC",
+		map[string]float64{"PASGAL": 1.0, "GBBS": 2.0},
+		map[string]int64{"PASGAL": 40, "GBBS": 5000})}
+	newRecs := []Record{mkRecord("bfs", "REC",
+		map[string]float64{"PASGAL": 1.6, "GBBS": 2.0},
+		map[string]int64{"PASGAL": 41, "GBBS": 5000})}
+
+	deltas := Compare(oldRecs, newRecs)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	// Sorted worst-first: the 1.6x PASGAL slowdown leads.
+	if deltas[0].Impl != "PASGAL" || !deltas[0].Regressed(0.5) {
+		t.Fatalf("worst delta = %+v, want PASGAL regression", deltas[0])
+	}
+	if deltas[0].RoundsOld != 40 || deltas[0].RoundsNew != 41 {
+		t.Fatalf("rounds not carried: %+v", deltas[0])
+	}
+	if deltas[1].Regressed(0.5) {
+		t.Fatalf("GBBS at 1.0x flagged as regression: %+v", deltas[1])
+	}
+
+	var buf bytes.Buffer
+	if n := PrintDeltas(&buf, deltas, 0.5); n != 1 {
+		t.Fatalf("PrintDeltas counted %d regressions, want 1", n)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("report does not mark the regression:\n%s", buf.String())
+	}
+
+	// Below threshold: same deltas, zero regressions.
+	if n := PrintDeltas(&buf, deltas, 0.7); n != 0 {
+		t.Fatalf("threshold 0.7 counted %d regressions, want 0", n)
+	}
+}
+
+func TestCompareSkipsUnmatchedCells(t *testing.T) {
+	oldRecs := []Record{mkRecord("bfs", "REC", map[string]float64{"PASGAL": 1}, nil)}
+	newRecs := []Record{
+		mkRecord("bfs", "TW", map[string]float64{"PASGAL": 1}, nil),   // new graph
+		mkRecord("scc", "REC", map[string]float64{"PASGAL": 1}, nil),  // new experiment
+		mkRecord("bfs", "REC", map[string]float64{"NewImpl": 1}, nil), // new impl
+	}
+	if deltas := Compare(oldRecs, newRecs); len(deltas) != 0 {
+		t.Fatalf("unmatched cells produced deltas: %+v", deltas)
+	}
+}
+
+// TestCompareFilesRoundTrip drives the file-level entry point through
+// WriteJSON/ReadJSON — the exact path pasgal-bench -compare takes.
+func TestCompareFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	oldRecs := []Record{mkRecord("bfs", "REC", map[string]float64{"PASGAL": 1.0}, nil)}
+	newRecs := []Record{mkRecord("bfs", "REC", map[string]float64{"PASGAL": 3.0}, nil)}
+	if err := WriteJSON(oldPath, oldRecs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(newPath, newRecs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := CompareFiles(&buf, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("CompareFiles found %d regressions, want 1:\n%s", n, buf.String())
+	}
+	// Identical files: no regressions.
+	n, err = CompareFiles(&buf, oldPath, oldPath, 0.25)
+	if err != nil || n != 0 {
+		t.Fatalf("self-compare: n=%d err=%v", n, err)
+	}
+	if _, err := CompareFiles(&buf, filepath.Join(dir, "absent.json"), newPath, 0.25); err == nil {
+		t.Fatal("missing old file did not error")
+	}
+}

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"pasgal/internal/baseline"
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+// diffShape is one entry of the differential-testing table: a graph plus
+// the degeneracies it carries. Shapes with self-loops or parallel edges
+// violate the sorted/deduplicated adjacency invariant the biconnectivity
+// algorithms rely on, so BCC is skipped there (the other problems must
+// still agree — extra arcs only add redundant relaxations).
+type diffShape struct {
+	name    string
+	g       *graph.Graph
+	skipBCC bool
+}
+
+// loopyEdges builds an edge list laced with self-loops and duplicates on
+// top of a chain backbone, so the degenerate shapes stay connected enough
+// to be interesting.
+func loopyEdges(n int, seed uint64, selfLoops, dups bool) []graph.Edge {
+	var edges []graph.Edge
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: uint32(i), V: uint32(i + 1)})
+	}
+	s := seed
+	next := func(mod int) uint32 {
+		s = s*0x2545f4914f6cdd1d + 0x9e3779b97f4a7c15
+		return uint32((s >> 33) % uint64(mod))
+	}
+	for i := 0; i < n; i++ {
+		u, v := next(n), next(n)
+		edges = append(edges, graph.Edge{U: u, V: v})
+		if selfLoops && i%3 == 0 {
+			edges = append(edges, graph.Edge{U: u, V: u})
+		}
+		if dups && i%2 == 0 {
+			edges = append(edges, graph.Edge{U: u, V: v}, graph.Edge{U: u, V: v})
+		}
+	}
+	return edges
+}
+
+// diffShapes is the ~20-shape randomized matrix: every structural regime
+// the library claims to handle, including the degenerate ones that
+// historically break frontier algorithms (empty, single-vertex,
+// disconnected, self-loops, parallel edges).
+func diffShapes(seed uint64) []diffShape {
+	loopOpt := graph.BuildOptions{KeepSelfLoops: true}
+	dupOpt := graph.BuildOptions{KeepDuplicates: true}
+	bothOpt := graph.BuildOptions{KeepSelfLoops: true, KeepDuplicates: true}
+	return []diffShape{
+		{name: "single-vertex", g: graph.FromEdges(1, nil, false, graph.BuildOptions{})},
+		{name: "two-isolated", g: graph.FromEdges(2, nil, true, graph.BuildOptions{})},
+		{name: "isolated-50", g: graph.FromEdges(50, nil, false, graph.BuildOptions{})},
+		{name: "chain", g: gen.Chain(300, false)},
+		{name: "chain-dir", g: gen.Chain(300, true)},
+		{name: "cycle-dir", g: gen.Cycle(256, true)},
+		{name: "star", g: gen.Star(200)},
+		{name: "binary-tree", g: gen.CompleteBinaryTree(511)},
+		{name: "grid", g: gen.Grid2D(18, 23, false, seed)},
+		{name: "sampled-grid-dir", g: gen.SampledGrid(20, 20, 0.85, true, seed+1)},
+		{name: "trigrid", g: gen.TriGrid(15, 15)},
+		{name: "perforated", g: gen.PerforatedGrid(20, 20, 6, 2, seed+2)},
+		{name: "er-disconnected", g: gen.ER(400, 200, true, seed+3)},
+		{name: "er-dense", g: gen.ER(300, 2400, true, seed+4)},
+		{name: "rmat", g: gen.SocialRMAT(8, 8, true, seed+5)},
+		{name: "weblike", g: gen.WebLike(500, 5, 0.3, 20, seed+6)},
+		{name: "rgg", g: gen.RGG(400, 6, seed+7)},
+		{name: "knn", g: gen.KNN(400, 3, 4, false, seed+8)},
+		{name: "watts-strogatz", g: gen.WattsStrogatz(300, 6, 0.1, seed+9)},
+		{name: "barabasi-albert", g: gen.BarabasiAlbert(300, 3, seed+10)},
+		{name: "hypercube", g: gen.Hypercube(8)},
+		{name: "random-tree", g: gen.Tree(500, seed+11)},
+		{name: "self-loops-dir",
+			g:       graph.FromEdges(120, loopyEdges(120, seed+12, true, false), true, loopOpt),
+			skipBCC: true},
+		{name: "multi-edges-dir",
+			g:       graph.FromEdges(120, loopyEdges(120, seed+13, false, true), true, dupOpt),
+			skipBCC: true},
+		{name: "loops-and-dups",
+			g:       graph.FromEdges(150, loopyEdges(150, seed+14, true, true), false, bothOpt),
+			skipBCC: true},
+	}
+}
+
+// diffSources picks the source vertices a shape is tested from: the
+// max-degree vertex, vertex 0, and the last vertex (which is isolated or
+// peripheral in several shapes).
+func diffSources(g *graph.Graph) []uint32 {
+	srcs := []uint32{PickSource(g)}
+	for _, s := range []uint32{0, uint32(g.N - 1)} {
+		if s != srcs[0] {
+			srcs = append(srcs, s)
+		}
+	}
+	return srcs
+}
+
+// TestDifferentialBFS cross-checks every BFS implementation against the
+// sequential queue oracle, element for element, from multiple sources.
+func TestDifferentialBFS(t *testing.T) {
+	for _, sh := range diffShapes(0xD1FF) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, src := range diffSources(sh.g) {
+				want := seq.BFS(sh.g, src)
+				impls := map[string]func() []uint32{
+					"core": func() []uint32 { d, _ := core.BFS(sh.g, src, core.Options{}); return d },
+					"core-novgc": func() []uint32 {
+						d, _ := core.BFS(sh.g, src, core.Options{Tau: 1})
+						return d
+					},
+					"core-flat": func() []uint32 {
+						d, _ := core.BFS(sh.g, src, core.Options{DisableHashBag: true})
+						return d
+					},
+					"gbbs":  func() []uint32 { d, _ := baseline.GBBSBFS(sh.g, src); return d },
+					"gapbs": func() []uint32 { d, _ := baseline.GAPBSBFS(sh.g, src); return d },
+				}
+				for name, run := range impls {
+					got := run()
+					if len(got) != len(want) {
+						t.Fatalf("%s src=%d: length %d, want %d", name, src, len(got), len(want))
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("%s src=%d: dist[%d] = %d, oracle %d",
+								name, src, v, got[v], want[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSCC cross-checks the three parallel SCC implementations
+// against both sequential oracles (Tarjan and Kosaraju) on every directed
+// shape: same component count, equivalent partition.
+func TestDifferentialSCC(t *testing.T) {
+	for _, sh := range diffShapes(0x5CC) {
+		if !sh.g.Directed {
+			continue
+		}
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			wantC, wantN := seq.TarjanSCC(sh.g)
+			if kosC, kosN := seq.KosarajuSCC(sh.g); kosN != wantN || !partitionsMatch(kosC, wantC) {
+				t.Fatalf("sequential oracles disagree: tarjan %d vs kosaraju %d", wantN, kosN)
+			}
+			impls := map[string]func() ([]uint32, int){
+				"core": func() ([]uint32, int) { c, n, _ := core.SCC(sh.g, core.Options{}); return c, n },
+				"core-notrim": func() ([]uint32, int) {
+					c, n, _ := core.SCC(sh.g, core.Options{TrimRounds: -1})
+					return c, n
+				},
+				"gbbs":      func() ([]uint32, int) { c, n, _ := baseline.GBBSSCC(sh.g); return c, n },
+				"multistep": func() ([]uint32, int) { c, n, _ := baseline.MultistepSCC(sh.g); return c, n },
+			}
+			for name, run := range impls {
+				gotC, gotN := run()
+				if gotN != wantN {
+					t.Fatalf("%s: %d components, oracle %d", name, gotN, wantN)
+				}
+				if !partitionsMatch(gotC, wantC) {
+					t.Fatalf("%s: partition differs from oracle", name)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBCC cross-checks the parallel BCC implementations against
+// Hopcroft–Tarjan on every clean shape (symmetrized where directed).
+func TestDifferentialBCC(t *testing.T) {
+	for _, sh := range diffShapes(0xBCC) {
+		if sh.skipBCC {
+			continue
+		}
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			sym := sh.g.Symmetrized()
+			want := seq.HopcroftTarjanBCC(sym)
+			impls := map[string]func() core.BCCResult{
+				"core": func() core.BCCResult { r, _ := core.BCC(sym, core.Options{}); return r },
+				"gbbs": func() core.BCCResult { r, _ := baseline.GBBSBCC(sym); return r },
+				"tv":   func() core.BCCResult { r, _, _ := baseline.TarjanVishkinBCC(sym); return r },
+			}
+			for name, run := range impls {
+				got := run()
+				if got.NumBCC != want.NumBCC {
+					t.Fatalf("%s: %d BCCs, oracle %d", name, got.NumBCC, want.NumBCC)
+				}
+				if !partitionsMatch(got.ArcLabel, want.ArcLabel) {
+					t.Fatalf("%s: arc partition differs from oracle", name)
+				}
+				for v := range got.IsArt {
+					if got.IsArt[v] != want.IsArtPort[v] {
+						t.Fatalf("%s: articulation[%d] = %v, oracle %v",
+							name, v, got.IsArt[v], want.IsArtPort[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSSSP cross-checks every SSSP implementation and stepping
+// policy against Dijkstra (and Bellman–Ford as a second oracle) on weighted
+// versions of every shape, from multiple sources.
+func TestDifferentialSSSP(t *testing.T) {
+	for _, sh := range diffShapes(0x555) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			wg := gen.AddUniformWeights(sh.g, 1, 1000, 0xAB)
+			for _, src := range diffSources(wg) {
+				want := seq.Dijkstra(wg, src)
+				if bf := seq.BellmanFord(wg, src); !equalDists(bf, want) {
+					t.Fatal("sequential oracles disagree (Dijkstra vs Bellman-Ford)")
+				}
+				impls := map[string]func() []uint64{
+					"rho": func() []uint64 {
+						d, _ := core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
+						return d
+					},
+					"delta": func() []uint64 {
+						d, _ := core.SSSP(wg, src, core.DeltaStepping{Delta: 512}, core.Options{})
+						return d
+					},
+					"bf-policy": func() []uint64 {
+						d, _ := core.SSSP(wg, src, core.BellmanFordPolicy{}, core.Options{})
+						return d
+					},
+					"deltastep": func() []uint64 {
+						d, _ := baseline.DeltaSteppingSSSP(wg, src, 512)
+						return d
+					},
+					"gbbs-bf": func() []uint64 {
+						d, _ := baseline.GBBSBellmanFordSSSP(wg, src)
+						return d
+					},
+				}
+				for name, run := range impls {
+					got := run()
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("%s src=%d: dist[%d] = %d, oracle %d",
+								name, src, v, got[v], want[v])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalDists(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDifferentialShapeInventory pins the size of the shape matrix so a
+// careless edit cannot silently shrink the suite's coverage.
+func TestDifferentialShapeInventory(t *testing.T) {
+	shapes := diffShapes(1)
+	if len(shapes) < 20 {
+		t.Fatalf("differential matrix has %d shapes, want >= 20", len(shapes))
+	}
+	seen := map[string]bool{}
+	directed, degenerate := 0, 0
+	for _, sh := range shapes {
+		if seen[sh.name] {
+			t.Fatalf("duplicate shape name %q", sh.name)
+		}
+		seen[sh.name] = true
+		if sh.g.Directed {
+			directed++
+		}
+		if sh.skipBCC {
+			degenerate++
+		}
+		if sh.g.N == 0 {
+			t.Fatalf("shape %q has no vertices", sh.name)
+		}
+	}
+	if directed < 5 {
+		t.Fatalf("only %d directed shapes; SCC coverage too thin", directed)
+	}
+	if degenerate < 3 {
+		t.Fatalf("only %d self-loop/multi-edge shapes", degenerate)
+	}
+	// Reseeding must actually change the randomized shapes.
+	a := diffShapes(1)
+	b := diffShapes(2)
+	changed := false
+	for i := range a {
+		if a[i].name == "er-dense" && len(a[i].g.Edges) > 0 {
+			ga, gb := a[i].g, b[i].g
+			if fmt.Sprint(ga.Edges[:10]) != fmt.Sprint(gb.Edges[:10]) {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("seed does not vary the randomized shapes")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"pasgal/internal/ldd"
 	"pasgal/internal/parallel"
 	"pasgal/internal/seq"
+	"pasgal/internal/trace"
 )
 
 // Config controls an experiment run.
@@ -22,7 +23,14 @@ type Config struct {
 	Reps   int     // timing repetitions (median reported)
 	Out    io.Writer
 	Graphs []string // subset of workload names; empty = all
+
+	// Tracer, when non-nil, is threaded through every timed algorithm run
+	// (PASGAL and baselines) of the table experiments.
+	Tracer *trace.Tracer
 }
+
+// options returns the core.Options the tables thread into each run.
+func (c Config) options() core.Options { return core.Options{Tracer: c.Tracer} }
 
 func (c Config) registry() []Spec {
 	specs := Registry()
@@ -74,7 +82,7 @@ func TableBFS(c Config) []Result {
 	var results []Result
 	for _, s := range c.registry() {
 		g := c.build(s)
-		results = append(results, RunBFS(s.Name, s.Category, g, c.Reps))
+		results = append(results, RunBFSOpt(s.Name, s.Category, g, c.Reps, c.options()))
 	}
 	SortResults(results)
 	PrintTimeTable(c.Out, "BFS running times", BFSImpls, results)
@@ -93,7 +101,7 @@ func TableSCC(c Config) []Result {
 			continue
 		}
 		g := c.build(s)
-		results = append(results, RunSCC(s.Name, s.Category, g, c.Reps))
+		results = append(results, RunSCCOpt(s.Name, s.Category, g, c.Reps, c.options()))
 	}
 	SortResults(results)
 	PrintTimeTable(c.Out, "SCC running times", SCCImpls, results)
@@ -108,7 +116,7 @@ func TableBCC(c Config) []Result {
 	var results []Result
 	for _, s := range c.registry() {
 		g := c.build(s)
-		results = append(results, RunBCC(s.Name, s.Category, g, c.Reps))
+		results = append(results, RunBCCOpt(s.Name, s.Category, g, c.Reps, c.options()))
 	}
 	SortResults(results)
 	PrintTimeTable(c.Out, "BCC running times", BCCImpls, results)
@@ -122,7 +130,7 @@ func TableSSSP(c Config) []Result {
 	var results []Result
 	for _, s := range c.registry() {
 		g := c.build(s)
-		results = append(results, RunSSSP(s.Name, s.Category, g, c.Reps))
+		results = append(results, RunSSSPOpt(s.Name, s.Category, g, c.Reps, c.options()))
 	}
 	SortResults(results)
 	PrintTimeTable(c.Out, "SSSP running times", SSSPImpls, results)

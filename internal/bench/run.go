@@ -59,14 +59,20 @@ var BFSImpls = []string{"PASGAL", "GBBS", "GAPBS", "SeqQueue*"}
 
 // RunBFS measures every BFS implementation on g.
 func RunBFS(name, category string, g *graph.Graph, reps int) Result {
+	return RunBFSOpt(name, category, g, reps, core.Options{})
+}
+
+// RunBFSOpt is RunBFS with Options (tracer, knobs) threaded through PASGAL
+// and every baseline.
+func RunBFSOpt(name, category string, g *graph.Graph, reps int, opt core.Options) Result {
 	src := PickSource(g)
 	res := newResult(name, category, g)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BFS(g, src, core.Options{}) })
+	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BFS(g, src, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBFS(g, src) })
+	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBFSOpt(g, src, opt) })
 	res.Metrics["GBBS"] = met
-	res.Times["GAPBS"] = timed(reps, func() { _, met = baseline.GAPBSBFS(g, src) })
+	res.Times["GAPBS"] = timed(reps, func() { _, met = baseline.GAPBSBFSOpt(g, src, opt) })
 	res.Metrics["GAPBS"] = met
 	res.Times["SeqQueue*"] = timed(reps, func() { seq.BFS(g, src) })
 	return res
@@ -77,13 +83,18 @@ var SCCImpls = []string{"PASGAL", "GBBS", "Multistep", "Tarjan*"}
 
 // RunSCC measures every SCC implementation on a directed g.
 func RunSCC(name, category string, g *graph.Graph, reps int) Result {
+	return RunSCCOpt(name, category, g, reps, core.Options{})
+}
+
+// RunSCCOpt is RunSCC with Options threaded through every implementation.
+func RunSCCOpt(name, category string, g *graph.Graph, reps int, opt core.Options) Result {
 	res := newResult(name, category, g)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, _, met = core.SCC(g, core.Options{}) })
+	res.Times["PASGAL"] = timed(reps, func() { _, _, met = core.SCC(g, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, _, met = baseline.GBBSSCC(g) })
+	res.Times["GBBS"] = timed(reps, func() { _, _, met = baseline.GBBSSCCOpt(g, opt) })
 	res.Metrics["GBBS"] = met
-	res.Times["Multistep"] = timed(reps, func() { _, _, met = baseline.MultistepSCC(g) })
+	res.Times["Multistep"] = timed(reps, func() { _, _, met = baseline.MultistepSCCOpt(g, opt) })
 	res.Metrics["Multistep"] = met
 	res.Times["Tarjan*"] = timed(reps, func() { seq.TarjanSCC(g) })
 	return res
@@ -95,15 +106,20 @@ var BCCImpls = []string{"PASGAL", "GBBS", "TV", "HopcroftTarjan*"}
 // RunBCC measures every BCC implementation on g (symmetrized if directed,
 // as the paper does).
 func RunBCC(name, category string, g *graph.Graph, reps int) Result {
+	return RunBCCOpt(name, category, g, reps, core.Options{})
+}
+
+// RunBCCOpt is RunBCC with Options threaded through every implementation.
+func RunBCCOpt(name, category string, g *graph.Graph, reps int, opt core.Options) Result {
 	sym := g.Symmetrized()
 	res := newResult(name, category, sym)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BCC(sym, core.Options{}) })
+	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BCC(sym, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBCC(sym) })
+	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBCCOpt(sym, opt) })
 	res.Metrics["GBBS"] = met
 	var auxBytes int64
-	res.Times["TV"] = timed(reps, func() { _, met, auxBytes = baseline.TarjanVishkinBCC(sym) })
+	res.Times["TV"] = timed(reps, func() { _, met, auxBytes = baseline.TarjanVishkinBCCOpt(sym, opt) })
 	res.Metrics["TV"] = met
 	res.Extra["TV aux"] = byteSize(auxBytes)
 	res.Times["HopcroftTarjan*"] = timed(reps, func() { seq.HopcroftTarjanBCC(sym) })
@@ -117,24 +133,29 @@ var SSSPImpls = []string{"PASGAL-rho", "PASGAL-delta", "DeltaStep", "GBBS-BF", "
 
 // RunSSSP measures SSSP implementations on a weighted version of g.
 func RunSSSP(name, category string, g *graph.Graph, reps int) Result {
+	return RunSSSPOpt(name, category, g, reps, core.Options{})
+}
+
+// RunSSSPOpt is RunSSSP with Options threaded through every implementation.
+func RunSSSPOpt(name, category string, g *graph.Graph, reps int, opt core.Options) Result {
 	wg := gen.AddUniformWeights(g, 1, 1<<16, 40400)
 	src := PickSource(wg)
 	res := newResult(name, category, wg)
 	var met *core.Metrics
 	res.Times["PASGAL-rho"] = timed(reps, func() {
-		_, met = core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
+		_, met = core.SSSP(wg, src, core.RhoStepping{}, opt)
 	})
 	res.Metrics["PASGAL-rho"] = met
 	res.Times["PASGAL-delta"] = timed(reps, func() {
-		_, met = core.SSSP(wg, src, core.DeltaStepping{Delta: 1 << 15}, core.Options{})
+		_, met = core.SSSP(wg, src, core.DeltaStepping{Delta: 1 << 15}, opt)
 	})
 	res.Metrics["PASGAL-delta"] = met
 	res.Times["DeltaStep"] = timed(reps, func() {
-		_, met = baseline.DeltaSteppingSSSP(wg, src, 1<<15)
+		_, met = baseline.DeltaSteppingSSSPOpt(wg, src, 1<<15, opt)
 	})
 	res.Metrics["DeltaStep"] = met
 	res.Times["GBBS-BF"] = timed(reps, func() {
-		_, met = baseline.GBBSBellmanFordSSSP(wg, src)
+		_, met = baseline.GBBSBellmanFordSSSPOpt(wg, src, opt)
 	})
 	res.Metrics["GBBS-BF"] = met
 	res.Times["Dijkstra*"] = timed(reps, func() { seq.Dijkstra(wg, src) })

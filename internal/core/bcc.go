@@ -47,7 +47,8 @@ func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
 	if g.Directed {
 		panic("core: BCC requires an undirected graph (symmetrize first)")
 	}
-	met := &Metrics{}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "bcc")
 	n := g.N
 	res := BCCResult{
 		ArcLabel: make([]uint32, len(g.Edges)),

@@ -7,6 +7,7 @@ import (
 	"pasgal/internal/graph"
 	"pasgal/internal/hashbag"
 	"pasgal/internal/parallel"
+	"pasgal/internal/trace"
 )
 
 // BFS computes hop distances from src with PASGAL's VGC BFS.
@@ -26,7 +27,8 @@ import (
 // search may install a distance that a later relaxation improves) — that is
 // the extra work VGC knowingly trades for fewer synchronizations.
 func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "bfs")
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
@@ -39,14 +41,14 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 	// distance (cur + window - 1, window <= tau) can advance tau+1 more
 	// hops, so 2*tau + 4 distance buckets always suffice.
 	nBags := 2*tau + 4
-	fr := newFrontierSet(n, nBags, opt.DisableHashBag)
+	fr := newFrontierSet(n, nBags, opt.DisableHashBag, opt.Tracer)
 	in := g.Transpose() // in-neighbors; == g for undirected graphs
 
 	dist[src].Store(0)
 	fr.insert(0, src)
 	var pending atomic.Int64
 	pending.Store(1)
-	denseCut := int64(float64(n) * opt.denseFrac())
+	denseCut := opt.denseCut(n)
 
 	// The adaptive distance window realizes the paper's "multiple
 	// frontiers" device: when frontiers are small (the large-diameter
@@ -55,6 +57,11 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 	// frontiers are large the window collapses to a single distance and
 	// the round is an ordinary BFS level (optionally bottom-up).
 	window := 1
+	// A round's deepest extracted distance (cur + window - 1) plus a local
+	// search's tau+1-hop advance must stay within the bucket ring, so the
+	// window never grows past tau+2 (unchecked doubling could reach 2tau-2
+	// for non-power-of-two tau and wrap the ring).
+	maxWindow := tau + 2
 	const windowGrowCut = 2048
 
 	cur := 0
@@ -82,13 +89,13 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 			grabbed++
 		}
 		met.Round(len(f))
-		if int64(len(f)) < windowGrowCut && window < tau {
-			window *= 2
+		if int64(len(f)) < windowGrowCut && window < maxWindow {
+			window = min(2*window, maxWindow)
 		} else if window > 1 {
 			window /= 2
 		}
 
-		if !opt.DisableDirectionOpt && int64(len(f)) >= denseCut {
+		if int64(len(f)) >= denseCut {
 			// Bottom-up: instead of expanding the (dense) frontier, every
 			// improvable vertex scans its own in-neighbors and write-mins
 			// the best candidate distance. This covers every relaxation
@@ -98,6 +105,14 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 			met.AddBottomUp()
 			window = 1 // dense regime: back to level-at-a-time
 			target := uint32(cur + 1)
+			// A pull can chain: v may read an in-neighbor distance stored
+			// earlier in this same scan, advancing many hops in one round.
+			// Unbounded chains would insert past the bucket ring, where the
+			// entry lands in a wrong-distance bucket and is dropped as stale
+			// on extraction. Cap the advance at the ring's edge; a vertex
+			// past the cap is re-relaxed when its capped in-neighbor's
+			// bucket is processed, so nothing is lost.
+			maxIns := uint32(cur + nBags - 1)
 			parallel.ForRange(n, 0, func(lo, hi int) {
 				var local int64
 				for vi := lo; vi < hi; vi++ {
@@ -115,7 +130,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 							}
 						}
 					}
-					if best < dist[v].Load() {
+					if best < dist[v].Load() && best <= maxIns {
 						dist[v].Store(best) // sole writer of v this round
 						fr.insert(int(best), v)
 						pending.Add(1)
@@ -194,7 +209,7 @@ type frontierSet struct {
 	lastDup int64
 }
 
-func newFrontierSet(n, k int, flat bool) *frontierSet {
+func newFrontierSet(n, k int, flat bool, tr *trace.Tracer) *frontierSet {
 	fs := &frontierSet{n: n}
 	if flat {
 		fs.flat = make([][]atomic.Uint32, k)
@@ -207,6 +222,7 @@ func newFrontierSet(n, k int, flat bool) *frontierSet {
 	fs.bags = make([]*hashbag.Bag, k)
 	for i := range fs.bags {
 		fs.bags[i] = hashbag.New(64)
+		fs.bags[i].SetTracer(tr)
 	}
 	return fs
 }

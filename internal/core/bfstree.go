@@ -18,7 +18,8 @@ import (
 // to synthesize parents for repaired distances); prefer BFS when only
 // distances are needed on low-diameter graphs.
 func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []uint32, met *Metrics) {
-	met = &Metrics{}
+	opt = opt.Normalized()
+	met = NewMetrics(opt, "bfs-tree")
 	n := g.N
 	dist = make([]uint32, n)
 	parent = make([]uint32, n)
@@ -31,7 +32,7 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 	}
 	tau := opt.tau()
 	nBags := 2*tau + 4
-	fr := newFrontierSet(n, nBags, opt.DisableHashBag)
+	fr := newFrontierSet(n, nBags, opt.DisableHashBag, opt.Tracer)
 
 	const infPacked = ^uint64(0)
 	state := make([]atomic.Uint64, n)
@@ -45,6 +46,9 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 	pending.Store(1)
 
 	window := 1
+	// Same ring-safety cap as BFS: deepest extracted distance + tau + 1
+	// hops of local search must stay within nBags buckets of cur.
+	maxWindow := tau + 2
 	const windowGrowCut = 2048
 	cur := 0
 	for pending.Load() > 0 {
@@ -65,8 +69,8 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 			}
 		}
 		met.Round(len(f))
-		if int64(len(f)) < windowGrowCut && window < tau {
-			window *= 2
+		if int64(len(f)) < windowGrowCut && window < maxWindow {
+			window = min(2*window, maxWindow)
 		} else if window > 1 {
 			window /= 2
 		}

@@ -18,11 +18,27 @@
 package core
 
 import (
+	"math"
 	"sync/atomic"
+
+	"pasgal/internal/trace"
 )
 
 // DefaultTau is the default VGC local-search budget in edges.
 const DefaultTau = 512
+
+// MaxTau caps the VGC budget: BFS keeps 2τ+4 distance-indexed frontiers
+// alive, so an unbounded τ would turn a tuning typo into a gigantic
+// allocation. Budgets past this are clamped (a τ this large already means
+// "one local search per round" on any graph we can hold in memory).
+const MaxTau = 1 << 20
+
+// DefaultDenseFrac is the default bottom-up switch threshold (fraction of
+// n the frontier must reach).
+const DefaultDenseFrac = 0.05
+
+// DefaultTrimRounds is the default number of SCC trimming passes.
+const DefaultTrimRounds = 2
 
 // Options tunes the PASGAL algorithms. The zero value selects defaults.
 type Options struct {
@@ -52,20 +68,76 @@ type Options struct {
 	// RecordFrontiers makes Metrics.FrontierSizes record the size of every
 	// extracted frontier, in round order (costs one append per round).
 	RecordFrontiers bool
+
+	// Tracer, when non-nil, receives structured per-round events (frontier
+	// extractions, direction switches, phases, hash-bag resizes) from the
+	// run. nil disables tracing at the cost of one pointer test per round.
+	Tracer *trace.Tracer
+}
+
+// Normalized returns o with every field mapped to its canonical effective
+// value, resolving the raw fields' sentinel encodings:
+//
+//   - Tau <= 0 selects DefaultTau; values above MaxTau are clamped.
+//   - DenseFrac <= 0 (or NaN) selects DefaultDenseFrac; DenseFrac >= 1 can
+//     never trigger (a frontier extraction may exceed n entries only via
+//     duplicates, which must not flip direction), so it normalizes to
+//     DisableDirectionOpt with the default fraction.
+//   - TrimRounds < 0 normalizes to -1 ("no trimming"); 0 selects
+//     DefaultTrimRounds. In normalized form TrimRounds is therefore never
+//     0 — the raw encoding cannot express "zero passes" directly, which is
+//     exactly why the sentinel exists.
+//
+// Normalization is idempotent, and every algorithm applies it on entry, so
+// raw and normalized Options behave identically.
+func (o Options) Normalized() Options {
+	n := o
+	n.Tau = o.tau()
+	if math.IsNaN(o.DenseFrac) || o.DenseFrac >= 1 {
+		n.DisableDirectionOpt = true
+		n.DenseFrac = DefaultDenseFrac
+	} else if o.DenseFrac <= 0 {
+		n.DenseFrac = DefaultDenseFrac
+	}
+	switch {
+	case o.TrimRounds < 0:
+		n.TrimRounds = -1
+	case o.TrimRounds == 0:
+		n.TrimRounds = DefaultTrimRounds
+	}
+	return n
 }
 
 func (o Options) tau() int {
 	if o.Tau <= 0 {
 		return DefaultTau
 	}
+	if o.Tau > MaxTau {
+		return MaxTau
+	}
 	return o.Tau
 }
 
 func (o Options) denseFrac() float64 {
-	if o.DenseFrac <= 0 {
-		return 0.05
+	if math.IsNaN(o.DenseFrac) || o.DenseFrac <= 0 || o.DenseFrac >= 1 {
+		return DefaultDenseFrac
 	}
 	return o.DenseFrac
+}
+
+// denseCut returns the frontier size at which BFS switches bottom-up, or
+// math.MaxInt64 when direction optimization cannot apply (disabled, or a
+// fraction >= 1 — extractions can exceed n via duplicate inserts, so a cut
+// derived from an impossible fraction must never fire).
+func (o Options) denseCut(n int) int64 {
+	if o.DisableDirectionOpt || math.IsNaN(o.DenseFrac) || o.DenseFrac >= 1 {
+		return math.MaxInt64
+	}
+	cut := int64(float64(n) * o.denseFrac())
+	if cut < 1 {
+		cut = 1
+	}
+	return cut
 }
 
 func (o Options) trimRounds() int {
@@ -73,7 +145,7 @@ func (o Options) trimRounds() int {
 		return 0
 	}
 	if o.TrimRounds == 0 {
-		return 2
+		return DefaultTrimRounds
 	}
 	return o.TrimRounds
 }
@@ -97,6 +169,17 @@ type Metrics struct {
 	FrontierSizes []int64
 
 	record bool
+	tracer *trace.Tracer
+	algo   string
+}
+
+// NewMetrics returns a Metrics wired to opt's tracer under the given algo
+// label: every Round/AddBottomUp/AddPhase call is mirrored as a trace
+// event, so the tracer sees exactly the series Metrics accumulates (the
+// trace invariant tests assert this agreement). The zero Metrics value
+// remains valid and trace-free.
+func NewMetrics(opt Options, algo string) *Metrics {
+	return &Metrics{record: opt.RecordFrontiers, tracer: opt.Tracer, algo: algo}
 }
 
 // Round records one frontier extraction of the given size: it bumps
@@ -105,8 +188,9 @@ type Metrics struct {
 // never touches the counter fields directly — pasgal-vet's mixed-access
 // rule enforces that split.
 func (m *Metrics) Round(frontier int) {
-	atomic.AddInt64(&m.Rounds, 1)
+	r := atomic.AddInt64(&m.Rounds, 1)
 	atomic.AddInt64(&m.VerticesTaken, int64(frontier))
+	m.tracer.Round(m.algo, r, int64(frontier))
 	if m.record {
 		// Rounds are extracted by a single coordinator goroutine; the
 		// append does not race with other Round calls.
@@ -130,16 +214,19 @@ func (m *Metrics) AddEdges(k int64) {
 // AddPhase records one outer phase (SCC peeling round, SSSP threshold
 // step, k-core peel, ...).
 func (m *Metrics) AddPhase() {
-	atomic.AddInt64(&m.Phases, 1)
+	p := atomic.AddInt64(&m.Phases, 1)
+	m.tracer.Phase(m.algo, p, -1)
 }
 
 // AddBottomUp records one bottom-up (direction-optimized) round.
 func (m *Metrics) AddBottomUp() {
 	atomic.AddInt64(&m.BottomUp, 1)
+	m.tracer.DirectionSwitch(m.algo, atomic.LoadInt64(&m.Rounds))
 }
 
 // SetPhases stores the phase count for algorithms whose structure is fixed
 // up front.
 func (m *Metrics) SetPhases(k int64) {
 	atomic.StoreInt64(&m.Phases, k)
+	m.tracer.Phase(m.algo, k, -1)
 }

@@ -25,7 +25,8 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	if g.Directed {
 		panic("core: KCore requires an undirected graph")
 	}
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "kcore")
 	n := g.N
 	core := make([]uint32, n)
 	if n == 0 {
@@ -38,6 +39,7 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	parallel.For(n, 0, func(v int) { deg[v].Store(int64(g.Degree(uint32(v)))) })
 
 	bag := hashbag.New(1024)
+	bag.SetTracer(opt.Tracer)
 	live := parallel.PackIndex(n, func(int) bool { return true })
 
 	for k := int64(0); len(live) > 0; k++ {

@@ -25,7 +25,8 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	if policy == nil {
 		policy = RhoStepping{}
 	}
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "ptp")
 	n := g.N
 	if n == 0 {
 		return InfWeight, met
@@ -39,6 +40,8 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 
 	near := hashbag.New(1024)
 	far := hashbag.New(1024)
+	near.SetTracer(opt.Tracer)
+	far.SetTracer(opt.Tracer)
 	dist[src].Store(0)
 	near.Insert(src)
 	theta := uint64(0)

@@ -13,7 +13,8 @@ import (
 // order, so the VGC local search visits vertices in arbitrary multi-hop
 // order, each vertex claimed exactly once by a CAS.
 func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "reach")
 	n := g.N
 	out := make([]bool, n)
 	if n == 0 || len(srcs) == 0 {
@@ -22,6 +23,7 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 	tau := opt.tau()
 	visited := make([]atomic.Uint32, n)
 	bag := hashbag.New(max(64, 2*len(srcs)))
+	bag.SetTracer(opt.Tracer)
 	for _, s := range srcs {
 		if visited[s].CompareAndSwap(0, 1) {
 			bag.Insert(s)

@@ -29,7 +29,8 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	if !g.Directed {
 		panic("core: SCC requires a directed graph")
 	}
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "scc")
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)
@@ -143,6 +144,7 @@ func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
 
 	tau := opt.tau()
 	bag := hashbag.New(max(64, 2*len(pivots)))
+	bag.SetTracer(opt.Tracer)
 	for _, p := range pivots {
 		bag.Insert(p)
 	}

@@ -90,7 +90,8 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	if policy == nil {
 		policy = RhoStepping{}
 	}
-	met := &Metrics{record: opt.RecordFrontiers}
+	opt = opt.Normalized()
+	met := NewMetrics(opt, "sssp")
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(InfWeight) })
@@ -102,6 +103,8 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 
 	near := hashbag.New(1024)
 	far := hashbag.New(1024)
+	near.SetTracer(opt.Tracer)
+	far.SetTracer(opt.Tracer)
 	dist[src].Store(0)
 	near.Insert(src)
 	theta := uint64(0) // process dist <= theta; first phase handles src only

@@ -1,0 +1,247 @@
+package gio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+// rtShapes is the randomized property-test matrix: directed and undirected,
+// dense and disconnected, empty and single-vertex, with and without
+// weights.
+func rtShapes() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":        graph.FromEdges(0, nil, true, graph.BuildOptions{}),
+		"single":       graph.FromEdges(1, nil, false, graph.BuildOptions{}),
+		"isolated":     graph.FromEdges(9, nil, true, graph.BuildOptions{}),
+		"chain-dir":    gen.Chain(40, true),
+		"grid":         gen.Grid2D(7, 9, false, 1),
+		"rmat-dir":     gen.SocialRMAT(7, 6, true, 2),
+		"er-sparse":    gen.ER(60, 30, true, 3), // disconnected
+		"weblike-dir":  gen.WebLike(80, 4, 0.3, 8, 4),
+		"tree":         gen.Tree(50, 5),
+		"grid-w":       gen.AddUniformWeights(gen.Grid2D(6, 8, false, 6), 1, 99, 7),
+		"rmat-dir-w":   gen.AddUniformWeights(gen.SocialRMAT(6, 7, true, 8), 1, 1000, 9),
+		"er-sparse-w":  gen.AddUniformWeights(gen.ER(40, 25, true, 10), 1, 7, 11),
+		"max-weight-w": gen.AddUniformWeights(gen.Chain(5, true), 1<<30, 1<<30, 12),
+	}
+}
+
+// TestRoundTripProperty checks, for every shape and every format, the two
+// core properties: write→read returns an identical graph, and a second
+// write of the reread graph is byte-identical to the first (so the format
+// is canonical, not just lossless).
+func TestRoundTripProperty(t *testing.T) {
+	type format struct {
+		write func(*bytes.Buffer, *graph.Graph) error
+		read  func(*bytes.Buffer, *graph.Graph) (*graph.Graph, error)
+	}
+	formats := map[string]format{
+		"bin": {
+			write: func(b *bytes.Buffer, g *graph.Graph) error { return WriteBin(b, g) },
+			read:  func(b *bytes.Buffer, g *graph.Graph) (*graph.Graph, error) { return ReadBin(b) },
+		},
+		"adj": {
+			write: func(b *bytes.Buffer, g *graph.Graph) error { return WriteAdj(b, g) },
+			read: func(b *bytes.Buffer, g *graph.Graph) (*graph.Graph, error) {
+				return ReadAdj(b, g.Directed)
+			},
+		},
+		"edgelist": {
+			write: func(b *bytes.Buffer, g *graph.Graph) error { return WriteEdgeList(b, g) },
+			read: func(b *bytes.Buffer, g *graph.Graph) (*graph.Graph, error) {
+				return ReadEdgeList(b, g.N, g.Directed)
+			},
+		},
+	}
+	for fname, f := range formats {
+		for sname, g := range rtShapes() {
+			t.Run(fname+"/"+sname, func(t *testing.T) {
+				var first bytes.Buffer
+				if err := f.write(&first, g); err != nil {
+					t.Fatal(err)
+				}
+				payload := append([]byte(nil), first.Bytes()...)
+				got, err := f.read(&first, g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !graphsEqual(g, got) {
+					t.Fatalf("reread graph differs (n=%d m=%d vs n=%d m=%d)",
+						g.N, g.M(), got.N, got.M())
+				}
+				var second bytes.Buffer
+				if err := f.write(&second, got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(payload, second.Bytes()) {
+					t.Fatal("second write is not byte-identical: format is not canonical")
+				}
+			})
+		}
+	}
+}
+
+// TestBinTruncationExhaustive feeds ReadBin every strict prefix of a valid
+// file: each one must return an error — never panic, and never hand back a
+// graph built from a silent short read.
+func TestBinTruncationExhaustive(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(3, 3, false, 1), 1, 9, 2)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadBin(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes read without error", cut, len(full))
+		}
+	}
+	if _, err := ReadBin(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full file failed: %v", err)
+	}
+}
+
+// TestBinCorruptHeader covers each corrupt-header class: implausible
+// counts, counts larger than the payload, a weighted flag with no weight
+// data, and offsets that violate CSR monotonicity.
+func TestBinCorruptHeader(t *testing.T) {
+	g := gen.Grid2D(4, 4, false, 1)
+	var buf bytes.Buffer
+	if err := WriteBin(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	// Header layout: magic[0:8] flags[8:16] n[16:24] m[24:32].
+	corrupt := func(name string, mutate func(b []byte)) {
+		b := append([]byte(nil), pristine...)
+		mutate(b)
+		if _, err := ReadBin(bytes.NewReader(b)); err == nil {
+			t.Errorf("%s: corrupt file read without error", name)
+		}
+	}
+	corrupt("implausible-n", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[16:], 1<<40)
+	})
+	corrupt("implausible-m", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[24:], 1<<42)
+	})
+	corrupt("n-beyond-payload", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[16:], 1<<39)
+	})
+	corrupt("m-beyond-payload", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[24:], 1<<41)
+	})
+	corrupt("weighted-flag-no-data", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[8:], binary.LittleEndian.Uint64(b[8:])|flagWeighted)
+	})
+	corrupt("offsets-nonmonotone", func(b []byte) {
+		binary.LittleEndian.PutUint64(b[32+8:], ^uint64(0)>>16)
+	})
+	corrupt("edge-out-of-range", func(b []byte) {
+		off := 32 + 8*(g.N+1)
+		binary.LittleEndian.PutUint32(b[off:], uint32(g.N)+7)
+	})
+}
+
+// TestAdjTruncationTokens drops whole trailing tokens from a valid .adj
+// file one at a time; every such file is missing declared data and must
+// error. (Cutting mid-token can silently shorten one number — inherent to
+// whitespace-separated text — so only token-boundary cuts are asserted.)
+func TestAdjTruncationTokens(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(3, 4, false, 1), 1, 9, 2)
+	var buf bytes.Buffer
+	if err := WriteAdj(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	tokens := strings.Fields(buf.String())
+	for keep := 1; keep < len(tokens); keep++ {
+		in := "WeightedAdjacencyGraph\n" + strings.Join(tokens[1:keep], "\n") + "\n"
+		if _, err := ReadAdj(strings.NewReader(in), false); err == nil {
+			t.Fatalf("adj with %d/%d tokens read without error", keep, len(tokens))
+		}
+	}
+}
+
+// TestReaderPrefixesNeverPanic sweeps every byte prefix of every format
+// through its reader. Text prefixes can legitimately parse (an edge list
+// has no declared length), so the only universal property is: no panics.
+func TestReaderPrefixesNeverPanic(t *testing.T) {
+	g := gen.AddUniformWeights(gen.Grid2D(3, 3, true, 1), 1, 9, 2)
+	writers := map[string]func(*bytes.Buffer) error{
+		"bin":      func(b *bytes.Buffer) error { return WriteBin(b, g) },
+		"adj":      func(b *bytes.Buffer) error { return WriteAdj(b, g) },
+		"edgelist": func(b *bytes.Buffer) error { return WriteEdgeList(b, g) },
+		"dimacs":   func(b *bytes.Buffer) error { return WriteDIMACS(b, g) },
+		"mtx":      func(b *bytes.Buffer) error { return WriteMTX(b, g) },
+	}
+	readers := map[string]func([]byte) (any, error){
+		"bin": func(b []byte) (any, error) { return ReadBin(bytes.NewReader(b)) },
+		"adj": func(b []byte) (any, error) { return ReadAdj(bytes.NewReader(b), true) },
+		"edgelist": func(b []byte) (any, error) {
+			return ReadEdgeList(bytes.NewReader(b), g.N, true)
+		},
+		"dimacs": func(b []byte) (any, error) { return ReadDIMACS(bytes.NewReader(b)) },
+		"mtx":    func(b []byte) (any, error) { return ReadMTX(bytes.NewReader(b)) },
+	}
+	for name, write := range writers {
+		var buf bytes.Buffer
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		full := buf.Bytes()
+		for cut := 0; cut <= len(full); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s reader panicked on %d/%d-byte prefix: %v",
+							name, cut, len(full), r)
+					}
+				}()
+				_, _ = readers[name](full[:cut])
+			}()
+		}
+	}
+}
+
+// TestEdgeListTruncationAtLines checks the documented partial-read shape:
+// an edge list cut at a line boundary parses as exactly the prefix of the
+// original edges (the format has no declared length, so that is the best a
+// reader can do — but it must never fabricate or reorder edges).
+func TestEdgeListTruncationAtLines(t *testing.T) {
+	g := gen.SocialRMAT(6, 5, true, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	type arc struct{ u, v uint32 }
+	var all []arc
+	for u := uint32(0); int(u) < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			all = append(all, arc{u, v})
+		}
+	}
+	for _, keep := range []int{0, 1, len(lines) / 2, len(lines)} {
+		in := strings.Join(lines[:keep], "\n")
+		got, err := ReadEdgeList(strings.NewReader(in), g.N, true)
+		if err != nil {
+			t.Fatalf("%d/%d lines: %v", keep, len(lines), err)
+		}
+		var gotArcs []arc
+		for u := uint32(0); int(u) < got.N; u++ {
+			for _, v := range got.Neighbors(u) {
+				gotArcs = append(gotArcs, arc{u, v})
+			}
+		}
+		want := all[:keep]
+		if fmt.Sprint(gotArcs) != fmt.Sprint(want) {
+			t.Fatalf("%d/%d lines: arcs %v, want prefix %v", keep, len(lines), gotArcs, want)
+		}
+	}
+}

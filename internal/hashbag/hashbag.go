@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"pasgal/internal/parallel"
+	"pasgal/internal/trace"
 )
 
 const (
@@ -43,7 +44,13 @@ type Bag struct {
 	est      atomic.Int64
 	inserted atomic.Int64
 	initLen  int
+	tracer   *trace.Tracer
 }
+
+// SetTracer attaches a tracer to the bag (nil detaches). Resizes emit
+// trace events; insert probe retries are batched per Insert call and
+// recorded as a counter. Must not race with Insert.
+func (b *Bag) SetTracer(t *trace.Tracer) { b.tracer = t }
 
 // New returns a bag whose first chunk holds initSlots slots (rounded up to
 // a power of two, minimum 64). initSlots <= 0 selects a default.
@@ -81,6 +88,7 @@ func hash64(x uint64) uint64 {
 // multiset of inserts; callers dedupe via their own claimed/visited flags,
 // as the PASGAL algorithms do). Safe for concurrent use.
 func (b *Bag) Insert(v uint32) {
+	var retries int64 // batched: one tracer flush per Insert, not per probe
 	for {
 		ai := int(b.active.Load())
 		cp := b.levels[ai].Load()
@@ -96,6 +104,7 @@ func (b *Bag) Insert(v uint32) {
 			if atomic.LoadUint32(&c[slot]) == empty &&
 				atomic.CompareAndSwapUint32(&c[slot], empty, v) {
 				b.inserted.Add(1)
+				b.tracer.BagRetries(retries)
 				if h&((1<<sampleShift)-1) == 0 &&
 					b.est.Add(1)<<sampleShift >= int64(len(c)/2) {
 					b.grow(ai)
@@ -104,6 +113,7 @@ func (b *Bag) Insert(v uint32) {
 			}
 			h = hash64(h)
 			probes++
+			retries++
 			if probes >= 16 || probes >= len(c) {
 				// This probe path is saturated: advance to the next chunk
 				// and retry there.
@@ -125,7 +135,10 @@ func (b *Bag) grow(ai int) {
 		b.levels[ai+1].CompareAndSwap(nil, &c)
 	}
 	// Publish-then-bump: once active reads ai+1, the chunk is visible.
-	b.active.CompareAndSwap(int32(ai), int32(ai+1))
+	// Only the winning CAS reports the resize, so each level traces once.
+	if b.active.CompareAndSwap(int32(ai), int32(ai+1)) {
+		b.tracer.BagResize(int64(ai+1), int64(b.initLen<<(ai+1)))
+	}
 	b.est.Store(0)
 }
 

@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pasgal/internal/trace"
 )
 
 // workers holds the current worker-team size. It defaults to GOMAXPROCS and
@@ -62,6 +64,18 @@ func ResetSchedStats() {
 	statLoops.Store(0)
 }
 
+// tracer, when set, mirrors the scheduling counters into a trace.Tracer.
+// The runtime is package-global (loops launch from anywhere), so the hook
+// is too; one atomic pointer load per loop launch is the entire overhead,
+// and a nil load simply makes every tracer method a no-op.
+var tracer atomic.Pointer[trace.Tracer]
+
+// SetTracer installs (or, with nil, removes) the tracer that receives
+// loop/fork counts. It returns the previously installed tracer.
+func SetTracer(t *trace.Tracer) *trace.Tracer {
+	return tracer.Swap(t)
+}
+
 // defaultGrain picks a chunk size that yields ~8 chunks per worker, clamped
 // to [1, 4096]. Eight chunks per worker gives the dynamic scheduler room to
 // balance load without drowning in scheduling overhead.
@@ -89,6 +103,7 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 	}
 	chunks := (n + grain - 1) / grain
 	if chunks <= 1 {
+		tracer.Load().LoopInline()
 		body(0, n)
 		return
 	}
@@ -98,6 +113,7 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 	}
 	statLoops.Add(1)
 	statForks.Add(int64(nw))
+	tracer.Load().Loop(int64(nw), int64(chunks))
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -156,6 +172,7 @@ func Do(fns ...func()) {
 	}
 	statLoops.Add(1)
 	statForks.Add(int64(len(fns) - 1))
+	tracer.Load().Loop(int64(len(fns)-1), int64(len(fns)))
 	var wg sync.WaitGroup
 	var panicOnce sync.Once
 	var panicVal any

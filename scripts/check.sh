@@ -1,12 +1,26 @@
 #!/bin/sh
 # check.sh — the full local verification gate, in increasing cost order:
 # formatting, go vet, build + unit tests, the pasgal-vet concurrency
-# checker, then the -race stress tier over the concurrency-critical
-# packages. Run from anywhere inside the repository. Set PASGAL_SKIP_RACE=1
-# to stop before the race tier (it dominates the runtime, ~30s).
+# checker, the bench regression gate, then the -race stress tier over the
+# concurrency-critical packages. Run from anywhere inside the repository.
+#
+#   check.sh -short        formatting, vet, build, and short-mode tests only
+#   PASGAL_SKIP_RACE=1     stop before the race tier (it dominates, ~30s)
+#   PASGAL_SKIP_BENCH=1    skip the bench regression gate
 set -eu
 
 cd "$(dirname "$0")/.."
+
+short=0
+for arg in "$@"; do
+    case "$arg" in
+    -short) short=1 ;;
+    *)
+        echo "usage: check.sh [-short]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo '== gofmt'
 unformatted=$(gofmt -l .)
@@ -21,10 +35,30 @@ go vet ./...
 
 echo '== build + tests'
 go build ./...
+if [ "$short" = 1 ]; then
+    go test -short ./...
+    echo 'short checks passed'
+    exit 0
+fi
 go test ./...
 
 echo '== pasgal-vet'
 go run ./cmd/pasgal-vet ./...
+
+if [ "${PASGAL_SKIP_BENCH:-0}" = 1 ]; then
+    echo '== bench regression gate skipped (PASGAL_SKIP_BENCH=1)'
+else
+    echo '== bench regression gate'
+    # A tiny BFS run compared against the committed baseline. Absolute times
+    # vary wildly across machines, so the threshold is deliberately huge
+    # (20x): the gate exists to exercise the -json/-compare pipeline end to
+    # end and to catch order-of-magnitude blowups, not small drift.
+    tmpjson=$(mktemp /tmp/pasgal-bench.XXXXXX.json)
+    trap 'rm -f "$tmpjson"' EXIT
+    go run ./cmd/pasgal-bench -exp bfs -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -compare -threshold 20 \
+        scripts/bench-baseline.json "$tmpjson"
+fi
 
 if [ "${PASGAL_SKIP_RACE:-0}" = 1 ]; then
     echo '== race tier skipped (PASGAL_SKIP_RACE=1)'

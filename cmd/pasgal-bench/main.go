@@ -191,6 +191,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pasgal-bench: trace: %v\n", err)
 			os.Exit(1)
 		}
+		printSchedSummary(tracer)
 	}
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
@@ -205,6 +206,27 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// printSchedSummary prints the work-stealing scheduler's counters for the
+// whole run: how many loops launched (vs. ran inline), how many helper
+// slots were published, how many were actually stolen, and how often the
+// pool parked/woke. The steals/forks ratio is the quick read on whether
+// the pool helped: ~0 means the callers did all the work (tiny launches),
+// while a high ratio means the load balancing was active.
+func printSchedSummary(tr *trace.Tracer) {
+	loops := tr.CounterValue(trace.CtrLoops)
+	inline := tr.CounterValue(trace.CtrInlineLoops)
+	forks := tr.CounterValue(trace.CtrForks)
+	steals := tr.CounterValue(trace.CtrSteals)
+	parks := tr.CounterValue(trace.CtrParks)
+	wakes := tr.CounterValue(trace.CtrWakes)
+	fmt.Printf("scheduler: %d launches (%d inline), %d forks published, %d stolen",
+		loops, inline, forks, steals)
+	if forks > 0 {
+		fmt.Printf(" (%.1f%%)", 100*float64(steals)/float64(forks))
+	}
+	fmt.Printf(", %d parks, %d wakes\n", parks, wakes)
 }
 
 // writeTraceSinks renders the recording in all three formats.

@@ -48,6 +48,7 @@ func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
 		panic("core: BCC requires an undirected graph (symmetrize first)")
 	}
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "bcc")
 	n := g.N
 	res := BCCResult{

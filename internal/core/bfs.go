@@ -28,6 +28,7 @@ import (
 // the extra work VGC knowingly trades for fewer synchronizations.
 func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "bfs")
 	n := g.N
 	dist := make([]atomic.Uint32, n)

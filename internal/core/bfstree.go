@@ -19,6 +19,7 @@ import (
 // distances are needed on low-diameter graphs.
 func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []uint32, met *Metrics) {
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met = NewMetrics(opt, "bfs-tree")
 	n := g.N
 	dist = make([]uint32, n)

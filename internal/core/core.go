@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"pasgal/internal/parallel"
 	"pasgal/internal/trace"
 )
 
@@ -73,6 +74,27 @@ type Options struct {
 	// extractions, direction switches, phases, hash-bag resizes) from the
 	// run. nil disables tracing at the cost of one pointer test per round.
 	Tracer *trace.Tracer
+
+	// TraceScheduler, when set together with Tracer, additionally mirrors
+	// the fork-join runtime's scheduling counters (loop launches, published
+	// forks, steals, parks, wakes) into the same Tracer for the duration of
+	// the call, so one trace shows both what the algorithm did per round
+	// and what that cost the scheduler. The runtime hook is process-global
+	// (the worker pool is shared); concurrent runs with different tracers
+	// should not both set this.
+	TraceScheduler bool
+}
+
+// attachRuntimeTracer installs opt.Tracer as the parallel runtime's tracer
+// when opt.TraceScheduler asks for it, and returns the function that
+// restores the previous hook — intended as `defer attachRuntimeTracer(opt)()`
+// at every algorithm entry point.
+func attachRuntimeTracer(opt Options) func() {
+	if !opt.TraceScheduler || opt.Tracer == nil {
+		return func() {}
+	}
+	prev := parallel.SetTracer(opt.Tracer)
+	return func() { parallel.SetTracer(prev) }
 }
 
 // Normalized returns o with every field mapped to its canonical effective

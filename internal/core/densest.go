@@ -10,6 +10,7 @@ import (
 // exactly a biconnected component of size one edge, so this is a direct
 // corollary of FAST-BCC.
 func Bridges(g *graph.Graph, opt Options) ([]bool, int, *Metrics) {
+	defer attachRuntimeTracer(opt)()
 	res, met := BCC(g, opt)
 	// Count arcs per BCC label; label with exactly 2 arcs = bridge.
 	counts := make([]int64, res.NumBCC)
@@ -53,6 +54,7 @@ func DensestSubgraph(g *graph.Graph, opt Options) ([]uint32, float64, *Metrics) 
 	if g.Directed {
 		panic("core: DensestSubgraph requires an undirected graph")
 	}
+	defer attachRuntimeTracer(opt)()
 	core, degeneracy, met := KCore(g, opt)
 	if g.N == 0 {
 		return nil, 0, met

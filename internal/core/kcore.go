@@ -26,6 +26,7 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 		panic("core: KCore requires an undirected graph")
 	}
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "kcore")
 	n := g.N
 	core := make([]uint32, n)

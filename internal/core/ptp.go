@@ -26,6 +26,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 		policy = RhoStepping{}
 	}
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "ptp")
 	n := g.N
 	if n == 0 {

@@ -14,6 +14,7 @@ import (
 // order, each vertex claimed exactly once by a CAS.
 func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "reach")
 	n := g.N
 	out := make([]bool, n)

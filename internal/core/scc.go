@@ -30,6 +30,7 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 		panic("core: SCC requires a directed graph")
 	}
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "scc")
 	n := g.N
 	comp := make([]uint32, n)

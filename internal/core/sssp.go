@@ -91,6 +91,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 		policy = RhoStepping{}
 	}
 	opt = opt.Normalized()
+	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "sssp")
 	n := g.N
 	dist := make([]atomic.Uint64, n)

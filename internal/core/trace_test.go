@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"pasgal/internal/gen"
+	"pasgal/internal/parallel"
 	"pasgal/internal/trace"
 )
 
@@ -148,6 +149,57 @@ func TestTraceSharedAcrossAlgos(t *testing.T) {
 	if got := tr.CounterValue(trace.CtrRounds); got != metBFS.Rounds+metSCC.Rounds {
 		t.Fatalf("shared rounds counter = %d, want %d",
 			got, metBFS.Rounds+metSCC.Rounds)
+	}
+}
+
+// TestTraceSchedulerCounters: Options.TraceScheduler must mirror the
+// fork-join runtime's counters into the run's tracer — the launch counts
+// the tracer saw must match the SchedStats delta over the run exactly (the
+// same two-independent-observers contract the round tests enforce) — and
+// the hook must be restored when the call returns.
+func TestTraceSchedulerCounters(t *testing.T) {
+	defer parallel.SetWorkers(parallel.SetWorkers(4))
+	g := gen.Chain(5000, false)
+
+	tr := trace.New()
+	before := parallel.SchedStats()
+	_, met := BFS(g, 0, Options{Tracer: tr, TraceScheduler: true})
+	after := parallel.SchedStats()
+	if met.Rounds == 0 {
+		t.Fatal("BFS did no rounds")
+	}
+
+	if got := tr.CounterValue(trace.CtrLoops) + tr.CounterValue(trace.CtrInlineLoops); got == 0 {
+		t.Fatal("TraceScheduler saw no loop launches during BFS")
+	}
+	type pair struct {
+		name  string
+		delta int64
+		ctr   trace.Counter
+	}
+	for _, c := range []pair{
+		{"loops", after.Loops - before.Loops, trace.CtrLoops},
+		{"inline", after.Inline - before.Inline, trace.CtrInlineLoops},
+		{"forks", after.Forks - before.Forks, trace.CtrForks},
+		{"steals", after.Steals - before.Steals, trace.CtrSteals},
+	} {
+		if got := tr.CounterValue(c.ctr); got != c.delta {
+			t.Errorf("%s: tracer saw %d, SchedStats delta is %d", c.name, got, c.delta)
+		}
+	}
+
+	// The hook must be gone after the call: new launches may not count.
+	loopsAfter := tr.CounterValue(trace.CtrLoops)
+	parallel.For(100000, 16, func(int) {})
+	if got := tr.CounterValue(trace.CtrLoops); got != loopsAfter {
+		t.Fatalf("runtime tracer leaked past the call: loops %d -> %d", loopsAfter, got)
+	}
+
+	// Without TraceScheduler the same run records no scheduler counters.
+	tr2 := trace.New()
+	BFS(g, 0, Options{Tracer: tr2})
+	if got := tr2.CounterValue(trace.CtrLoops) + tr2.CounterValue(trace.CtrSteals); got != 0 {
+		t.Fatalf("scheduler counters recorded without TraceScheduler: %d", got)
 	}
 }
 

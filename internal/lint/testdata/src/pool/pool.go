@@ -1,0 +1,103 @@
+// Package pool exercises the analyzers against the work-stealing
+// scheduler's ownership conventions (internal/parallel): a chunk range
+// packed into one uint64 that its owner pops from the front (CAS) while
+// thieves halve it from the back (CAS), and an owner-only deposit that is
+// a plain store by design. The positive cases show the idioms the
+// conventions forbid; the negative cases are the real pool patterns, which
+// must stay clean — a false positive here would force blanket suppressions
+// in the runtime.
+package pool
+
+import "sync/atomic"
+
+// deque is the fixture analogue of the pool's participant slot: head/tail
+// chunk indices packed lo<<32|hi into one CAS word.
+type deque struct {
+	bounds uint64
+	// stats is owner-local bookkeeping, never shared.
+	stats int64
+}
+
+func pack(lo, hi uint32) uint64 { return uint64(lo)<<32 | uint64(hi) }
+
+// takeOne is the owner's pop: CAS the front chunk off the packed range.
+// Consistently atomic — must not be flagged.
+func takeOne(d *deque) (uint32, bool) {
+	for {
+		b := atomic.LoadUint64(&d.bounds)
+		lo, hi := uint32(b>>32), uint32(b)
+		if lo >= hi {
+			return 0, false
+		}
+		if atomic.CompareAndSwapUint64(&d.bounds, b, pack(lo+1, hi)) {
+			return lo, true
+		}
+	}
+}
+
+// stealHalf is the thief's half-steal from the back. Same word, same
+// discipline — must not be flagged.
+func stealHalf(d *deque) (uint32, uint32, bool) {
+	for {
+		b := atomic.LoadUint64(&d.bounds)
+		lo, hi := uint32(b>>32), uint32(b)
+		if lo >= hi {
+			return 0, 0, false
+		}
+		mid := lo + (hi-lo+1)/2
+		if atomic.CompareAndSwapUint64(&d.bounds, b, pack(lo, mid)) {
+			return mid, hi, true
+		}
+	}
+}
+
+// deposit is the pool's owner-only store: only the slot's owner writes a
+// non-empty range into its own emptied slot, so the store needs no CAS —
+// but it stays an *atomic* store because thieves load concurrently. The
+// straight-line plain read before it is permitted (plain reads are flagged
+// only inside concurrent closures).
+func deposit(d *deque, lo, hi uint32) {
+	if d.bounds != 0 {
+		return
+	}
+	atomic.StoreUint64(&d.bounds, pack(lo, hi))
+}
+
+// watcher shows the allowlist in the pool's own terms: a monitoring
+// goroutine reads the CAS word plainly, vetted because a stale value only
+// delays it one iteration.
+func watcher(d *deque, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if d.bounds == 0 { //pasgal:vet ignore=mixed-access -- monitoring only; stale reads are benign
+				return
+			}
+		}
+	}()
+}
+
+// badPlainPush breaks the convention: a plain write to the CAS word races
+// with every thief's CAS.
+func badPlainPush(d *deque) {
+	d.bounds = 1 << 32 // want:mixed-access
+}
+
+// badConcurrentPeek reads the word plainly from a goroutine without a
+// justification comment.
+func badConcurrentPeek(d *deque) {
+	go func() {
+		b := d.bounds // want:mixed-access
+		_ = b
+	}()
+}
+
+// ownerLocal touches owner-local state plainly only — no atomics anywhere,
+// nothing to flag.
+func ownerLocal(d *deque) {
+	d.stats++
+}

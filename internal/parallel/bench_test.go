@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"testing"
 )
@@ -79,6 +80,40 @@ func BenchmarkHistogram(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Histogram(keys, 256)
+	}
+}
+
+// BenchmarkLaunchOverhead measures the fixed cost of launching one small
+// parallel loop at different worker-team sizes — the small-frontier regime
+// of large-diameter graphs, where a round's loop has little work and the
+// launch cost itself decides throughput. With the persistent pool the cost
+// must stay roughly flat in p (publish + wake, no spawns); the old
+// spawn-per-launch runtime grew linearly in p.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	const n = 256 // small loop: a few chunks, dominated by launch cost
+	for _, p := range []int{1, 8, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			defer SetWorkers(SetWorkers(p))
+			dst := make([]int64, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				For(n, 16, func(j int) { dst[j]++ })
+			}
+		})
+	}
+}
+
+// BenchmarkDoOverhead measures the fixed cost of a binary fork-join.
+func BenchmarkDoOverhead(b *testing.B) {
+	for _, p := range []int{1, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			defer SetWorkers(SetWorkers(p))
+			var x, y int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Do(func() { x++ }, func() { y++ })
+			}
+		})
 	}
 }
 

@@ -1,0 +1,289 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"slices"
+	"sync/atomic"
+	"testing"
+)
+
+// The scheduler conformance suite: every primitive in the package checked
+// against a sequential oracle across adversarial worker counts, grains, and
+// sizes. The axes deliberately include the degenerate paths — empty loops,
+// single-chunk inline execution, grain exactly equal to / one off from n,
+// and more workers than chunks — because those are the branches a scheduler
+// rewrite is most likely to get subtly wrong.
+
+// confWorkers returns the worker counts to sweep: {1, 2, 3, GOMAXPROCS},
+// deduplicated.
+func confWorkers() []int {
+	ws := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	slices.Sort(ws)
+	return slices.Compact(ws)
+}
+
+// confSizes returns the loop sizes to sweep for worker count p.
+func confSizes(p int) []int {
+	ns := []int{0, 1, 7, p, 10000}
+	slices.Sort(ns)
+	return slices.Compact(ns)
+}
+
+// confGrains returns the grain values to sweep for size n: adversarial
+// boundaries plus 0 (auto).
+func confGrains(n int) []int {
+	gs := []int{1, 2, n - 1, n, n + 1, 0}
+	slices.Sort(gs)
+	gs = slices.Compact(gs)
+	out := gs[:0]
+	for _, g := range gs {
+		if g >= 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func TestConformanceForRange(t *testing.T) {
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				for _, grain := range confGrains(n) {
+					name := fmt.Sprintf("p=%d/n=%d/g=%d", p, n, grain)
+					visits := make([]int32, n)
+					var calls atomic.Int64
+					ForRange(n, grain, func(lo, hi int) {
+						calls.Add(1)
+						if lo < 0 || hi > n || lo >= hi {
+							panic(fmt.Sprintf("%s: bad chunk [%d,%d)", name, lo, hi))
+						}
+						if grain > 0 {
+							// The documented alignment contract: exactly
+							// [c*grain, min((c+1)*grain, n)).
+							if lo%grain != 0 {
+								panic(fmt.Sprintf("%s: lo=%d not grain-aligned", name, lo))
+							}
+							if want := min(lo+grain, n); hi != want {
+								panic(fmt.Sprintf("%s: chunk [%d,%d), want hi=%d", name, lo, hi, want))
+							}
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&visits[i], 1)
+						}
+					})
+					for i, v := range visits {
+						if v != 1 {
+							t.Fatalf("%s: index %d visited %d times", name, i, v)
+						}
+					}
+					if n == 0 && calls.Load() != 0 {
+						t.Fatalf("%s: body called on empty loop", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceFor(t *testing.T) {
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				for _, grain := range confGrains(n) {
+					got := make([]int64, n)
+					For(n, grain, func(i int) {
+						atomic.AddInt64(&got[i], int64(i)*3+1)
+					})
+					for i := range got {
+						if want := int64(i)*3 + 1; got[i] != want {
+							t.Fatalf("p=%d n=%d g=%d: got[%d]=%d, want %d", p, n, grain, i, got[i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceReduce(t *testing.T) {
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				var want int64
+				for i := 0; i < n; i++ {
+					want += int64(i)*int64(i) + 1
+				}
+				for _, grain := range confGrains(n) {
+					got := Reduce(n, grain, int64(0),
+						func(i int) int64 { return int64(i)*int64(i) + 1 },
+						func(a, b int64) int64 { return a + b })
+					if got != want {
+						t.Fatalf("p=%d n=%d g=%d: Reduce = %d, want %d", p, n, grain, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceScan(t *testing.T) {
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				rng := rand.New(rand.NewPCG(uint64(p), uint64(n)))
+				src := make([]int64, n)
+				for i := range src {
+					src[i] = int64(rng.IntN(100)) - 50
+				}
+				// Exclusive oracle.
+				excl := make([]int64, n)
+				var acc int64
+				for i, v := range src {
+					excl[i] = acc
+					acc += v
+				}
+				work := slices.Clone(src)
+				if total := Scan(work); total != acc {
+					t.Fatalf("p=%d n=%d: Scan total = %d, want %d", p, n, total, acc)
+				}
+				if !slices.Equal(work, excl) {
+					t.Fatalf("p=%d n=%d: exclusive scan mismatch", p, n)
+				}
+				// Inclusive oracle.
+				incl := make([]int64, n)
+				acc = 0
+				for i, v := range src {
+					acc += v
+					incl[i] = acc
+				}
+				work = slices.Clone(src)
+				if total := ScanInclusive(work); total != acc {
+					t.Fatalf("p=%d n=%d: ScanInclusive total = %d, want %d", p, n, total, acc)
+				}
+				if !slices.Equal(work, incl) {
+					t.Fatalf("p=%d n=%d: inclusive scan mismatch", p, n)
+				}
+			}
+		})
+	}
+}
+
+func TestConformancePack(t *testing.T) {
+	keep := func(i int) bool { return i%3 == 0 || i%7 == 2 }
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				var wantIdx []uint32
+				for i := 0; i < n; i++ {
+					if keep(i) {
+						wantIdx = append(wantIdx, uint32(i))
+					}
+				}
+				if got := PackIndex(n, keep); !slices.Equal(got, wantIdx) {
+					t.Fatalf("p=%d n=%d: PackIndex = %v, want %v", p, n, got, wantIdx)
+				}
+				src := make([]int64, n)
+				for i := range src {
+					src[i] = int64(i) * 11
+				}
+				var wantVals []int64
+				for i := 0; i < n; i++ {
+					if keep(i) {
+						wantVals = append(wantVals, src[i])
+					}
+				}
+				if got := Pack(src, keep); !slices.Equal(got, wantVals) {
+					t.Fatalf("p=%d n=%d: Pack mismatch", p, n)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceSort(t *testing.T) {
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				rng := rand.New(rand.NewPCG(uint64(p)*31, uint64(n)))
+				ints := make([]int, n)
+				for i := range ints {
+					ints[i] = rng.IntN(max(n/2, 1)) // plenty of duplicates
+				}
+				want := slices.Clone(ints)
+				slices.Sort(want)
+				got := slices.Clone(ints)
+				SortFunc(got, func(a, b int) bool { return a < b })
+				if !slices.Equal(got, want) {
+					t.Fatalf("p=%d n=%d: SortFunc mismatch", p, n)
+				}
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64() >> uint(rng.IntN(64)) // vary key width
+				}
+				wantK := slices.Clone(keys)
+				slices.Sort(wantK)
+				SortUint64(keys)
+				if !slices.Equal(keys, wantK) {
+					t.Fatalf("p=%d n=%d: SortUint64 mismatch", p, n)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceHistogram(t *testing.T) {
+	const k = 97
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				rng := rand.New(rand.NewPCG(uint64(p)*77, uint64(n)))
+				keys := make([]uint32, n)
+				for i := range keys {
+					keys[i] = uint32(rng.IntN(k))
+				}
+				want := make([]int64, k)
+				for _, key := range keys {
+					want[key]++
+				}
+				if got := Histogram(keys, k); !slices.Equal(got, want) {
+					t.Fatalf("p=%d n=%d: Histogram mismatch", p, n)
+				}
+
+				perm, offsets := CountingSortByKey(keys, k)
+				if len(perm) != n || len(offsets) != k+1 {
+					t.Fatalf("p=%d n=%d: shapes perm=%d offsets=%d", p, n, len(perm), len(offsets))
+				}
+				// Offsets are the exclusive prefix sum of the histogram.
+				var acc int64
+				for key := 0; key < k; key++ {
+					if offsets[key] != acc {
+						t.Fatalf("p=%d n=%d: offsets[%d]=%d, want %d", p, n, key, offsets[key], acc)
+					}
+					acc += want[key]
+				}
+				if offsets[k] != int64(n) {
+					t.Fatalf("p=%d n=%d: offsets[k]=%d, want %d", p, n, offsets[k], n)
+				}
+				// perm is a permutation, grouped by key, stable within a key
+				// (indices strictly increasing, since the values being
+				// sorted are the positions themselves).
+				seen := make([]bool, n)
+				for pos, idx := range perm {
+					if int(idx) >= n || seen[idx] {
+						t.Fatalf("p=%d n=%d: perm not a permutation at %d", p, n, pos)
+					}
+					seen[idx] = true
+					key := keys[idx]
+					if int64(pos) < offsets[key] || int64(pos) >= offsets[key+1] {
+						t.Fatalf("p=%d n=%d: perm[%d]=%d (key %d) outside its group", p, n, pos, idx, key)
+					}
+					if pos > 0 && keys[perm[pos-1]] == key && perm[pos-1] >= idx {
+						t.Fatalf("p=%d n=%d: not stable at %d", p, n, pos)
+					}
+				}
+			}
+		})
+	}
+}

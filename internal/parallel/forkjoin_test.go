@@ -1,0 +1,353 @@
+package parallel
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pasgal/internal/trace"
+)
+
+// panicToken is panicked by pointer so tests can assert the *identical*
+// value crossed the scheduler, not a copy or a wrapper.
+type panicToken struct{ site string }
+
+// mustPanicWith runs fn and returns the recovered value, failing the test
+// if fn does not panic.
+func mustPanicWith(t *testing.T, fn func()) (val any) {
+	t.Helper()
+	defer func() { val = recover() }()
+	fn()
+	t.Fatal("expected panic, got none")
+	return nil
+}
+
+// TestPanicPropagationMatrix pins the panic contract of the scheduler: the
+// first panic value raised in any chunk or arm — inline on the caller, run
+// by a pool worker, or nested forks deep — surfaces exactly once from the
+// launching call, by identity, and only after the join is complete (no
+// body still running when the panic reaches the caller).
+func TestPanicPropagationMatrix(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+
+	var inFlight atomic.Int32 // bodies currently executing
+	enter := func() { inFlight.Add(1) }
+	exit := func() { inFlight.Add(-1) }
+
+	check := func(t *testing.T, tok *panicToken, launch func()) {
+		t.Helper()
+		got := mustPanicWith(t, launch)
+		if got != tok {
+			t.Fatalf("recovered %v (%T), want the original token %p", got, got, tok)
+		}
+		// The join must complete before the rethrow: nothing may still be
+		// running the moment the panic reaches the caller.
+		if n := inFlight.Load(); n != 0 {
+			t.Fatalf("%d bodies still in flight after panic surfaced", n)
+		}
+	}
+
+	t.Run("inline chunk", func(t *testing.T) {
+		tok := &panicToken{"inline"}
+		check(t, tok, func() {
+			// grain >= n: single chunk, runs inline on the caller.
+			ForRange(10, 100, func(lo, hi int) { enter(); defer exit(); panic(tok) })
+		})
+	})
+
+	t.Run("multi-chunk loop", func(t *testing.T) {
+		tok := &panicToken{"chunk"}
+		check(t, tok, func() {
+			// grain 1 over 1<<12 indices: many stealable chunks; whichever
+			// participant (caller or pool worker) hits index 3000 panics.
+			For(1<<12, 1, func(i int) {
+				enter()
+				defer exit()
+				if i == 3000 {
+					panic(tok)
+				}
+			})
+		})
+	})
+
+	t.Run("do stealable arm", func(t *testing.T) {
+		tok := &panicToken{"arm"}
+		var other atomic.Bool
+		check(t, tok, func() {
+			Do(
+				func() { enter(); defer exit(); other.Store(true) },
+				func() { enter(); defer exit(); panic(tok) },
+			)
+		})
+		if !other.Load() {
+			t.Fatal("non-panicking arm did not run")
+		}
+	})
+
+	t.Run("do inline arm", func(t *testing.T) {
+		tok := &panicToken{"arm0"}
+		var other atomic.Bool
+		check(t, tok, func() {
+			Do(
+				func() { enter(); defer exit(); panic(tok) },
+				func() { enter(); defer exit(); other.Store(true) },
+			)
+		})
+		if !other.Load() {
+			t.Fatal("sibling arm must still run to completion before the rethrow")
+		}
+	})
+
+	t.Run("nested do arm", func(t *testing.T) {
+		tok := &panicToken{"nested-do"}
+		check(t, tok, func() {
+			Do(
+				func() { enter(); defer exit() },
+				func() {
+					Do(
+						func() { enter(); defer exit() },
+						func() { enter(); defer exit(); panic(tok) },
+					)
+				},
+			)
+		})
+	})
+
+	t.Run("loop inside do arm", func(t *testing.T) {
+		tok := &panicToken{"do-for"}
+		check(t, tok, func() {
+			Do(
+				func() { enter(); defer exit() },
+				func() {
+					For(512, 1, func(i int) {
+						enter()
+						defer exit()
+						if i == 200 {
+							panic(tok)
+						}
+					})
+				},
+			)
+		})
+	})
+
+	t.Run("do inside loop chunk", func(t *testing.T) {
+		tok := &panicToken{"for-do"}
+		check(t, tok, func() {
+			For(64, 1, func(i int) {
+				enter()
+				defer exit()
+				if i == 40 {
+					Do(func() {}, func() { panic(tok) })
+				}
+			})
+		})
+	})
+
+	t.Run("first panic wins once", func(t *testing.T) {
+		// Many chunks panic; exactly one token surfaces and it is one of
+		// the thrown ones. (A single launch can only panic once, so the
+		// "exactly once" half is that the value is never swallowed: the
+		// launch must panic, checked by mustPanicWith.)
+		toks := make([]*panicToken, 64)
+		for i := range toks {
+			toks[i] = &panicToken{fmt.Sprintf("multi-%d", i)}
+		}
+		got := mustPanicWith(t, func() {
+			For(1<<10, 1, func(i int) {
+				enter()
+				defer exit()
+				if i%16 == 0 {
+					panic(toks[i/16])
+				}
+			})
+		})
+		found := false
+		for _, tok := range toks {
+			if got == tok {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("recovered %v, not one of the thrown tokens", got)
+		}
+		if n := inFlight.Load(); n != 0 {
+			t.Fatalf("%d bodies still in flight", n)
+		}
+	})
+}
+
+// TestStressSetWorkersDuringLoops hammers pool resizing concurrently with
+// running loops and forks: resizes must never deadlock a join, drop a
+// chunk, or double-run one. Run under -race in the stress tier.
+func TestStressSetWorkersDuringLoops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	defer SetWorkers(SetWorkers(0)) // restore default at the end
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Resizer: cycle the pool through wildly different sizes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 2, 3, 8, 32, 1, 16, 2}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetWorkers(sizes[i%len(sizes)])
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Launchers: two goroutines running loops + nested forks, each
+	// verifying exactly-once execution of every index.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			const n = 1 << 12
+			want := int64(n) * int64(n-1) / 2
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum atomic.Int64
+				For(n, 7, func(i int) { sum.Add(int64(i)) })
+				if got := sum.Load(); got != want {
+					t.Errorf("g=%d iter=%d: sum=%d want %d (chunk dropped or doubled)", g, iter, got, want)
+					return
+				}
+				var forked atomic.Int64
+				Do(
+					func() { For(128, 1, func(int) { forked.Add(1) }) },
+					func() { forked.Add(1) },
+					func() { Do(func() { forked.Add(1) }, func() { forked.Add(1) }) },
+				)
+				if got := forked.Load(); got != 131 {
+					t.Errorf("g=%d iter=%d: forked=%d want 131", g, iter, got)
+					return
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+}
+
+// TestSchedStatsMatchTracer is the runtime half of the trace invariant:
+// the counters SchedStats reports and the counters an installed
+// trace.Tracer accumulates are two independent observers of the same
+// events and must agree. Launch/fork/steal/inline/wake counts are bounded
+// by the join and compared exactly; parks are recorded asynchronously by
+// workers, so they are polled until the two observers converge.
+func TestSchedStatsMatchTracer(t *testing.T) {
+	defer SetWorkers(SetWorkers(4))
+
+	tr := trace.New()
+	prev := SetTracer(tr)
+	defer SetTracer(prev)
+	before := SchedStats()
+
+	For(50000, 16, func(int) {})                                   // multi-chunk loop
+	ForRange(10, 100, func(lo, hi int) {})                         // inline loop
+	Do(func() {}, func() { For(256, 1, func(int) {}) }, func() {}) // fork + nested loop
+	For(3, 1, func(int) {})                                        // more chunks than... exactly p-chunks shape
+
+	after := SchedStats()
+	exact := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"loops", after.Loops - before.Loops, tr.CounterValue(trace.CtrLoops)},
+		{"inline", after.Inline - before.Inline, tr.CounterValue(trace.CtrInlineLoops)},
+		{"forks", after.Forks - before.Forks, tr.CounterValue(trace.CtrForks)},
+		{"steals", after.Steals - before.Steals, tr.CounterValue(trace.CtrSteals)},
+		{"wakes", after.Wakes - before.Wakes, tr.CounterValue(trace.CtrWakes)},
+	}
+	for _, c := range exact {
+		if c.got != c.want {
+			t.Errorf("%s: SchedStats delta %d != tracer %d", c.name, c.got, c.want)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		statParks := SchedStats().Parks - before.Parks
+		traceParks := tr.CounterValue(trace.CtrParks)
+		if statParks == traceParks {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parks never converged: SchedStats delta %d, tracer %d", statParks, traceParks)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// FuzzNestedForDo drives randomized nesting of Do forks over ForRange
+// leaves against a deterministic sequential oracle: every input index must
+// be transformed exactly once no matter how the work tree is shaped, how
+// many workers run it, or how adversarial the grain is.
+func FuzzNestedForDo(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(2), uint8(3), uint8(1))
+	f.Add(uint64(42), uint8(3), uint8(4), uint8(1), uint8(0))
+	f.Add(uint64(7), uint8(0), uint8(2), uint8(2), uint8(63))
+	f.Add(uint64(99), uint8(5), uint8(7), uint8(4), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, depth, width, workers, grainSel uint8) {
+		d := int(depth % 5)
+		w := int(width%3) + 2
+		p := int(workers%4) + 1
+		grain := int(grainSel % 64) // 0 = auto
+		defer SetWorkers(SetWorkers(p))
+
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := rng.IntN(3000) + 1
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(rng.IntN(1000))
+		}
+		got := make([]int64, n)
+
+		var rec func(lo, hi, d int)
+		rec = func(lo, hi, d int) {
+			if d == 0 || hi-lo <= w {
+				ForRange(hi-lo, grain, func(clo, chi int) {
+					for i := clo; i < chi; i++ {
+						atomic.AddInt64(&got[lo+i], in[lo+i]*2+1)
+					}
+				})
+				return
+			}
+			arms := make([]func(), w)
+			for a := 0; a < w; a++ {
+				alo := lo + (hi-lo)*a/w
+				ahi := lo + (hi-lo)*(a+1)/w
+				dd := d - 1
+				arms[a] = func() { rec(alo, ahi, dd) }
+			}
+			Do(arms...)
+		}
+		rec(0, n, d)
+
+		for i := range got {
+			if want := in[i]*2 + 1; got[i] != want {
+				t.Fatalf("seed=%d d=%d w=%d p=%d g=%d: got[%d]=%d, want %d (exactly-once violated)",
+					seed, d, w, p, grain, i, got[i], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,32 @@
+package parallel
+
+// defaultGrain picks the chunk size for a loop whose caller didn't specify
+// one. The target is n/(8p): eight chunks per worker, enough slack for work
+// stealing to balance skewed bodies without paying per-iteration scheduling.
+//
+// The grain is clamped from above so the chunk count never collapses: a
+// fixed 4096 cap (the previous design) leaves mid-size loops on high core
+// counts with fewer than one chunk per worker. Instead the cap is
+// max(4096, ceil(n/(64p))) — 4096 iterations is still the largest grain a
+// small loop is allowed, but once n grows past 4096·64·p the cap scales so
+// every worker still sees at least 8 and at most 64 chunks. The lower bound
+// of 64 chunks/worker also bounds the per-chunk bookkeeping arrays that
+// Scan/Pack/Histogram allocate (indexed by lo/grain) to O(p), independent
+// of n.
+func defaultGrain(n, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	g := n / (8 * p)
+	limit := 4096
+	if c := (n + 64*p - 1) / (64 * p); c > limit {
+		limit = c
+	}
+	if g > limit {
+		g = limit
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

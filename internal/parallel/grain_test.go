@@ -1,0 +1,88 @@
+package parallel
+
+import "testing"
+
+// TestDefaultGrainChunkCounts pins the chunk counts the auto grain
+// produces. The invariant under test is the fix for the old fixed 4096
+// clamp: for any loop large enough to split at all, every worker sees at
+// least ~8 chunks (so stealing can balance skew) and at most 64 chunks (so
+// the per-chunk bookkeeping that Scan/Pack/Histogram allocate stays O(p)).
+func TestDefaultGrainChunkCounts(t *testing.T) {
+	chunksOf := func(n, g int) int { return (n + g - 1) / g }
+	cases := []struct {
+		name       string
+		n, p       int
+		wantGrain  int // -1 to skip the exact-grain check
+		wantChunks int // -1 to skip the exact-chunk check
+	}{
+		{"tiny loop is one chunk each", 7, 4, 1, 7},
+		{"n smaller than 8p floors at grain 1", 100, 16, 1, 100},
+		{"exact 8 chunks per worker", 1 << 17, 8, 1 << 11, 64},
+		{"single worker", 1 << 15, 1, 4096, 8},
+		// The regression the fix targets: n=4M, p=96 under the old fixed
+		// clamp gave grain 4096 → 1024 chunks ≈ 10/worker, but n=64M gave
+		// grain 4096 → 16384 chunks of bookkeeping. Now the cap scales.
+		{"huge loop caps at 64 chunks per worker", 64 << 20, 96, -1, -1},
+		{"mid loop on many cores keeps 8 per worker", 4 << 20, 96, -1, -1},
+		{"small-clamp regime still uses 4096", 1 << 20, 4, 4096, 256},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := defaultGrain(c.n, c.p)
+			if g < 1 {
+				t.Fatalf("grain %d < 1", g)
+			}
+			if c.wantGrain >= 0 && g != c.wantGrain {
+				t.Errorf("defaultGrain(%d, %d) = %d, want %d", c.n, c.p, g, c.wantGrain)
+			}
+			ch := chunksOf(c.n, g)
+			if c.wantChunks >= 0 && ch != c.wantChunks {
+				t.Errorf("chunks = %d, want %d", ch, c.wantChunks)
+			}
+			// The structural invariant, for every case big enough to split:
+			// chunks/worker in [8, 65] (the +1 absorbs ceil rounding).
+			if c.n >= 8*c.p {
+				perWorker := float64(ch) / float64(c.p)
+				if perWorker < 7.9 || perWorker > 65 {
+					t.Errorf("n=%d p=%d grain=%d: %.1f chunks/worker, want [8,64]",
+						c.n, c.p, g, perWorker)
+				}
+			}
+		})
+	}
+	// Sweep: the invariant must hold across the whole (n, p) plane, not
+	// just the pinned rows.
+	for _, p := range []int{1, 2, 3, 4, 8, 16, 48, 96, 192} {
+		for n := 1; n <= 1<<28; n *= 7 {
+			g := defaultGrain(n, p)
+			if g < 1 {
+				t.Fatalf("defaultGrain(%d,%d) = %d", n, p, g)
+			}
+			ch := chunksOf(n, g)
+			if n >= 8*p {
+				perWorker := float64(ch) / float64(p)
+				if perWorker < 7.9 || perWorker > 65 {
+					t.Errorf("n=%d p=%d grain=%d: %.1f chunks/worker out of [8,64]",
+						n, p, g, perWorker)
+				}
+			}
+		}
+	}
+	if g := defaultGrain(10, 0); g < 1 {
+		t.Fatalf("p=0 must not divide by zero, got %d", g)
+	}
+}
+
+// TestDefaultGrainOldClampRegression documents the concrete failure the
+// re-derived clamp fixes: the old unconditional min(…, 4096) made chunk
+// counts grow with n (bookkeeping) while still starving high worker counts
+// on mid-size loops. The new clamp keeps both sides bounded.
+func TestDefaultGrainOldClampRegression(t *testing.T) {
+	// 64M iterations on 8 workers: old clamp → 16384 chunks (2048/worker of
+	// per-chunk bookkeeping); new clamp → at most 64/worker.
+	n, p := 64<<20, 8
+	g := defaultGrain(n, p)
+	if ch := (n + g - 1) / g; ch > 64*p {
+		t.Fatalf("n=%d p=%d: %d chunks, want <= %d", n, p, ch, 64*p)
+	}
+}

@@ -4,22 +4,47 @@
 // For/ForRange, and the usual work-efficient primitives (reduce, scan, pack,
 // sort) built on top of them.
 //
-// The scheduler is deliberately simple: a loop is split into chunks of
-// `grain` iterations and a small team of goroutines pulls chunks off a
-// shared atomic counter. This gives dynamic load balancing without a full
-// work-stealing deque, which is sufficient because PASGAL-style algorithms
-// control granularity themselves (that is the whole point of vertical
-// granularity control).
+// # Scheduling
 //
-// Note that chunked loops spawn goroutines even when only one worker is
-// configured: synchronization overhead is an explicit object of study in
-// this library ("parallelism comes at a cost"), so the runtime does not
-// silently elide it. Loops that fit in a single chunk run inline.
+// The runtime is a persistent work-stealing scheduler. A pool of worker
+// goroutines is started lazily on the first multi-worker launch and resized
+// by SetWorkers; idle workers park on a condition variable (one futex wait
+// in steady state) and are signalled when new work appears, so an idle pool
+// costs nothing and a loop launch costs no goroutine spawns.
+//
+// A loop launch splits its iteration space into grain-aligned chunks and
+// pre-splits the chunk range into one contiguous sub-range per participant
+// (the caller plus up to min(workers, chunks)-1 helpers). Each participant
+// claims one chunk at a time off the front of its own range with a CAS;
+// when its range is empty it steals the back half of a victim's remaining
+// range (lazy binary splitting) and continues. The caller always
+// participates, so a launch whose helpers never arrive — the small-frontier
+// regime of large-diameter graphs — degenerates to a near-serial loop with
+// one CAS per chunk and no synchronization beyond the final join.
+//
+// Do is a real fork: the additional arms are published for stealing, the
+// first arm runs inline on the caller, and at the join the caller steals
+// unclaimed arms back and runs them itself, blocking only on arms another
+// worker is actively executing. Do arms and loop bodies must not
+// synchronize with each other (no channel hand-offs between two arms of
+// the same Do): a blocked arm can block the worker executing it, and the
+// scheduler guarantees progress only for tasks that run to completion on
+// their own.
+//
+// Loops that fit in a single chunk run inline on the caller with no
+// scheduling at all. Panics in loop bodies and Do arms are caught, the join
+// completes, and the first panic value is re-raised exactly once from the
+// launching call.
+//
+// Scheduling volume (launches, steals, parks, wakes) is observable through
+// SchedStats and mirrored into an optional trace.Tracer; "parallelism comes
+// at a cost" is an explicit object of study in this library, and the
+// counters are how that cost is measured. See docs/SCHEDULER.md for the
+// stealing protocol and the memory-ordering argument.
 package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"pasgal/internal/trace"
@@ -37,62 +62,39 @@ func init() {
 func Workers() int { return int(workers.Load()) }
 
 // SetWorkers overrides the worker-team size. p < 1 resets to GOMAXPROCS.
-// It returns the previous value.
+// It returns the previous value. If the worker pool is already running it
+// is resized: a fresh generation of p workers is started and the old
+// generation retires as soon as each worker finishes the task it is
+// executing. In-flight loops keep their already-split chunk ranges and
+// complete on the callers and surviving claimants, so resizing never drops
+// or duplicates a chunk.
 func SetWorkers(p int) int {
 	if p < 1 {
 		p = runtime.GOMAXPROCS(0)
 	}
-	return int(workers.Swap(int32(p)))
-}
-
-// stats counts scheduling events; the benchmark harness reads these to
-// report machine-independent "synchronization cost" figures.
-var (
-	statForks atomic.Int64 // goroutines spawned by the runtime
-	statLoops atomic.Int64 // parallel loop launches (each is one join barrier)
-)
-
-// SchedStats reports cumulative (loopLaunches, goroutinesSpawned) since
-// process start or the last ResetSchedStats.
-func SchedStats() (loops, forks int64) {
-	return statLoops.Load(), statForks.Load()
-}
-
-// ResetSchedStats zeroes the scheduling counters.
-func ResetSchedStats() {
-	statForks.Store(0)
-	statLoops.Store(0)
+	prev := int(workers.Swap(int32(p)))
+	sched.resize(p)
+	return prev
 }
 
 // tracer, when set, mirrors the scheduling counters into a trace.Tracer.
 // The runtime is package-global (loops launch from anywhere), so the hook
-// is too; one atomic pointer load per loop launch is the entire overhead,
-// and a nil load simply makes every tracer method a no-op.
+// is too; one atomic pointer load per event is the entire overhead, and a
+// nil load simply makes every tracer method a no-op.
 var tracer atomic.Pointer[trace.Tracer]
 
 // SetTracer installs (or, with nil, removes) the tracer that receives
-// loop/fork counts. It returns the previously installed tracer.
+// loop/fork/steal/park counts. It returns the previously installed tracer.
 func SetTracer(t *trace.Tracer) *trace.Tracer {
 	return tracer.Swap(t)
 }
 
-// defaultGrain picks a chunk size that yields ~8 chunks per worker, clamped
-// to [1, 4096]. Eight chunks per worker gives the dynamic scheduler room to
-// balance load without drowning in scheduling overhead.
-func defaultGrain(n, p int) int {
-	g := n / (8 * p)
-	if g < 1 {
-		g = 1
-	}
-	if g > 4096 {
-		g = 4096
-	}
-	return g
-}
-
-// ForRange runs body over [0,n) split into half-open chunks [lo,hi).
+// ForRange runs body over [0,n) split into half-open grain-aligned chunks
+// [lo,hi): every call receives exactly [c*grain, min((c+1)*grain, n)) for
+// one chunk index c, so callers may index per-chunk state with lo/grain.
 // grain <= 0 selects an automatic chunk size. Chunks are distributed
-// dynamically. Panics in the body are propagated to the caller.
+// dynamically by work stealing. Panics in the body are propagated to the
+// caller after all outstanding chunks finish.
 func ForRange(n, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -103,50 +105,53 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 	}
 	chunks := (n + grain - 1) / grain
 	if chunks <= 1 {
+		statInline.Add(1)
 		tracer.Load().LoopInline()
 		body(0, n)
 		return
 	}
-	nw := p
-	if nw > chunks {
-		nw = chunks
+	if chunks > maxChunks {
+		panic("parallel: loop splits into more than 2^32-1 chunks; use a larger grain")
+	}
+	k := p
+	if k > chunks {
+		k = chunks
 	}
 	statLoops.Add(1)
-	statForks.Add(int64(nw))
-	tracer.Load().Loop(int64(nw), int64(chunks))
+	statForks.Add(int64(k - 1))
+	tracer.Load().Loop(int64(k-1), int64(chunks))
 
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
-	wg.Add(nw)
-	for w := 0; w < nw; w++ {
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					// Exactly one writer wins via sync.Once, and the read
-					// below happens after wg.Wait.
-					panicOnce.Do(func() { panicVal = r }) //pasgal:vet ignore=parallel-capture -- single Once-guarded write, read after join
-				}
-			}()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
-				}
-				lo := c * grain
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
+	j := &job{body: body, grain: grain, n: n, done: make(chan struct{})}
+	j.pending.Store(int64(chunks))
+	j.slots = make([]slot, k)
+	per, rem := chunks/k, chunks%k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + per
+		if i < rem {
+			hi++
+		}
+		j.slots[i].bounds.Store(pack(lo, hi))
+		lo = hi
 	}
-	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
+
+	if k == 1 {
+		// One participant: the caller drains every chunk itself; nothing to
+		// publish and nobody to wake.
+		j.runLoop(0)
+	} else {
+		sched.ensure()
+		s, ok := sched.publish(j)
+		j.runLoop(0)
+		if ok {
+			sched.unpublish(s, j)
+			if j.pending.Load() > 0 {
+				<-j.done
+			}
+		}
+	}
+	if j.panicked.Load() {
+		panic(j.panicVal)
 	}
 }
 
@@ -161,7 +166,11 @@ func For(n, grain int, body func(i int)) {
 }
 
 // Do runs the given functions as parallel fork-join tasks and waits for all
-// of them. With two arguments it is the classic binary fork.
+// of them. With two arguments it is the classic binary fork: the second arm
+// is published for stealing, the first runs inline on the caller, and at
+// the join any arm no worker has claimed is stolen back and run inline.
+// The first panic value raised by any arm is re-raised exactly once after
+// every arm has finished.
 func Do(fns ...func()) {
 	switch len(fns) {
 	case 0:
@@ -173,27 +182,31 @@ func Do(fns ...func()) {
 	statLoops.Add(1)
 	statForks.Add(int64(len(fns) - 1))
 	tracer.Load().Loop(int64(len(fns)-1), int64(len(fns)))
-	var wg sync.WaitGroup
-	var panicOnce sync.Once
-	var panicVal any
-	wg.Add(len(fns) - 1)
-	for _, fn := range fns[1:] {
-		fn := fn
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					// Exactly one writer wins via sync.Once, and the read
-					// below happens after wg.Wait.
-					panicOnce.Do(func() { panicVal = r }) //pasgal:vet ignore=parallel-capture -- single Once-guarded write, read after join
-				}
-			}()
-			fn()
-		}()
+
+	j := &job{arms: make([]forkArm, len(fns)-1), done: make(chan struct{})}
+	for i := range j.arms {
+		j.arms[i].fn = fns[i+1]
 	}
-	fns[0]()
-	wg.Wait()
-	if panicVal != nil {
-		panic(panicVal)
+	j.pending.Store(int64(len(fns) - 1))
+
+	sched.ensure()
+	s, ok := sched.publish(j)
+	j.exec1(fns[0])
+	// Join: steal back every arm no worker has claimed, newest first, and
+	// run it inline.
+	for i := len(j.arms) - 1; i >= 0; i-- {
+		a := &j.arms[i]
+		if a.state.CompareAndSwap(armPending, armClaimed) {
+			j.runArm(a)
+		}
+	}
+	if ok {
+		sched.unpublish(s, j)
+	}
+	if j.pending.Load() > 0 {
+		<-j.done
+	}
+	if j.panicked.Load() {
+		panic(j.panicVal)
 	}
 }

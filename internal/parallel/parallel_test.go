@@ -269,15 +269,21 @@ func TestSortUint64(t *testing.T) {
 }
 
 func TestSchedStats(t *testing.T) {
+	// Force a multi-participant launch even on a single-core machine: with
+	// p=1 the loop has one participant and publishes no helper slots.
+	defer SetWorkers(SetWorkers(4))
 	ResetSchedStats()
 	For(100000, 64, func(int) {})
-	loops, forks := SchedStats()
-	if loops < 1 || forks < 1 {
-		t.Fatalf("expected scheduling activity, got loops=%d forks=%d", loops, forks)
+	st := SchedStats()
+	if st.Loops < 1 || st.Forks < 1 {
+		t.Fatalf("expected scheduling activity, got %+v", st)
+	}
+	For(10, 64, func(int) {})
+	if got := SchedStats().Inline; got < 1 {
+		t.Fatalf("expected inline loop, got %d", got)
 	}
 	ResetSchedStats()
-	loops, forks = SchedStats()
-	if loops != 0 || forks != 0 {
-		t.Fatal("reset failed")
+	if st := SchedStats(); st != (SchedCounts{}) {
+		t.Fatalf("reset failed: %+v", st)
 	}
 }

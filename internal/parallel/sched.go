@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// boardSize is the number of in-flight launch slots on the job board. Deep
+// nesting can exceed it; a launch that finds the board full simply runs on
+// its caller alone (correct, just not helped), so the bound is a back-
+// pressure valve, not a limit on nesting depth.
+const boardSize = 64
+
+// pool is the persistent worker pool: a fixed board of in-flight jobs that
+// workers scan, plus the parking machinery. There is one package-global
+// instance (sched); loops launch from anywhere, so the pool is global too.
+//
+// Parking protocol: a worker that finds no claimable work reads seq,
+// advertises itself in idle, rescans once, and only then blocks on cond
+// while seq is unchanged. A publisher stores the job on the board, bumps
+// seq, and signals only when idle > 0. All four operations are
+// sequentially-consistent atomics, so either the worker's rescan sees the
+// published job or the publisher's idle load sees the worker — a wakeup is
+// never lost.
+type pool struct {
+	board [boardSize]atomic.Pointer[job]
+
+	seq  atomic.Uint64 // bumped by every publish; parked workers watch it
+	idle atomic.Int32  // workers inside the rescan-then-park window
+	rr   atomic.Uint32 // round-robin start for board slot probing
+
+	genLive atomic.Uint64 // current worker generation (mirror of gen)
+
+	mu      sync.Mutex // guards cond, started, gen
+	cond    *sync.Cond
+	started bool
+	gen     uint64
+}
+
+var sched = func() *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}()
+
+// startedHint is a fast-path flag so ensure costs one atomic load once the
+// pool is running.
+var startedHint atomic.Bool
+
+// ensure lazily starts the worker pool at the current Workers() size.
+func (p *pool) ensure() {
+	if startedHint.Load() {
+		return
+	}
+	p.mu.Lock()
+	if !p.started {
+		p.started = true
+		p.spawnLocked(Workers())
+		startedHint.Store(true)
+	}
+	p.mu.Unlock()
+}
+
+// resize restarts the pool at n workers. The generation counter retires the
+// old workers: each one exits after the task it is currently executing (or
+// immediately, if parked). Chunk ranges already claimed by old-generation
+// workers are executed to completion before the worker retires, so no work
+// is dropped.
+func (p *pool) resize(n int) {
+	p.mu.Lock()
+	if p.started {
+		p.spawnLocked(n)
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) spawnLocked(n int) {
+	p.gen++
+	p.genLive.Store(p.gen)
+	statSpawns.Add(int64(n))
+	for i := 0; i < n; i++ {
+		w := &worker{gen: p.gen, rng: uint64(i)*0x9e3779b97f4a7c15 + p.gen | 1}
+		go w.run()
+	}
+	// Old-generation parked workers must notice the change and exit.
+	p.cond.Broadcast()
+}
+
+// publish places j on the board and wakes up to wanted parked workers.
+// It reports the slot used; ok is false when the board is full, in which
+// case the caller runs the job alone.
+func (p *pool) publish(j *job) (slot int, ok bool) {
+	off := int(p.rr.Add(1)) & (boardSize - 1)
+	for i := 0; i < boardSize; i++ {
+		s := (off + i) & (boardSize - 1)
+		if p.board[s].CompareAndSwap(nil, j) {
+			p.wake(j.wanted())
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// unpublish removes j from slot s. CAS, not Store: the slot may already
+// have been reused after a concurrent unpublish of the same job is
+// impossible, but the guard keeps the operation idempotent.
+func (p *pool) unpublish(s int, j *job) {
+	p.board[s].CompareAndSwap(j, nil)
+}
+
+// wake signals up to n parked workers to rescan the board.
+func (p *pool) wake(n int) {
+	p.seq.Add(1)
+	idle := int(p.idle.Load())
+	if idle == 0 {
+		return
+	}
+	if n > idle {
+		n = idle
+	}
+	if n <= 0 {
+		return
+	}
+	statWakes.Add(int64(n))
+	tracer.Load().Wake(int64(n))
+	p.mu.Lock()
+	for i := 0; i < n; i++ {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// worker is one pool goroutine. Its only state is its generation (for
+// retirement) and a private xorshift state for randomized victim selection.
+type worker struct {
+	gen uint64
+	rng uint64
+}
+
+func (w *worker) run() {
+	for {
+		if sched.genLive.Load() != w.gen {
+			return
+		}
+		if w.findWork() {
+			continue
+		}
+		// Idle path: record seq before the final rescan so a publish that
+		// the rescan misses is guaranteed to change seq before we park.
+		seq := sched.seq.Load()
+		sched.idle.Add(1)
+		if !w.findWork() {
+			w.park(seq)
+		}
+		sched.idle.Add(-1)
+	}
+}
+
+// park blocks until the board generation seq moves past the recorded value
+// or the worker's generation is retired.
+func (w *worker) park(seq uint64) {
+	sched.mu.Lock()
+	if sched.seq.Load() == seq && sched.gen == w.gen {
+		statParks.Add(1)
+		tracer.Load().Park()
+		for sched.seq.Load() == seq && sched.gen == w.gen {
+			sched.cond.Wait()
+		}
+	}
+	sched.mu.Unlock()
+}
+
+// findWork scans the board from a random offset and helps the first job
+// with claimable work. It reports whether it executed anything.
+func (w *worker) findWork() bool {
+	off := int(w.next()) & (boardSize - 1)
+	for i := 0; i < boardSize; i++ {
+		j := sched.board[(off+i)&(boardSize-1)].Load()
+		if j != nil && j.help(w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *worker) next() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}

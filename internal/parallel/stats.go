@@ -1,0 +1,56 @@
+package parallel
+
+import "sync/atomic"
+
+// Scheduling counters. These are package-global (the scheduler is), cheap
+// (one uncontended-in-the-common-case atomic add per event), and exposed
+// through SchedStats for tests, pasgal-bench summaries, and the trace
+// invariant check.
+var (
+	statLoops  atomic.Int64 // multi-chunk loop + Do launches
+	statInline atomic.Int64 // loops that ran inline (single chunk)
+	statForks  atomic.Int64 // helper opportunities published (k-1 per loop, arms per Do)
+	statSteals atomic.Int64 // chunk-range halves + Do arms claimed by non-owners
+	statParks  atomic.Int64 // workers that blocked on the idle condvar
+	statWakes  atomic.Int64 // park wakeups signalled by publishers
+	statSpawns atomic.Int64 // worker goroutines started (pool start + resizes)
+)
+
+// SchedCounts is a snapshot of the scheduler's cumulative counters.
+type SchedCounts struct {
+	Loops  int64 // parallel launches (multi-chunk loops and Do forks)
+	Inline int64 // loops that fit one chunk and ran on the caller
+	Forks  int64 // helper slots / fork arms made available to the pool
+	Steals int64 // successful steals (loop range halves and Do arms)
+	Parks  int64 // times an idle worker blocked
+	Wakes  int64 // wakeups issued to parked workers
+	Spawns int64 // worker goroutines ever started
+}
+
+// SchedStats returns cumulative scheduling counters since process start (or
+// the last ResetSchedStats). Loops/Inline/Forks/Steals are exact once every
+// launch that contributed to them has joined; Parks/Wakes/Spawns are
+// asynchronous (workers park on their own schedule) and may trail briefly.
+func SchedStats() SchedCounts {
+	return SchedCounts{
+		Loops:  statLoops.Load(),
+		Inline: statInline.Load(),
+		Forks:  statForks.Load(),
+		Steals: statSteals.Load(),
+		Parks:  statParks.Load(),
+		Wakes:  statWakes.Load(),
+		Spawns: statSpawns.Load(),
+	}
+}
+
+// ResetSchedStats zeroes the scheduling counters (for tests and benchmark
+// harnesses that want per-phase deltas).
+func ResetSchedStats() {
+	statLoops.Store(0)
+	statInline.Store(0)
+	statForks.Store(0)
+	statSteals.Store(0)
+	statParks.Store(0)
+	statWakes.Store(0)
+	statSpawns.Store(0)
+}

@@ -34,15 +34,18 @@ const (
 	CtrBagResizes                 // hash-bag chunk advances (growth events)
 	CtrBagRetries                 // hash-bag insert probe retries
 	CtrLoops                      // parallel loop launches (join barriers)
-	CtrForks                      // goroutines spawned by parallel loops
+	CtrForks                      // helper slots / fork arms published for stealing
 	CtrInlineLoops                // loops that fit one chunk and ran inline
+	CtrSteals                     // loop range halves and Do arms claimed by non-owners
+	CtrParks                      // idle pool workers that blocked
+	CtrWakes                      // wakeups issued to parked workers
 	numCounters
 )
 
 // counterNames must match the Counter constants in order.
 var counterNames = [numCounters]string{
 	"rounds", "bottom_up", "phases", "bag_resizes", "bag_retries",
-	"loops", "forks", "inline_loops",
+	"loops", "forks", "inline_loops", "steals", "parks", "wakes",
 }
 
 // Name returns the counter's snake_case name as used in the sinks.
@@ -188,8 +191,8 @@ func (t *Tracer) BagRetries(n int64) {
 	t.counters[CtrBagRetries].Add(n)
 }
 
-// Loop records one parallel loop launch that spawned `forks` goroutines
-// over `chunks` chunks (counters only).
+// Loop records one parallel launch that published `forks` helper slots (or
+// Do arms) over `chunks` chunks (counters only).
 func (t *Tracer) Loop(forks, chunks int64) {
 	if t == nil {
 		return
@@ -206,6 +209,31 @@ func (t *Tracer) LoopInline() {
 		return
 	}
 	t.counters[CtrInlineLoops].Add(1)
+}
+
+// Steal records one successful steal: a loop chunk-range half or a Do arm
+// claimed by a participant other than its owner (counter only).
+func (t *Tracer) Steal() {
+	if t == nil {
+		return
+	}
+	t.counters[CtrSteals].Add(1)
+}
+
+// Park records one pool worker blocking on the idle wait (counter only).
+func (t *Tracer) Park() {
+	if t == nil {
+		return
+	}
+	t.counters[CtrParks].Add(1)
+}
+
+// Wake records n wakeups issued to parked workers (counter only).
+func (t *Tracer) Wake(n int64) {
+	if t == nil {
+		return
+	}
+	t.counters[CtrWakes].Add(n)
 }
 
 // CounterValue returns the current value of counter c (0 on a nil tracer).

@@ -16,6 +16,9 @@ func TestNilTracerIsSafe(t *testing.T) {
 	tr.BagRetries(5)
 	tr.Loop(4, 32)
 	tr.LoopInline()
+	tr.Steal()
+	tr.Park()
+	tr.Wake(3)
 	tr.Reset()
 	if got := tr.Events(); got != nil {
 		t.Fatalf("nil tracer Events() = %v, want nil", got)
@@ -44,10 +47,16 @@ func TestCountersAndEvents(t *testing.T) {
 	tr.Loop(4, 32)
 	tr.Loop(2, 2)
 	tr.LoopInline()
+	tr.Steal()
+	tr.Steal()
+	tr.Park()
+	tr.Wake(2)
+	tr.Wake(1)
 
 	want := map[Counter]int64{
 		CtrRounds: 2, CtrBottomUp: 1, CtrPhases: 1, CtrBagResizes: 1,
 		CtrBagRetries: 7, CtrLoops: 2, CtrForks: 6, CtrInlineLoops: 1,
+		CtrSteals: 2, CtrParks: 1, CtrWakes: 3,
 	}
 	for c, v := range want {
 		if got := tr.CounterValue(c); got != v {

@@ -37,6 +37,9 @@ echo '== build + tests'
 go build ./...
 if [ "$short" = 1 ]; then
     go test -short ./...
+    echo '== scheduler conformance suite'
+    go test -run 'Conformance|PanicPropagation|SchedStatsMatchTracer' -count=1 \
+        ./internal/parallel
     echo 'short checks passed'
     exit 0
 fi
@@ -68,5 +71,9 @@ fi
 echo '== race stress tier'
 go test -race -run Stress -count=3 \
     ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core
+# The scheduler conformance suite under -race: one pass over every
+# primitive x worker-count x grain x size cell catches ordering bugs the
+# stress loops' fixed shapes miss.
+go test -race -run 'Conformance|PanicPropagation' -count=1 ./internal/parallel
 
 echo 'all checks passed'

@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
+	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|build|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
@@ -108,6 +108,7 @@ func main() {
 	implsOf := map[string][]string{
 		"bfs": bench.BFSImpls, "scc": bench.SCCImpls,
 		"bcc": bench.BCCImpls, "sssp": bench.SSSPImpls,
+		"build": bench.BuildImpls,
 	}
 	collect := func(name string, results []bench.Result) {
 		if *jsonOut != "" {
@@ -138,6 +139,8 @@ func main() {
 			collect(name, bench.TableBCC(cfg))
 		case "sssp":
 			collect(name, bench.TableSSSP(cfg))
+		case "build":
+			collect(name, bench.TableBuild(cfg))
 		case "fig1":
 			bench.Fig1(cfg)
 		case "fig1-model":
@@ -170,7 +173,7 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, name := range []string{"tab1", "bfs", "scc", "bcc", "sssp",
-			"fig1", "fig1-model", "conn", "frontier", "mem", "abl-tau",
+			"build", "fig1", "fig1-model", "conn", "frontier", "mem", "abl-tau",
 			"abl-tau-scc", "abl-bag", "abl-dir", "abl-sssp"} {
 			run(name)
 		}

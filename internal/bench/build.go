@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"pasgal/internal/graph"
+)
+
+// BuildImpls names the graph-construction stages measured by TableBuild.
+// None are sequential baselines; the regression gate compares each cell
+// against its own history.
+var BuildImpls = []string{"FromEdges", "Transpose", "Symmetrized"}
+
+// buildWorkload is one edge-list shape for the construction benchmark.
+type buildWorkload struct {
+	Name   string
+	Powlaw bool
+}
+
+// buildEdgeList generates a deterministic edge list with n vertices and m
+// arcs. Power-law lists concentrate sources on the low vertex ids (f^4
+// skew), producing the hub-heavy degree distributions where per-list
+// sorting used to go superlinear.
+func buildEdgeList(n, m int, powlaw bool, seed uint64) []graph.Edge {
+	rng := rand.New(rand.NewPCG(seed, 7))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		var u uint32
+		if powlaw {
+			f := rng.Float64()
+			f = f * f * f * f
+			u = uint32(f * float64(n-1))
+		} else {
+			u = uint32(rng.IntN(n))
+		}
+		edges[i] = graph.Edge{U: u, V: uint32(rng.IntN(n)), W: 1 + rng.Uint32N(1<<16)}
+	}
+	return edges
+}
+
+// freshView returns a graph sharing g's CSR arrays but with its own (unset)
+// transpose cache, so Transpose() can be timed more than once.
+func freshView(g *graph.Graph) *graph.Graph {
+	return &graph.Graph{
+		N: g.N, Offsets: g.Offsets, Edges: g.Edges,
+		Weights: g.Weights, Directed: g.Directed,
+	}
+}
+
+// TableBuild measures the CSR construction pipeline: FromEdges on a
+// directed weighted list, Transpose of the result, and the symmetrized
+// build. The uniform and power-law workloads share n and m so the skew is
+// the only variable.
+func TableBuild(c Config) []Result {
+	n := sc(65536, c.Scale)
+	m := 8 * n
+	workloads := []buildWorkload{{"UNI-build", false}, {"POW-build", true}}
+	var results []Result
+	fmt.Fprintf(c.Out, "\n== Graph construction: n=%s m=%s ==\n", fmtCount(n), fmtCount(m))
+	rows := [][]string{append([]string{"Graph"}, BuildImpls...)}
+	for i, w := range workloads {
+		if len(c.Graphs) > 0 && !containsName(c.Graphs, w.Name) {
+			continue
+		}
+		edges := buildEdgeList(n, m, w.Powlaw, uint64(601+i))
+		g := graph.FromEdges(n, edges, true, graph.BuildOptions{Weighted: true})
+		res := Result{
+			Graph: w.Name, Category: "Build", N: n, M: len(g.Edges),
+			Times:   map[string]float64{},
+			Metrics: nil,
+			Extra:   map[string]string{},
+		}
+		res.Times["FromEdges"] = timed(c.Reps, func() {
+			graph.FromEdges(n, edges, true, graph.BuildOptions{Weighted: true})
+		})
+		// Transpose memoizes per graph, so each rep gets a fresh view that
+		// shares the CSR arrays but not the cache.
+		reps := c.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		views := make([]*graph.Graph, reps)
+		for r := range views {
+			views[r] = freshView(g)
+		}
+		next := 0
+		res.Times["Transpose"] = timed(c.Reps, func() {
+			views[next].Transpose()
+			next++
+		})
+		res.Times["Symmetrized"] = timed(c.Reps, func() {
+			graph.FromEdges(n, edges, false, graph.BuildOptions{Weighted: true, Symmetrize: true})
+		})
+		results = append(results, res)
+		rows = append(rows, []string{w.Name,
+			fmtTime(res.Times["FromEdges"]),
+			fmtTime(res.Times["Transpose"]),
+			fmtTime(res.Times["Symmetrized"])})
+	}
+	printAligned(c.Out, rows)
+	return results
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"pasgal/internal/parallel"
+)
+
+// Benchmark inputs: a uniform-random edge list and a power-law one whose
+// source ids pile up on the low vertices (f^4 skew, matching the hub-heavy
+// degree distributions the radix build path is designed for).
+
+const (
+	benchN = 1 << 16
+	benchM = 1 << 20
+)
+
+func benchEdges(powlaw bool) []Edge {
+	rng := rand.New(rand.NewPCG(42, 17))
+	edges := make([]Edge, benchM)
+	for i := range edges {
+		var u uint32
+		if powlaw {
+			f := rng.Float64()
+			f = f * f * f * f
+			u = uint32(f * float64(benchN-1))
+		} else {
+			u = uint32(rng.IntN(benchN))
+		}
+		edges[i] = Edge{U: u, V: uint32(rng.IntN(benchN)), W: 1 + rng.Uint32N(1<<16)}
+	}
+	return edges
+}
+
+func benchWorkerCounts() []int {
+	return []int{1, 8}
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	for _, shape := range []struct {
+		name   string
+		powlaw bool
+	}{{"uniform", false}, {"powlaw", true}} {
+		edges := benchEdges(shape.powlaw)
+		for _, p := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/p%d", shape.name, p), func(b *testing.B) {
+				old := parallel.SetWorkers(p)
+				defer parallel.SetWorkers(old)
+				b.SetBytes(int64(len(edges)) * 12)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := FromEdges(benchN, edges, true, BuildOptions{Weighted: true})
+					if g.N != benchN {
+						b.Fatal("bad graph")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	for _, shape := range []struct {
+		name   string
+		powlaw bool
+	}{{"uniform", false}, {"powlaw", true}} {
+		g := FromEdges(benchN, benchEdges(shape.powlaw), true, BuildOptions{Weighted: true})
+		for _, p := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/p%d", shape.name, p), func(b *testing.B) {
+				old := parallel.SetWorkers(p)
+				defer parallel.SetWorkers(old)
+				b.SetBytes(int64(g.M()) * 12)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Call the builder directly: Transpose() memoizes via
+					// trOnce, which would time the work exactly once.
+					tr := g.buildTranspose()
+					if tr.M() != g.M() {
+						b.Fatal("bad transpose")
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSymmetrized(b *testing.B) {
+	for _, shape := range []struct {
+		name   string
+		powlaw bool
+	}{{"uniform", false}, {"powlaw", true}} {
+		edges := benchEdges(shape.powlaw)
+		for _, p := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/p%d", shape.name, p), func(b *testing.B) {
+				old := parallel.SetWorkers(p)
+				defer parallel.SetWorkers(old)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					g := FromEdges(benchN, edges, false, BuildOptions{Weighted: true, Symmetrize: true})
+					if g.Directed {
+						b.Fatal("bad graph")
+					}
+				}
+			})
+		}
+	}
+}

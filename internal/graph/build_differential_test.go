@@ -1,0 +1,311 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"pasgal/internal/parallel"
+)
+
+// This file pins the radix-partitioned build pipeline against a retained,
+// deliberately naive reference builder across the full BuildOptions matrix
+// and a set of adversarial shapes. The reference shares no code with the
+// production pipeline: per-vertex append lists, sort.SliceStable, map-free
+// linear dedup.
+
+type refArc struct{ v, w uint32 }
+
+// referenceAdjacency computes, sequentially and obviously, the per-vertex
+// adjacency (sorted by destination; deduplicated with min weight unless
+// KeepDuplicates) that FromEdges must produce.
+func referenceAdjacency(n int, edges []Edge, directed bool, opt BuildOptions) [][]refArc {
+	adj := make([][]refArc, n)
+	add := func(u, v, w uint32) {
+		if !opt.KeepSelfLoops && u == v {
+			return
+		}
+		adj[u] = append(adj[u], refArc{v, w})
+	}
+	for _, e := range edges {
+		add(e.U, e.V, e.W)
+		if opt.Symmetrize || !directed {
+			add(e.V, e.U, e.W)
+		}
+	}
+	for u := range adj {
+		l := adj[u]
+		sort.SliceStable(l, func(i, j int) bool { return l[i].v < l[j].v })
+		if !opt.KeepDuplicates {
+			out := l[:0]
+			for _, a := range l {
+				if len(out) > 0 && out[len(out)-1].v == a.v {
+					if a.w < out[len(out)-1].w {
+						out[len(out)-1].w = a.w // min weight wins
+					}
+					continue
+				}
+				out = append(out, a)
+			}
+			adj[u] = out
+		}
+	}
+	return adj
+}
+
+// canonical returns a vertex's (v,w) pairs in a comparison-stable order.
+// Adjacency is sorted by destination; the relative order of equal-(u,v)
+// duplicates' weights is unspecified (the small-input path shell-sorts,
+// which is not stable), so ties are broken by weight on both sides. With
+// unweighted graphs weights are ignored entirely.
+func canonical(arcs []refArc, weighted bool) []refArc {
+	out := append([]refArc(nil), arcs...)
+	if !weighted {
+		for i := range out {
+			out[i].w = 0
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].v != out[j].v {
+			return out[i].v < out[j].v
+		}
+		return out[i].w < out[j].w
+	})
+	return out
+}
+
+func graphAdjacency(g *Graph, u uint32) []refArc {
+	nbs := g.Neighbors(u)
+	out := make([]refArc, len(nbs))
+	for i, v := range nbs {
+		out[i] = refArc{v: v}
+		if g.Weighted() {
+			out[i].w = g.NeighborWeights(u)[i]
+		}
+	}
+	return out
+}
+
+func checkAgainstReference(t *testing.T, label string, n int, edges []Edge, directed bool, opt BuildOptions) {
+	t.Helper()
+	inputCopy := append([]Edge(nil), edges...)
+	g := FromEdges(n, edges, directed, opt)
+	for i := range edges {
+		if edges[i] != inputCopy[i] {
+			t.Fatalf("%s: FromEdges modified its input at %d", label, i)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if wantDirected := directed && !opt.Symmetrize; g.Directed != wantDirected {
+		t.Fatalf("%s: Directed=%v, want %v", label, g.Directed, wantDirected)
+	}
+	if (g.Weights != nil) != opt.Weighted {
+		t.Fatalf("%s: weights presence %v, want %v", label, g.Weights != nil, opt.Weighted)
+	}
+	ref := referenceAdjacency(n, edges, directed, opt)
+	for u := 0; u < n; u++ {
+		want := canonical(ref[u], opt.Weighted)
+		got := canonical(graphAdjacency(g, uint32(u)), opt.Weighted)
+		if len(want) != len(got) {
+			t.Fatalf("%s: vertex %d degree %d, want %d", label, u, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: vertex %d arc %d = %+v, want %+v", label, u, i, got[i], want[i])
+			}
+		}
+	}
+	if g.Directed {
+		checkTransposeAgainst(t, label, g)
+	}
+}
+
+// checkTransposeAgainst verifies that Transpose holds exactly the reversed
+// arc multiset of g, weights riding along.
+func checkTransposeAgainst(t *testing.T, label string, g *Graph) {
+	t.Helper()
+	tr := g.Transpose()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("%s transpose: %v", label, err)
+	}
+	if tr.M() != g.M() {
+		t.Fatalf("%s transpose: M=%d, want %d", label, tr.M(), g.M())
+	}
+	fwd := arcMultiset(g, false)
+	rev := arcMultiset(tr, true)
+	for i := range fwd {
+		if fwd[i] != rev[i] {
+			t.Fatalf("%s transpose: arc %d = %v, want %v", label, i, rev[i], fwd[i])
+		}
+	}
+}
+
+type arcTriple struct{ u, v, w uint32 }
+
+func arcMultiset(g *Graph, reversed bool) []arcTriple {
+	out := make([]arcTriple, 0, g.M())
+	for u := uint32(0); int(u) < g.N; u++ {
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			a := arcTriple{u: u, v: g.Edges[i]}
+			if reversed {
+				a.u, a.v = a.v, a.u
+			}
+			if g.Weighted() {
+				a.w = g.Weights[i]
+			}
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].u != out[j].u {
+			return out[i].u < out[j].u
+		}
+		if out[i].v != out[j].v {
+			return out[i].v < out[j].v
+		}
+		return out[i].w < out[j].w
+	})
+	return out
+}
+
+// diffShape is one adversarial input shape for the differential sweep.
+type diffShape struct {
+	name  string
+	n     int
+	edges []Edge
+}
+
+func differentialShapes() []diffShape {
+	rng := rand.New(rand.NewPCG(2024, 8))
+	shapes := []diffShape{
+		{name: "empty", n: 0},
+		{name: "isolated", n: 7},
+		{name: "single-self-loop", n: 1, edges: []Edge{{0, 0, 5}, {0, 0, 2}, {0, 0, 9}}},
+	}
+	// All self-loops.
+	loops := make([]Edge, 200)
+	for i := range loops {
+		u := uint32(rng.IntN(50))
+		loops[i] = Edge{U: u, V: u, W: rng.Uint32N(100)}
+	}
+	shapes = append(shapes, diffShape{name: "all-self-loops", n: 50, edges: loops})
+	// Star out of / into a hub: the maximally skewed degree distribution.
+	starOut := make([]Edge, 6000)
+	starIn := make([]Edge, 6000)
+	for i := range starOut {
+		leaf := uint32(1 + rng.IntN(1999))
+		starOut[i] = Edge{U: 0, V: leaf, W: rng.Uint32N(100)}
+		starIn[i] = Edge{U: leaf, V: 0, W: rng.Uint32N(100)}
+	}
+	shapes = append(shapes,
+		diffShape{name: "star-out", n: 2000, edges: starOut},
+		diffShape{name: "star-in", n: 2000, edges: starIn})
+	// Duplicate-heavy multigraph over a tiny vertex set.
+	dups := make([]Edge, 8000)
+	for i := range dups {
+		dups[i] = Edge{U: uint32(rng.IntN(40)), V: uint32(rng.IntN(40)), W: rng.Uint32N(16)}
+	}
+	shapes = append(shapes, diffShape{name: "duplicate-heavy", n: 40, edges: dups})
+	// Power-law-ish skew: source density piles up on the low ids.
+	pow := make([]Edge, 20000)
+	for i := range pow {
+		f := rng.Float64()
+		f = f * f * f * f
+		pow[i] = Edge{
+			U: uint32(f * 4095),
+			V: uint32(rng.IntN(4096)),
+			W: rng.Uint32N(1000),
+		}
+	}
+	shapes = append(shapes, diffShape{name: "power-law", n: 4096, edges: pow})
+	// Uniform random, sized to cross the radix-path threshold.
+	uni := make([]Edge, 9000)
+	for i := range uni {
+		uni[i] = Edge{U: uint32(rng.IntN(3000)), V: uint32(rng.IntN(3000)), W: rng.Uint32N(1000)}
+	}
+	shapes = append(shapes, diffShape{name: "uniform", n: 3000, edges: uni})
+	// Many vertices: these two cross smallVertexRadix and exercise the
+	// bucketed pipelines — packed-route fits its ids in 16 bits (the
+	// uint64-word path), bucket-route does not (the Edge-record path).
+	// Self-loops are mixed in so the trash-group drop runs on both.
+	for _, big := range []struct {
+		name string
+		n    int
+	}{{"packed-route", 9000}, {"bucket-route", 70000}} {
+		es := make([]Edge, 24000)
+		for i := range es {
+			u := uint32(rng.IntN(big.n))
+			v := uint32(rng.IntN(big.n))
+			if i%97 == 0 {
+				v = u // sprinkle self-loops
+			}
+			if i%11 == 0 {
+				u = uint32(rng.IntN(5)) // a few hub sources for long lists
+			}
+			es[i] = Edge{U: u, V: v, W: rng.Uint32N(1000)}
+		}
+		shapes = append(shapes, diffShape{name: big.name, n: big.n, edges: es})
+	}
+	// Tiny inputs that stay on the sequential small-graph path.
+	tiny := make([]Edge, 25)
+	for i := range tiny {
+		tiny[i] = Edge{U: uint32(rng.IntN(10)), V: uint32(rng.IntN(10)), W: rng.Uint32N(9)}
+	}
+	shapes = append(shapes, diffShape{name: "tiny", n: 10, edges: tiny})
+	path := make([]Edge, 63)
+	for i := range path {
+		path[i] = Edge{U: uint32(i), V: uint32(i + 1), W: uint32(i)}
+	}
+	shapes = append(shapes, diffShape{name: "path", n: 64, edges: path})
+	return shapes
+}
+
+// TestBuildDifferential sweeps every shape through the full BuildOptions
+// matrix (directedness x Symmetrize x Weighted x KeepSelfLoops x
+// KeepDuplicates) against the reference builder.
+func TestBuildDifferential(t *testing.T) {
+	for _, shape := range differentialShapes() {
+		for _, dir := range []struct {
+			directed   bool
+			symmetrize bool
+		}{{true, false}, {false, false}, {false, true}} {
+			for _, weighted := range []bool{false, true} {
+				for _, keepLoops := range []bool{false, true} {
+					for _, keepDups := range []bool{false, true} {
+						opt := BuildOptions{
+							Symmetrize:     dir.symmetrize,
+							Weighted:       weighted,
+							KeepSelfLoops:  keepLoops,
+							KeepDuplicates: keepDups,
+						}
+						label := fmt.Sprintf("%s/dir=%v/sym=%v/w=%v/loops=%v/dups=%v",
+							shape.name, dir.directed, dir.symmetrize, weighted, keepLoops, keepDups)
+						checkAgainstReference(t, label, shape.n, shape.edges, dir.directed, opt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildDifferentialParallelPath repeats the sweep's biggest shapes with
+// a forced multi-worker team so the chunked count–scan–scatter paths run
+// with real chunk counts even on small CI machines.
+func TestBuildDifferentialParallelPath(t *testing.T) {
+	old := parallel.SetWorkers(8)
+	defer parallel.SetWorkers(old)
+	for _, shape := range differentialShapes() {
+		if len(shape.edges) < 5000 {
+			continue
+		}
+		for _, keepDups := range []bool{false, true} {
+			opt := BuildOptions{Weighted: true, KeepDuplicates: keepDups}
+			label := fmt.Sprintf("p8/%s/dups=%v", shape.name, keepDups)
+			checkAgainstReference(t, label, shape.n, shape.edges, true, opt)
+			checkAgainstReference(t, label+"/undirected", shape.n, shape.edges, false, opt)
+		}
+	}
+}

@@ -12,16 +12,12 @@ package graph
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
-	"sync/atomic"
 
 	"pasgal/internal/parallel"
 )
-
-// atomicAddInt64 is a shorthand for atomic.AddInt64 on a slice element.
-func atomicAddInt64(p *int64, delta int64) int64 {
-	return atomic.AddInt64(p, delta)
-}
 
 // None is the "no vertex" sentinel.
 const None = ^uint32(0)
@@ -109,68 +105,557 @@ type BuildOptions struct {
 	Weighted bool
 }
 
-// FromEdges builds a CSR graph from an edge list in parallel: count degrees,
-// scan offsets, scatter, then sort + dedup each adjacency list and compact.
+// seqBuildArcs is the arc-count threshold below which the builders use the
+// sequential count–scatter–shellsort path: the radix pipeline's scratch
+// buffers and parallel launches don't pay for themselves on tiny inputs
+// (unit-test graphs, induced subgraphs, contraction remnants).
+const seqBuildArcs = 1 << 12
+
+// smallVertexRadix is the vertex-count cutoff below which the parallel
+// build fully sorts arcs by the packed (u,v) key: with so few vertices the
+// key is narrow, so CountSortByKey finishes in at most three digit passes
+// and the sorted arc array IS the adjacency array. Larger graphs use the
+// bucketed pipeline instead, whose cost does not grow with the key width.
+const smallVertexRadix = 1 << 12
+
+// topBucketBits sizes the first-level partition of the bucketed build:
+// arcs are grouped into about 2^topBucketBits contiguous source ranges, a
+// fan-out small enough that the scatter's write streams stay cache- and
+// TLB-resident.
+const topBucketBits = 10
+
+// packedBuildMaxVBits is the vertex-id width up to which a whole arc —
+// source, destination, and weight — packs into one uint64
+// (u<<48 | v<<32 | w), letting every build pass move 8-byte words instead
+// of 12-byte Edge records. Larger graphs use the Edge-record pipeline.
+const packedBuildMaxVBits = 16
+
+// packArc packs an arc for the packed build path.
+func packArc(u, v, w uint32) uint64 {
+	return uint64(u)<<48 | uint64(v)<<32 | uint64(w)
+}
+
+// FromEdges builds a CSR graph from an edge list with a contention-free
+// count–scan–scatter pipeline (see DESIGN.md, "Graph construction"): a
+// stable radix partition groups arcs into source ranges, per-range local
+// histograms place them (and yield the offsets), and an adaptive per-list
+// sort orders each adjacency by destination. No hot loop performs an
+// atomic operation, so build throughput is independent of degree skew.
+// Inputs below seqBuildArcs arcs take a sequential small-graph path
+// instead. The input slice is never modified.
 func FromEdges(n int, edges []Edge, directed bool, opt BuildOptions) *Graph {
 	if directed && opt.Symmetrize {
 		panic("graph: Symmetrize requires directed=false")
 	}
+	undirected := opt.Symmetrize || !directed
+
+	// One read-only sweep: bounds check plus self-loop census (so the
+	// common loop-free case skips any filtering work entirely).
+	selfLoops := parallel.Sum(len(edges), func(i int) int64 {
+		e := edges[i]
+		if e.U >= uint32(n) || e.V >= uint32(n) {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+		}
+		if e.U == e.V {
+			return 1
+		}
+		return 0
+	})
+
+	dropLoops := !opt.KeepSelfLoops && selfLoops > 0
+	mEff := len(edges)
+	if undirected {
+		mEff *= 2
+	}
+	if n > smallVertexRadix && n <= 1<<packedBuildMaxVBits && mEff >= seqBuildArcs {
+		// Vertex ids fit in 16 bits: pack each arc into one uint64 (the
+		// undirected doubling fused into the packing pass) and run the
+		// word-at-a-time pipeline.
+		packed := make([]uint64, mEff)
+		if undirected {
+			parallel.For(len(edges), 0, func(i int) {
+				e := edges[i]
+				packed[2*i] = packArc(e.U, e.V, e.W)
+				packed[2*i+1] = packArc(e.V, e.U, e.W)
+			})
+		} else {
+			parallel.For(len(edges), 0, func(i int) {
+				e := edges[i]
+				packed[i] = packArc(e.U, e.V, e.W)
+			})
+		}
+		return buildCSRPacked(n, packed, !undirected, opt, dropLoops, false)
+	}
+
 	arcs := edges
-	if opt.Symmetrize || !directed {
+	if undirected {
 		// Undirected: materialize both arcs.
-		arcs = make([]Edge, 0, 2*len(edges))
-		arcs = arcs[:2*len(edges)]
-		parallel.For(len(edges), 0, func(i int) {
-			arcs[2*i] = edges[i]
-			arcs[2*i+1] = Edge{U: edges[i].V, V: edges[i].U, W: edges[i].W}
+		in := arcs
+		arcs = make([]Edge, 2*len(in))
+		parallel.For(len(in), 0, func(i int) {
+			arcs[2*i] = in[i]
+			arcs[2*i+1] = Edge{U: in[i].V, V: in[i].U, W: in[i].W}
 		})
 	}
+	return buildCSR(n, arcs, !undirected, opt, dropLoops)
+}
 
-	// Degree count.
-	deg := make([]int64, n)
-	parallel.ForRange(len(arcs), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := arcs[i]
-			if e.U >= uint32(n) || e.V >= uint32(n) {
-				panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", e.U, e.V, n))
+// buildCSR turns a prepared arc list (already symmetrized) into a CSR
+// graph. arcs is read-only. dropLoops asks the builder to discard u->u
+// arcs: the bucketed path folds the drop into its partition key (no extra
+// pass), the small paths filter up front.
+func buildCSR(n int, arcs []Edge, directed bool, opt BuildOptions, dropLoops bool) *Graph {
+	if n > smallVertexRadix && len(arcs) >= seqBuildArcs {
+		return buildCSRBuckets(n, arcs, directed, opt, dropLoops)
+	}
+	if dropLoops {
+		in := arcs
+		arcs = parallel.Pack(in, func(i int) bool { return in[i].U != in[i].V })
+	}
+	if len(arcs) < seqBuildArcs {
+		return buildCSRSeq(n, arcs, directed, opt)
+	}
+	// Few vertices, many arcs (dense multigraphs, contraction quotients):
+	// stably sort by the packed (u,v) key — at most ceil(2*vbits/8) digit
+	// passes — so adjacency comes out grouped by u, sorted by v, duplicate
+	// runs adjacent and in input order.
+	vbits := uint(bits.Len(uint(n - 1)))
+	maxKey := uint64(n-1)<<vbits | uint64(n-1)
+	sorted := parallel.CountSortByKey(arcs, func(e Edge) uint64 {
+		return uint64(e.U)<<vbits | uint64(e.V)
+	}, maxKey)
+	return csrFromSortedArcs(n, sorted, directed, opt)
+}
+
+// buildCSRBuckets is the large-graph builder: a two-level stable counting
+// scatter followed by an adaptive per-list sort.
+//
+//  1. One PartitionByKey pass groups arcs by the topBucketBits high bits
+//     of the source (self-loops, when dropped, route to a trash group
+//     instead of costing a filter pass). ~1K write streams keep the
+//     scatter cache-friendly where a direct by-source scatter (one stream
+//     per vertex) would miss on every store.
+//  2. Per bucket, a local histogram over that bucket's few hundred
+//     sources — L1-resident — turns into offsets and cursors with one
+//     tiny sequential scan, and the local scatter writes each arc to its
+//     final CSR slot. Buckets own disjoint Offsets/Edges ranges, so all
+//     stores are plain.
+//  3. Each adjacency list is sorted by destination: already-sorted lists
+//     (the transpose path's, by stability) cost one scan, short lists
+//     shell sort in place, and hub lists take a linear LSD radix over
+//     (v,w) packed into uint64 — the step that used to go superlinear on
+//     power-law graphs. The duplicate census rides along in the same
+//     pass, so dedup needs no extra sweep before its compaction.
+//
+// Both scatter levels are stable (chunk-ordered cursors, left-to-right
+// walks), which is what lets the transpose path skip its sorts entirely.
+func buildCSRBuckets(n int, arcs []Edge, directed bool, opt BuildOptions, dropLoops bool) *Graph {
+	vbits := uint(bits.Len(uint(n - 1)))
+	shift := vbits - topBucketBits // n > smallVertexRadix, so shift >= 3
+	k := ((n - 1) >> shift) + 1
+	key := func(e Edge) uint32 { return e.U >> shift }
+	groups := k
+	if dropLoops {
+		groups = k + 1
+		key = func(e Edge) uint32 {
+			if e.U == e.V {
+				return uint32(k) // trash group, past every real bucket
 			}
-			if !opt.KeepSelfLoops && e.U == e.V {
-				continue
+			return e.U >> shift
+		}
+	}
+	tmp := make([]Edge, len(arcs))
+	topOff := parallel.PartitionByKey(tmp, arcs, groups, key)
+	m := int(topOff[k]) // excludes the trash group
+
+	g := &Graph{N: n, Directed: directed}
+	g.Offsets = make([]uint64, n+1)
+	g.Edges = make([]uint32, m)
+	if opt.Weighted {
+		g.Weights = make([]uint32, m)
+	}
+	span := 1 << shift
+	parallel.For(k, 1, func(b int) {
+		base, end := int(topOff[b]), int(topOff[b+1])
+		lowU := b << shift
+		localN := span
+		if lowU+localN > n {
+			localN = n - lowU
+		}
+		// Degrees from the bucket-local histogram; the exclusive scan
+		// yields this source range's CSR offsets and scatter cursors in
+		// one go. localN is a few hundred, so cur lives in L1.
+		cur := make([]int64, localN)
+		for i := base; i < end; i++ {
+			cur[int(tmp[i].U)-lowU]++
+		}
+		run := int64(base)
+		for j := 0; j < localN; j++ {
+			c := cur[j]
+			cur[j] = run
+			g.Offsets[lowU+j] = uint64(run)
+			run += c
+		}
+		for i := base; i < end; i++ {
+			j := int(tmp[i].U) - lowU
+			at := cur[j]
+			cur[j]++
+			g.Edges[at] = tmp[i].V
+			if g.Weights != nil {
+				g.Weights[at] = tmp[i].W
 			}
-			atomicAddInt64(&deg[e.U], 1)
 		}
 	})
-	offsets := make([]uint64, n+1)
-	var running int64
-	for v := 0; v < n; v++ {
-		offsets[v] = uint64(running)
-		running += deg[v]
-	}
-	offsets[n] = uint64(running)
+	g.Offsets[n] = uint64(m)
 
-	dst := make([]uint32, running)
+	dedup := !opt.KeepDuplicates
+	var newDeg []int64
+	if dedup {
+		newDeg = make([]int64, n)
+	}
+	parallel.For(n, 64, func(u int) {
+		lo, hi := g.Offsets[u], g.Offsets[u+1]
+		adj := g.Edges[lo:hi]
+		var w []uint32
+		if g.Weights != nil {
+			w = g.Weights[lo:hi]
+		}
+		sortAdjList(adj, w)
+		if dedup {
+			var d int64
+			var prev = None
+			for _, v := range adj {
+				if v != prev {
+					d++
+					prev = v
+				}
+			}
+			newDeg[u] = d
+		}
+	})
+	if dedup {
+		g.dedupCompact(newDeg)
+	}
+	return g
+}
+
+// buildCSRPacked is the uint64 variant of the bucketed build for graphs
+// whose vertex ids fit in packedBuildMaxVBits bits: each arc travels as
+// u<<48 | v<<32 | w, so the top-level partition and the in-bucket digit
+// passes all move one machine word instead of a 12-byte Edge record. Per
+// bucket, two stable LSD passes over the destination bits leave the
+// segment sorted by v; the final digit pass — over the low source bits —
+// then completes the (u,v) order, and is fused three ways: its histogram
+// is the degree array, the histogram's prefix sums are this range's CSR
+// offsets, and its scatter writes destinations and weights straight into
+// their final slots. No arc is ever stored sorted in full; the CSR arrays
+// are the sort's last pass.
+//
+// presorted marks arc streams already ordered by destination within each
+// source (the transpose path: reversed arcs stream out in old-source
+// order, which is the new destination). Those skip the destination passes
+// and pay only the final grouping pass — partition stability guarantees
+// the order survives.
+func buildCSRPacked(n int, packed []uint64, directed bool, opt BuildOptions, dropLoops, presorted bool) *Graph {
+	shift := packedBucketShift(n)
+	k := ((n - 1) >> shift) + 1
+	tmp := make([]uint64, len(packed))
+	var topOff []int64
+	if dropLoops {
+		// Self-loops route to a trash group past every real bucket, so the
+		// drop costs nothing beyond this keyed (rather than bit-field)
+		// partition.
+		topOff = parallel.PartitionByKey(tmp, packed, k+1, func(x uint64) uint32 {
+			u := uint32(x >> 48)
+			if u == uint32(x>>32)&0xffff {
+				return uint32(k)
+			}
+			return u >> shift
+		})
+	} else {
+		topOff = parallel.PartitionByBits(tmp, packed, k, 48+shift)
+	}
+	return csrFromPackedBuckets(n, shift, tmp, topOff, directed, opt, presorted)
+}
+
+// packedBucketShift returns the source shift that buckets a packed build
+// into at most 2^topBucketBits source ranges. n > smallVertexRadix on
+// every packed route, so the shift is at least 3.
+func packedBucketShift(n int) uint {
+	return uint(bits.Len(uint(n-1))) - topBucketBits
+}
+
+// csrFromPackedBuckets finalizes a packed build whose arcs have already
+// been partitioned into source buckets: tmp[topOff[b]:topOff[b+1]] holds
+// bucket b's arcs (source ids in [b<<shift, (b+1)<<shift)), in input order.
+// Anything past topOff[k] (the dropped-self-loop trash group) is ignored.
+func csrFromPackedBuckets(n int, shift uint, tmp []uint64, topOff []int64, directed bool, opt BuildOptions, presorted bool) *Graph {
+	k := ((n - 1) >> shift) + 1
+	m := int(topOff[k]) // excludes the trash group
+
+	g := &Graph{N: n, Directed: directed}
+	g.Offsets = make([]uint64, n+1)
+	g.Edges = make([]uint32, m)
+	if opt.Weighted {
+		g.Weights = make([]uint32, m)
+	}
+	span := 1 << shift
+	parallel.For(k, 1, func(b int) {
+		base, end := int(topOff[b]), int(topOff[b+1])
+		lowU := b << shift
+		localN := span
+		if lowU+localN > n {
+			localN = n - lowU
+		}
+		seg := tmp[base:end]
+		if !presorted && len(seg) > 1 {
+			// Two stable passes over the 16 destination bits, L2-resident
+			// for typical bucket sizes.
+			scratch := make([]uint64, len(seg))
+			radixPassU64(scratch, seg, 32)
+			radixPassU64(seg, scratch, 40)
+		}
+		cur := make([]int64, localN)
+		for _, x := range seg {
+			cur[int(x>>48)-lowU]++
+		}
+		run := int64(base)
+		for j := 0; j < localN; j++ {
+			c := cur[j]
+			cur[j] = run
+			g.Offsets[lowU+j] = uint64(run)
+			run += c
+		}
+		for _, x := range seg {
+			j := int(x>>48) - lowU
+			at := cur[j]
+			cur[j]++
+			g.Edges[at] = uint32(x>>32) & 0xffff
+			if g.Weights != nil {
+				g.Weights[at] = uint32(x)
+			}
+		}
+	})
+	g.Offsets[n] = uint64(m)
+	if !opt.KeepDuplicates {
+		g.dedup()
+	}
+	return g
+}
+
+// radixPassU64 is one stable 8-bit counting pass of an LSD radix sort.
+func radixPassU64(dst, src []uint64, shift uint) {
+	var hist [257]int
+	for _, x := range src {
+		hist[((x>>shift)&0xff)+1]++
+	}
+	for d := 0; d < 256; d++ {
+		hist[d+1] += hist[d]
+	}
+	for _, x := range src {
+		d := (x >> shift) & 0xff
+		dst[hist[d]] = x
+		hist[d]++
+	}
+}
+
+// sortAdjList sorts one adjacency list ascending by destination, permuting
+// weights alongside. Already-sorted input costs one scan; short lists use
+// the allocation-free shell sort; longer ones (hub lists of skewed graphs)
+// use a linear radix sort.
+func sortAdjList(adj, w []uint32) {
+	n := len(adj)
+	if n < 2 {
+		return
+	}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if adj[i-1] > adj[i] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return
+	}
+	if n <= 48 {
+		shellSortU32(adj, w)
+		return
+	}
+	radixSortAdj(adj, w)
+}
+
+// radixSortAdj sorts a long adjacency list with a sequential LSD radix
+// over (v,w) packed into uint64. The weight rides in the low half of the
+// word, so it permutes along for free; the digit passes only cover the
+// destination bits (relative order among equal-destination duplicates is
+// unspecified, as everywhere in the builders).
+func radixSortAdj(adj, w []uint32) {
+	n := len(adj)
+	buf := make([]uint64, n)
+	var maxV uint32
+	for i, v := range adj {
+		if v > maxV {
+			maxV = v
+		}
+		buf[i] = uint64(v) << 32
+		if w != nil {
+			buf[i] |= uint64(w[i])
+		}
+	}
+	tmp := make([]uint64, n)
+	for shift := uint(32); shift < 64; shift += 8 {
+		if maxV>>(shift-32) == 0 {
+			break
+		}
+		var hist [257]int
+		for _, x := range buf {
+			hist[((x>>shift)&0xff)+1]++
+		}
+		for d := 0; d < 256; d++ {
+			hist[d+1] += hist[d]
+		}
+		for _, x := range buf {
+			d := (x >> shift) & 0xff
+			tmp[hist[d]] = x
+			hist[d]++
+		}
+		buf, tmp = tmp, buf
+	}
+	for i, x := range buf {
+		adj[i] = uint32(x >> 32)
+		if w != nil {
+			w[i] = uint32(x)
+		}
+	}
+}
+
+// csrFromSortedArcs finalizes a CSR graph from arcs sorted by (source,
+// destination): offsets come from the sorted-order boundaries, and when
+// deduplicating, the compaction fuses duplicate removal, min-weight
+// selection, and the Edges/Weights scatter into one pass over a PackIndex
+// of the run heads.
+func csrFromSortedArcs(n int, arcs []Edge, directed bool, opt BuildOptions) *Graph {
+	m := len(arcs)
+	dedup := !opt.KeepDuplicates
+	var kept []uint32
+	if dedup {
+		kept = parallel.PackIndex(m, func(i int) bool {
+			return i == 0 || arcs[i].U != arcs[i-1].U || arcs[i].V != arcs[i-1].V
+		})
+		if len(kept) == m {
+			dedup = false // duplicate-free already: skip the indirection
+			kept = nil
+		}
+	}
+	var edges, wts []uint32
+	var offsets []uint64
+	if !dedup {
+		edges = make([]uint32, m)
+		if opt.Weighted {
+			wts = make([]uint32, m)
+		}
+		parallel.ForRange(m, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				edges[i] = arcs[i].V
+				if wts != nil {
+					wts[i] = arcs[i].W
+				}
+			}
+		})
+		offsets = offsetsFromSorted(n, m, func(i int) uint32 { return arcs[i].U })
+	} else {
+		k := len(kept)
+		edges = make([]uint32, k)
+		if opt.Weighted {
+			wts = make([]uint32, k)
+		}
+		parallel.ForRange(k, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := int(kept[i])
+				edges[i] = arcs[j].V
+				if wts != nil {
+					// Min weight over the duplicate run wins; the stable
+					// sort made the run adjacent, starting at its head j.
+					u, v, w := arcs[j].U, arcs[j].V, arcs[j].W
+					for t := j + 1; t < m && arcs[t].U == u && arcs[t].V == v; t++ {
+						if arcs[t].W < w {
+							w = arcs[t].W
+						}
+					}
+					wts[i] = w
+				}
+			}
+		})
+		offsets = offsetsFromSorted(n, k, func(i int) uint32 { return arcs[kept[i]].U })
+	}
+	return &Graph{N: n, Offsets: offsets, Edges: edges, Weights: wts, Directed: directed}
+}
+
+// offsetsFromSorted computes CSR offsets for k arcs sorted by source
+// (uAt(i) = source of arc i): offsets[v] = first arc index whose source is
+// >= v. Each boundary between consecutive distinct sources fills the
+// (prev, u] gap, so all writes are disjoint and the pass needs no atomics;
+// indices up to and including uAt(0) keep the zero from make.
+func offsetsFromSorted(n, k int, uAt func(i int) uint32) []uint64 {
+	offsets := make([]uint64, n+1)
+	if k == 0 {
+		return offsets
+	}
+	parallel.ForRange(k, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i == 0 {
+				continue
+			}
+			u := uAt(i)
+			if prev := uAt(i - 1); prev != u {
+				for v := prev + 1; v <= u; v++ {
+					offsets[v] = uint64(i)
+				}
+			}
+		}
+	})
+	last := int(uAt(k - 1))
+	parallel.For(n-last, 0, func(i int) {
+		offsets[last+1+i] = uint64(k)
+	})
+	return offsets
+}
+
+// buildCSRSeq is the small-input builder: single-threaded counting scatter,
+// shell-sorted adjacency lists, then the dedup compaction. It does no
+// synchronization at all — below seqBuildArcs arcs that beats any parallel
+// plan.
+func buildCSRSeq(n int, arcs []Edge, directed bool, opt BuildOptions) *Graph {
+	deg := make([]int64, n)
+	for _, e := range arcs {
+		deg[e.U]++
+	}
+	offsets := make([]uint64, n+1)
+	var running uint64
+	for v := 0; v < n; v++ {
+		offsets[v] = running
+		running += uint64(deg[v])
+	}
+	offsets[n] = running
+	edges := make([]uint32, running)
 	var wts []uint32
 	if opt.Weighted {
 		wts = make([]uint32, running)
 	}
-	cursor := make([]int64, n)
-	parallel.Copy(cursor, offsetsToInt64(offsets[:n]))
-	parallel.ForRange(len(arcs), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := arcs[i]
-			if !opt.KeepSelfLoops && e.U == e.V {
-				continue
-			}
-			at := atomicAddInt64(&cursor[e.U], 1) - 1
-			dst[at] = e.V
-			if wts != nil {
-				wts[at] = e.W
-			}
+	cursor := deg // reuse as the next-write positions
+	for v := 0; v < n; v++ {
+		cursor[v] = int64(offsets[v])
+	}
+	for _, e := range arcs {
+		at := cursor[e.U]
+		cursor[e.U]++
+		edges[at] = e.V
+		if wts != nil {
+			wts[at] = e.W
 		}
-	})
-
-	g := &Graph{N: n, Offsets: offsets, Edges: dst, Weights: wts,
-		Directed: directed && !opt.Symmetrize}
+	}
+	g := &Graph{N: n, Offsets: offsets, Edges: edges, Weights: wts, Directed: directed}
 	g.sortAdjacency()
 	if !opt.KeepDuplicates {
 		g.dedup()
@@ -178,13 +663,9 @@ func FromEdges(n int, edges []Edge, directed bool, opt BuildOptions) *Graph {
 	return g
 }
 
-func offsetsToInt64(off []uint64) []int64 {
-	out := make([]int64, len(off))
-	parallel.For(len(off), 0, func(i int) { out[i] = int64(off[i]) })
-	return out
-}
-
 // sortAdjacency sorts each adjacency list (with weights permuted along).
+// Only the sequential small-graph path needs it; the parallel builds emit
+// sorted lists via the packed-key sort or sortAdjList.
 func (g *Graph) sortAdjacency() {
 	parallel.For(g.N, 64, func(v int) {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
@@ -193,20 +674,20 @@ func (g *Graph) sortAdjacency() {
 		}
 		adj := g.Edges[lo:hi]
 		if g.Weights == nil {
-			insertionSortU32(adj, nil)
+			shellSortU32(adj, nil)
 		} else {
-			insertionSortU32(adj, g.Weights[lo:hi])
+			shellSortU32(adj, g.Weights[lo:hi])
 		}
 	})
 }
 
-// insertionSortU32 sorts adj ascending, permuting w alongside. Adjacency
-// lists are short on the sparse graphs this library targets; for long lists
-// it falls back to a simple binary-insertion-free heapsort-style approach is
-// unnecessary — we shell sort to keep worst cases tame.
-func insertionSortU32(adj []uint32, w []uint32) {
-	// Shell sort with Ciura-ish gaps; O(n^(4/3))-ish, fine for adjacency
-	// lists and allocation-free (important inside a parallel loop).
+// shellSortU32 sorts adj ascending, permuting w alongside. It is the
+// short-list fallback: allocation-free (important inside a parallel loop)
+// and fast while the list fits in cache. Long lists — where its
+// O(n^(4/3))-ish cost used to dominate skewed builds — go to radixSortAdj
+// instead.
+func shellSortU32(adj []uint32, w []uint32) {
+	// Shell sort with Ciura-ish gaps.
 	n := len(adj)
 	gaps := [...]int{57, 23, 10, 4, 1}
 	for _, gap := range gaps {
@@ -236,7 +717,10 @@ func insertionSortU32(adj []uint32, w []uint32) {
 }
 
 // dedup removes duplicate neighbors (keeping the minimum weight) and
-// rebuilds the CSR arrays compactly.
+// rebuilds the CSR arrays compactly. The bucketed build fuses the census
+// into its sort pass and calls dedupCompact directly; the packed-key radix
+// path fuses the whole thing into csrFromSortedArcs; only the sequential
+// small-graph path still needs this standalone sweep.
 func (g *Graph) dedup() {
 	newDeg := make([]int64, g.N)
 	parallel.For(g.N, 64, func(v int) {
@@ -251,21 +735,24 @@ func (g *Graph) dedup() {
 		}
 		newDeg[v] = d
 	})
-	total := parallel.Sum(g.N, func(v int) int64 { return newDeg[v] })
+	g.dedupCompact(newDeg)
+}
+
+// dedupCompact rewrites the CSR arrays keeping newDeg[v] distinct
+// neighbors per vertex (minimum weight winning among duplicates).
+// newDeg is consumed: the exclusive scan turns it into the new offsets.
+func (g *Graph) dedupCompact(newDeg []int64) {
+	total := parallel.Scan(newDeg)
 	if total == int64(len(g.Edges)) {
 		return // nothing to do
 	}
 	newOff := make([]uint64, g.N+1)
-	var running int64
-	for v := 0; v < g.N; v++ {
-		newOff[v] = uint64(running)
-		running += newDeg[v]
-	}
-	newOff[g.N] = uint64(running)
-	newEdges := make([]uint32, running)
+	parallel.For(g.N, 0, func(v int) { newOff[v] = uint64(newDeg[v]) })
+	newOff[g.N] = uint64(total)
+	newEdges := make([]uint32, total)
 	var newW []uint32
 	if g.Weights != nil {
-		newW = make([]uint32, running)
+		newW = make([]uint32, total)
 	}
 	parallel.For(g.N, 64, func(v int) {
 		lo, hi := g.Offsets[v], g.Offsets[v+1]
@@ -300,44 +787,101 @@ func (g *Graph) Transpose() *Graph {
 }
 
 func (g *Graph) buildTranspose() *Graph {
-	deg := make([]int64, g.N)
-	parallel.ForRange(len(g.Edges), 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			atomicAddInt64(&deg[g.Edges[i]], 1)
-		}
-	})
-	off := make([]uint64, g.N+1)
-	var running int64
-	for v := 0; v < g.N; v++ {
-		off[v] = uint64(running)
-		running += deg[v]
+	// Materialize the reversed arcs and run them through the same
+	// contention-free radix pipeline as FromEdges. A built graph's arc set
+	// is already filtered the way its BuildOptions asked for, so the
+	// transpose preserves it verbatim: keep self-loops and duplicates,
+	// carry weights along, no dedup pass. Reversed arcs stream out in
+	// old-source order — already sorted by the new destination — so the
+	// stable pipeline is told to skip its destination passes (presorted).
+	trOpt := BuildOptions{
+		Weighted:       g.Weights != nil,
+		KeepSelfLoops:  true,
+		KeepDuplicates: true,
 	}
-	off[g.N] = uint64(running)
-	edges := make([]uint32, running)
-	var wts []uint32
-	if g.Weights != nil {
-		wts = make([]uint32, running)
+	if g.N > smallVertexRadix && g.N <= 1<<packedBuildMaxVBits && len(g.Edges) >= seqBuildArcs {
+		tr := g.transposePacked(trOpt)
+		tr.trOnce.Do(func() { tr.tr = g })
+		return tr
 	}
-	cursor := make([]int64, g.N)
-	parallel.Copy(cursor, offsetsToInt64(off[:g.N]))
+	arcs := make([]Edge, len(g.Edges))
 	parallel.For(g.N, 64, func(u int) {
 		lo, hi := g.Offsets[u], g.Offsets[u+1]
 		for i := lo; i < hi; i++ {
-			v := g.Edges[i]
-			at := atomicAddInt64(&cursor[v], 1) - 1
-			edges[at] = uint32(u)
-			if wts != nil {
-				wts[at] = g.Weights[i]
+			var w uint32
+			if g.Weights != nil {
+				w = g.Weights[i]
 			}
+			arcs[i] = Edge{U: g.Edges[i], V: uint32(u), W: w}
 		}
 	})
-	tr := &Graph{N: g.N, Offsets: off, Edges: edges, Weights: wts, Directed: true}
-	tr.sortAdjacency()
+	tr := buildCSR(g.N, arcs, true, trOpt, false)
 	// Point the transpose's own cache back at g so the round trip is
 	// free; firing its Once here keeps a later tr.Transpose() from
 	// rebuilding.
 	tr.trOnce.Do(func() { tr.tr = g })
 	return tr
+}
+
+// transposePacked builds the reverse graph through the packed bucket
+// pipeline, with the reversed-arc materialization fused into the top-level
+// partition: the count pass histograms g.Edges in place (4-byte sequential
+// reads, no closure), and the scatter packs each reversed arc the moment
+// it lands in its bucket — the arc array that FromEdges has to materialize
+// never exists here. ScanChunkCursors supplies the stable cursors between
+// the two passes. Reversed arcs stream out in old-source order, which is
+// the new destination, so the bucket finisher runs in presorted mode and
+// skips its destination passes.
+func (g *Graph) transposePacked(opt BuildOptions) *Graph {
+	m := len(g.Edges)
+	shift := packedBucketShift(g.N)
+	k := ((g.N - 1) >> shift) + 1
+	p := parallel.Workers()
+	maxChunks := 8 * p
+	grain := (m + maxChunks - 1) / maxChunks
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (m + grain - 1) / grain
+	counts := make([]int64, chunks*k)
+	col := make([]int64, chunks*k)
+	topOff := make([]int64, k+1)
+	parallel.For(chunks, 1, func(c int) {
+		lo, hi := c*grain, (c+1)*grain
+		if hi > m {
+			hi = m
+		}
+		h := counts[c*k : c*k+k]
+		for _, v := range g.Edges[lo:hi] {
+			h[v>>shift]++
+		}
+	})
+	parallel.ScanChunkCursors(counts, col, chunks, k, topOff)
+	tmp := make([]uint64, m)
+	parallel.For(chunks, 1, func(c int) {
+		lo, hi := c*grain, (c+1)*grain
+		if hi > m {
+			hi = m
+		}
+		h := counts[c*k : c*k+k]
+		// Locate the chunk's first source, then walk offsets alongside the
+		// arcs so each reversed arc packs with its source attached.
+		u := uint32(sort.Search(g.N, func(v int) bool { return g.Offsets[v+1] > uint64(lo) }))
+		for i := lo; i < hi; i++ {
+			for uint64(i) >= g.Offsets[u+1] {
+				u++
+			}
+			v := g.Edges[i]
+			var w uint32
+			if g.Weights != nil {
+				w = g.Weights[i]
+			}
+			d := v >> shift
+			tmp[h[d]] = packArc(v, u, w)
+			h[d]++
+		}
+	})
+	return csrFromPackedBuckets(g.N, shift, tmp, topOff, true, opt, true)
 }
 
 // Symmetrized returns the undirected version of g (u~v iff u->v or v->u).

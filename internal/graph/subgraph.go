@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"sort"
-
 	"pasgal/internal/parallel"
 )
 
@@ -12,7 +10,7 @@ import (
 // renumbered in the sorted order of verts. Weights are preserved.
 func InducedSubgraph(g *Graph, verts []uint32) (*Graph, []uint32) {
 	origOf := append([]uint32(nil), verts...)
-	sort.Slice(origOf, func(i, j int) bool { return origOf[i] < origOf[j] })
+	parallel.SortFunc(origOf, func(a, b uint32) bool { return a < b })
 	for i := 1; i < len(origOf); i++ {
 		if origOf[i] == origOf[i-1] {
 			panic("graph: InducedSubgraph with duplicate vertices")

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"runtime"
 	"slices"
+	"sort"
 	"sync/atomic"
 	"testing"
 )
@@ -227,6 +228,146 @@ func TestConformanceSort(t *testing.T) {
 				SortUint64(keys)
 				if !slices.Equal(keys, wantK) {
 					t.Fatalf("p=%d n=%d: SortUint64 mismatch", p, n)
+				}
+			}
+		})
+	}
+}
+
+// TestConformancePartitionByKey checks the stable bucket partition against
+// a sort.SliceStable oracle. The grain is internal (defaultGrain under the
+// swept worker count drives the chunking), so the adversarial axis here is
+// the key range k: 1 (everything one bucket), tiny ranges with huge
+// buckets, and ranges larger than the input.
+func TestConformancePartitionByKey(t *testing.T) {
+	type rec struct {
+		key uint32
+		id  int
+	}
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				for _, k := range []int{1, 2, 3, 7, 256, 1000, n + 1} {
+					if k < 1 {
+						continue
+					}
+					rng := rand.New(rand.NewPCG(uint64(p)*13, uint64(n)*31+uint64(k)))
+					src := make([]rec, n)
+					for i := range src {
+						src[i] = rec{key: uint32(rng.IntN(k)), id: i}
+					}
+					want := slices.Clone(src)
+					sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+					hist := make([]int64, k)
+					for _, r := range src {
+						hist[r.key]++
+					}
+					dst := make([]rec, n)
+					offsets := PartitionByKey(dst, src, k, func(r rec) uint32 { return r.key })
+					if !slices.Equal(dst, want) {
+						t.Fatalf("p=%d n=%d k=%d: partition not the stable order", p, n, k)
+					}
+					if len(offsets) != k+1 {
+						t.Fatalf("p=%d n=%d k=%d: offsets length %d", p, n, k, len(offsets))
+					}
+					var acc int64
+					for d := 0; d < k; d++ {
+						if offsets[d] != acc {
+							t.Fatalf("p=%d n=%d k=%d: offsets[%d]=%d, want %d", p, n, k, d, offsets[d], acc)
+						}
+						acc += hist[d]
+					}
+					if offsets[k] != int64(n) {
+						t.Fatalf("p=%d n=%d k=%d: offsets[k]=%d, want %d", p, n, k, offsets[k], n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformancePartitionByBits checks the closure-free uint64 partition
+// against its generic sibling's contract: words carry their key in the
+// high bits and a unique id in the low bits, so the stable order is simply
+// the fully sorted word order.
+func TestConformancePartitionByBits(t *testing.T) {
+	const shift = 20
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				for _, k := range []int{1, 2, 7, 256, 1000, n + 1} {
+					rng := rand.New(rand.NewPCG(uint64(p)*17, uint64(n)*37+uint64(k)))
+					src := make([]uint64, n)
+					for i := range src {
+						src[i] = uint64(rng.IntN(k))<<shift | uint64(i)
+					}
+					want := slices.Clone(src)
+					slices.Sort(want)
+					hist := make([]int64, k)
+					for _, x := range src {
+						hist[x>>shift]++
+					}
+					dst := make([]uint64, n)
+					offsets := PartitionByBits(dst, src, k, shift)
+					if !slices.Equal(dst, want) {
+						t.Fatalf("p=%d n=%d k=%d: partition not the stable order", p, n, k)
+					}
+					var acc int64
+					for d := 0; d < k; d++ {
+						if offsets[d] != acc {
+							t.Fatalf("p=%d n=%d k=%d: offsets[%d]=%d, want %d", p, n, k, d, offsets[d], acc)
+						}
+						acc += hist[d]
+					}
+					if offsets[k] != int64(n) {
+						t.Fatalf("p=%d n=%d k=%d: offsets[k]=%d, want %d", p, n, k, offsets[k], n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceCountSortByKey checks the payload-carrying radix sort
+// against a sort.SliceStable oracle across key widths that exercise every
+// pass-count (0 digits live, 1, several, all 8), with both a computed
+// (maxKey=0) and an explicit tight bound. The input slice must come back
+// untouched.
+func TestConformanceCountSortByKey(t *testing.T) {
+	type rec struct {
+		key uint64
+		id  int
+	}
+	widths := []uint{0, 1, 7, 8, 9, 16, 33, 64}
+	for _, p := range confWorkers() {
+		withWorkers(t, p, func() {
+			for _, n := range confSizes(p) {
+				for _, w := range widths {
+					rng := rand.New(rand.NewPCG(uint64(p)*7, uint64(n)*101+uint64(w)))
+					recs := make([]rec, n)
+					var maxKey uint64
+					for i := range recs {
+						var k uint64
+						if w > 0 {
+							k = rng.Uint64() >> (64 - w)
+						}
+						if k > maxKey {
+							maxKey = k
+						}
+						recs[i] = rec{key: k, id: i}
+					}
+					orig := slices.Clone(recs)
+					want := slices.Clone(recs)
+					sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+					for _, bound := range []uint64{0, maxKey} {
+						got := CountSortByKey(recs, func(r rec) uint64 { return r.key }, bound)
+						if !slices.Equal(got, want) {
+							t.Fatalf("p=%d n=%d w=%d bound=%d: not the stable order", p, n, w, bound)
+						}
+						if !slices.Equal(recs, orig) {
+							t.Fatalf("p=%d n=%d w=%d bound=%d: input modified", p, n, w, bound)
+						}
+					}
 				}
 			}
 		})

@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"encoding/binary"
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+)
+
+func TestPartitionByKeyPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("length mismatch", func() {
+		PartitionByKey(make([]int, 3), make([]int, 4), 2, func(int) uint32 { return 0 })
+	})
+	expectPanic("k < 1", func() {
+		PartitionByKey([]int{}, []int{}, 0, func(int) uint32 { return 0 })
+	})
+	expectPanic("key out of range", func() {
+		PartitionByKey(make([]int, 2), []int{1, 2}, 1, func(v int) uint32 { return uint32(v) })
+	})
+}
+
+// TestPartitionByKeyHugeKeyRange pins the sequential fallback for key
+// ranges past the dense-histogram cutoff (k > 1<<16): still stable, still
+// correct offsets.
+func TestPartitionByKeyHugeKeyRange(t *testing.T) {
+	const k = 1<<16 + 9
+	const n = 5000
+	rng := rand.New(rand.NewPCG(5, 5))
+	type rec struct {
+		key uint32
+		id  int
+	}
+	src := make([]rec, n)
+	for i := range src {
+		src[i] = rec{key: uint32(rng.IntN(k)), id: i}
+	}
+	want := slices.Clone(src)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+	dst := make([]rec, n)
+	offsets := PartitionByKey(dst, src, k, func(r rec) uint32 { return r.key })
+	if !slices.Equal(dst, want) {
+		t.Fatal("huge-k partition not the stable order")
+	}
+	if offsets[k] != n {
+		t.Fatalf("offsets[k] = %d, want %d", offsets[k], n)
+	}
+}
+
+// TestCountSortByKeyLargeStable drives the multi-pass radix path (n well
+// past the sequential cutoff, 64-bit keys with heavy duplication) and
+// checks stability via the carried payload.
+func TestCountSortByKeyLargeStable(t *testing.T) {
+	withWorkers(t, 8, func() {
+		const n = 1 << 15
+		rng := rand.New(rand.NewPCG(9, 9))
+		type rec struct {
+			key uint64
+			id  int
+		}
+		recs := make([]rec, n)
+		for i := range recs {
+			recs[i] = rec{key: rng.Uint64() % 997, id: i} // ~33 dups per key
+		}
+		want := slices.Clone(recs)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+		got := CountSortByKey(recs, func(r rec) uint64 { return r.key }, 0)
+		if !slices.Equal(got, want) {
+			t.Fatal("large radix sort not the stable order")
+		}
+	})
+}
+
+// FuzzCountSortByKey checks the radix sort against the sort.SliceStable
+// oracle on arbitrary byte-derived keys at arbitrary key widths, and that
+// the input survives unmodified.
+func FuzzCountSortByKey(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, uint8(13))
+	f.Add(make([]byte, 256), uint8(64))
+	seed := make([]byte, 8*300)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed, uint8(40))
+	f.Fuzz(func(t *testing.T, data []byte, width uint8) {
+		type rec struct {
+			key uint64
+			id  int
+		}
+		w := uint(width % 65)
+		var recs []rec
+		for i := 0; i+8 <= len(data); i += 8 {
+			k := binary.LittleEndian.Uint64(data[i:])
+			if w == 0 {
+				k = 0
+			} else if w < 64 {
+				k >>= 64 - w
+			}
+			recs = append(recs, rec{key: k, id: i / 8})
+		}
+		orig := slices.Clone(recs)
+		want := slices.Clone(recs)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].key < want[j].key })
+		got := CountSortByKey(recs, func(r rec) uint64 { return r.key }, 0)
+		if !slices.Equal(got, want) {
+			t.Fatalf("width %d: not the stable sorted order", w)
+		}
+		if !slices.Equal(recs, orig) {
+			t.Fatalf("width %d: input modified", w)
+		}
+	})
+}

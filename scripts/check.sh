@@ -52,13 +52,14 @@ if [ "${PASGAL_SKIP_BENCH:-0}" = 1 ]; then
     echo '== bench regression gate skipped (PASGAL_SKIP_BENCH=1)'
 else
     echo '== bench regression gate'
-    # A tiny BFS run compared against the committed baseline. Absolute times
-    # vary wildly across machines, so the threshold is deliberately huge
-    # (20x): the gate exists to exercise the -json/-compare pipeline end to
-    # end and to catch order-of-magnitude blowups, not small drift.
+    # A tiny BFS + graph-construction run compared against the committed
+    # baseline. Absolute times vary wildly across machines, so the threshold
+    # is deliberately huge (20x): the gate exists to exercise the
+    # -json/-compare pipeline end to end and to catch order-of-magnitude
+    # blowups, not small drift.
     tmpjson=$(mktemp /tmp/pasgal-bench.XXXXXX.json)
     trap 'rm -f "$tmpjson"' EXIT
-    go run ./cmd/pasgal-bench -exp bfs -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -exp bfs,build -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
     go run ./cmd/pasgal-bench -compare -threshold 20 \
         scripts/bench-baseline.json "$tmpjson"
 fi

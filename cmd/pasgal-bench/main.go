@@ -25,13 +25,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"pasgal/internal/bench"
 	"pasgal/internal/parallel"
@@ -51,7 +54,19 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	compare := flag.Bool("compare", false, "compare two result JSON files (args: old.json new.json); exit 1 on regression")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: slowdown fraction that counts as a regression")
+	timeout := flag.Duration("timeout", 0, "abort the whole sweep after this long (0 = no limit)")
 	flag.Parse()
+
+	// Ctrl-C (or -timeout) cancels in-flight algorithm runs via Options.Ctx
+	// and stops the sweep at the next experiment boundary, so partial JSON /
+	// trace sinks still get written below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -97,7 +112,7 @@ func main() {
 		defer parallel.SetTracer(nil)
 	}
 
-	cfg := bench.Config{Scale: *scale, Reps: *reps, Out: os.Stdout, Tracer: tracer}
+	cfg := bench.Config{Scale: *scale, Reps: *reps, Out: os.Stdout, Tracer: tracer, Ctx: ctx}
 	if *graphs != "" {
 		cfg.Graphs = strings.Split(*graphs, ",")
 	}
@@ -171,16 +186,28 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	interrupted := false
 	if *exp == "all" {
 		for _, name := range []string{"tab1", "bfs", "scc", "bcc", "sssp",
 			"build", "fig1", "fig1-model", "conn", "frontier", "mem", "abl-tau",
 			"abl-tau-scc", "abl-bag", "abl-dir", "abl-sssp"} {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			run(name)
 		}
 	} else {
 		for _, name := range strings.Split(*exp, ",") {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			run(name)
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "pasgal-bench: sweep stopped early: %v\n", context.Cause(ctx))
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteJSON(*jsonOut, records); err != nil {

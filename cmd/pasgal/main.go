@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"pasgal"
@@ -31,7 +34,19 @@ func main() {
 	policy := flag.String("policy", "rho", "SSSP policy: rho|delta|bf")
 	weightMax := flag.Uint("wmax", 1<<16, "max random weight if the graph is unweighted (sssp)")
 	verify := flag.Bool("verify", false, "cross-check the result against the sequential reference")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	flag.Parse()
+
+	// Ctrl-C cancels the run gracefully: the algorithm drains, reports its
+	// partial metrics, and the process exits cleanly instead of dying
+	// mid-computation. A second SIGINT kills the process as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var g *pasgal.Graph
 	switch {
@@ -55,7 +70,7 @@ func main() {
 	}
 	fmt.Println(g)
 
-	opt := pasgal.Options{Tau: *tau}
+	opt := pasgal.Options{Ctx: ctx, Tau: *tau}
 	source := uint32(0)
 	if *src >= 0 {
 		source = uint32(*src)
@@ -66,7 +81,8 @@ func main() {
 	start := time.Now()
 	switch *algo {
 	case "bfs":
-		dist, met := pasgal.BFS(g, source, opt)
+		dist, met, err := pasgal.BFS(g, source, opt)
+		abortOn(err, met, time.Since(start))
 		reached, maxd := 0, uint32(0)
 		for _, d := range dist {
 			if d != pasgal.InfDist {
@@ -89,7 +105,8 @@ func main() {
 			fmt.Println("verified against sequential queue BFS")
 		}
 	case "scc":
-		_, count, met := pasgal.SCC(g, opt)
+		_, count, met, err := pasgal.SCC(g, opt)
+		abortOn(err, met, time.Since(start))
 		fmt.Printf("scc: %d strongly connected components\n", count)
 		report(met, time.Since(start))
 		if *verify {
@@ -101,7 +118,8 @@ func main() {
 		}
 	case "bcc":
 		sym := g.Symmetrized()
-		res, met := pasgal.BCC(sym, opt)
+		res, met, err := pasgal.BCC(sym, opt)
+		abortOn(err, met, time.Since(start))
 		arts := 0
 		for _, a := range res.IsArt {
 			if a {
@@ -135,7 +153,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pasgal: unknown policy %q\n", *policy)
 			os.Exit(2)
 		}
-		dist, met := pasgal.SSSP(wg, source, pol, opt)
+		dist, met, err := pasgal.SSSP(wg, source, pol, opt)
+		abortOn(err, met, time.Since(start))
 		reached := 0
 		var maxd uint64
 		for _, d := range dist {
@@ -162,7 +181,8 @@ func main() {
 		}
 	case "kcore":
 		sym := g.Symmetrized()
-		core, degeneracy, met := pasgal.KCore(sym, opt)
+		core, degeneracy, met, err := pasgal.KCore(sym, opt)
+		abortOn(err, met, time.Since(start))
 		hist := map[uint32]int{}
 		for _, c := range core {
 			hist[c]++
@@ -185,7 +205,8 @@ func main() {
 		if !wg.Weighted() {
 			wg = pasgal.AddUniformWeights(g, 1, uint32(*weightMax), 1)
 		}
-		d, met := pasgal.PointToPoint(wg, source, uint32(*dst), nil, opt)
+		d, met, err := pasgal.PointToPoint(wg, source, uint32(*dst), nil, opt)
+		abortOn(err, met, time.Since(start))
 		if d == pasgal.InfWeight {
 			fmt.Printf("ptp: %d -> %d unreachable\n", source, *dst)
 		} else {
@@ -204,7 +225,8 @@ func main() {
 		_, count := pasgal.ConnectedComponents(sym)
 		fmt.Printf("cc: %d connected components\n", count)
 	case "reach":
-		reach, met := pasgal.Reachable(g, []uint32{source}, opt)
+		reach, met, err := pasgal.Reachable(g, []uint32{source}, opt)
+		abortOn(err, met, time.Since(start))
 		n := 0
 		for _, r := range reach {
 			if r {
@@ -217,6 +239,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pasgal: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+}
+
+// abortOn reports a canceled/expired run (partial metrics included) and
+// exits. Nil errors pass through.
+func abortOn(err error, met *pasgal.Metrics, elapsed time.Duration) {
+	if err == nil {
+		return
+	}
+	// The typed sentinels already carry the "pasgal:" prefix.
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	report(met, elapsed)
+	os.Exit(3)
 }
 
 func report(met *pasgal.Metrics, elapsed time.Duration) {

@@ -18,20 +18,20 @@ func exampleGraph() *pasgal.Graph {
 }
 
 func ExampleBFS() {
-	dist, _ := pasgal.BFS(exampleGraph(), 0, pasgal.Options{})
+	dist, _, _ := pasgal.BFS(exampleGraph(), 0, pasgal.Options{})
 	fmt.Println(dist)
 	// Output: [0 1 2 3 4 5 6 7]
 }
 
 func ExampleSCC() {
-	_, count, _ := pasgal.SCC(exampleGraph(), pasgal.Options{})
+	_, count, _, _ := pasgal.SCC(exampleGraph(), pasgal.Options{})
 	fmt.Println(count, "strongly connected components")
 	// Output: 4 strongly connected components
 }
 
 func ExampleBCC() {
 	sym := exampleGraph().Symmetrized()
-	res, _ := pasgal.BCC(sym, pasgal.Options{})
+	res, _, _ := pasgal.BCC(sym, pasgal.Options{})
 	arts := []int{}
 	for v, isArt := range res.IsArt {
 		if isArt {
@@ -44,14 +44,14 @@ func ExampleBCC() {
 
 func ExampleSSSP() {
 	weighted := pasgal.AddUniformWeights(exampleGraph(), 3, 3, 1) // all weights 3
-	dist, _ := pasgal.SSSP(weighted, 0, pasgal.RhoStepping{}, pasgal.Options{})
+	dist, _, _ := pasgal.SSSP(weighted, 0, pasgal.RhoStepping{}, pasgal.Options{})
 	fmt.Println(dist)
 	// Output: [0 3 6 9 12 15 18 21]
 }
 
 func ExamplePointToPoint() {
 	weighted := pasgal.AddUniformWeights(exampleGraph(), 2, 2, 1)
-	d, _ := pasgal.PointToPoint(weighted, 0, 7, nil, pasgal.Options{})
+	d, _, _ := pasgal.PointToPoint(weighted, 0, 7, nil, pasgal.Options{})
 	fmt.Println(d)
 	// Output: 14
 }
@@ -61,7 +61,7 @@ func ExampleKCore() {
 	g := pasgal.NewGraph(5, []pasgal.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4},
 	}, false, pasgal.BuildOptions{})
-	core, degeneracy, _ := pasgal.KCore(g, pasgal.Options{})
+	core, degeneracy, _, _ := pasgal.KCore(g, pasgal.Options{})
 	fmt.Println(core, degeneracy)
 	// Output: [2 2 2 1 1] 2
 }
@@ -82,13 +82,13 @@ func ExampleBridges() {
 		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
 		{U: 2, V: 3},
 	}, false, pasgal.BuildOptions{})
-	_, count, _ := pasgal.Bridges(g, pasgal.Options{})
+	_, count, _, _ := pasgal.Bridges(g, pasgal.Options{})
 	fmt.Println(count, "bridge")
 	// Output: 1 bridge
 }
 
 func ExampleReachable() {
-	reach, _ := pasgal.Reachable(exampleGraph(), []uint32{3}, pasgal.Options{})
+	reach, _, _ := pasgal.Reachable(exampleGraph(), []uint32{3}, pasgal.Options{})
 	fmt.Println(reach)
 	// Output: [false false false true true true true true]
 }
@@ -100,7 +100,7 @@ func ExampleGenerateGrid() {
 }
 
 func ExampleBFSTree() {
-	_, parent, _ := pasgal.BFSTree(pasgal.GenerateChain(5, true), 0, pasgal.Options{})
+	_, parent, _, _ := pasgal.BFSTree(pasgal.GenerateChain(5, true), 0, pasgal.Options{})
 	fmt.Println(parent[1:]) // parent[0] is None (the source)
 	// Output: [0 1 2 3]
 }
@@ -109,8 +109,8 @@ func ExampleOptions() {
 	// Tau controls the VGC local-search budget; Tau=1 disables VGC and the
 	// metrics show the synchronization cost difference.
 	chain := pasgal.GenerateChain(10000, false)
-	_, withVGC := pasgal.BFS(chain, 0, pasgal.Options{Tau: 512, DisableDirectionOpt: true})
-	_, without := pasgal.BFS(chain, 0, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
+	_, withVGC, _ := pasgal.BFS(chain, 0, pasgal.Options{Tau: 512, DisableDirectionOpt: true})
+	_, without, _ := pasgal.BFS(chain, 0, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
 	fmt.Println(withVGC.Rounds < without.Rounds/10)
 	// Output: true
 }

@@ -21,7 +21,7 @@ func main() {
 	// k-core decomposition: peel away the sparse fringe to find the
 	// engagement ladder.
 	start := time.Now()
-	core, degeneracy, met := pasgal.KCore(g, pasgal.Options{})
+	core, degeneracy, met, _ := pasgal.KCore(g, pasgal.Options{})
 	fmt.Printf("k-core in %s: degeneracy %d, %d peeling rounds\n",
 		time.Since(start).Round(time.Millisecond), degeneracy, met.Rounds)
 	levels := make([]int, degeneracy+1)
@@ -33,14 +33,14 @@ func main() {
 
 	// Densest subgraph (Charikar 2-approximation via the peeling order):
 	// the community with the highest internal edge density.
-	verts, density, _ := pasgal.DensestSubgraph(g, pasgal.Options{})
+	verts, density, _, _ := pasgal.DensestSubgraph(g, pasgal.Options{})
 	fmt.Printf("densest subgraph: %d vertices at density %.2f (graph-wide %.2f)\n",
 		len(verts), density, float64(g.UndirectedM())/float64(g.N))
 	sub, _ := pasgal.InducedSubgraph(g, verts)
 	fmt.Printf("  induced: %v\n", sub)
 
 	// Bridges: single points of failure in the network fabric.
-	flags, nBridges, _ := pasgal.Bridges(g, pasgal.Options{})
+	flags, nBridges, _, _ := pasgal.Bridges(g, pasgal.Options{})
 	fmt.Printf("bridges: %d of %d edges\n", nBridges, g.UndirectedM())
 	_ = flags
 

@@ -23,7 +23,7 @@ func main() {
 	fmt.Printf("estimated diameter: >= %d\n", pasgal.EstimateDiameter(mesh, 3, 1))
 
 	start := time.Now()
-	res, met := pasgal.BCC(mesh, pasgal.Options{})
+	res, met, _ := pasgal.BCC(mesh, pasgal.Options{})
 	elapsed := time.Since(start)
 
 	arts := 0

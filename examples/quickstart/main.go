@@ -23,16 +23,16 @@ func main() {
 	fmt.Println(g)
 
 	// BFS: hop distances from vertex 0.
-	dist, met := pasgal.BFS(g, 0, pasgal.Options{})
+	dist, met, _ := pasgal.BFS(g, 0, pasgal.Options{})
 	fmt.Printf("BFS distances from 0: %v  (rounds=%d)\n", dist, met.Rounds)
 
 	// SCC: the two cycles are components; tail vertices are singletons.
-	labels, count, _ := pasgal.SCC(g, pasgal.Options{})
+	labels, count, _, _ := pasgal.SCC(g, pasgal.Options{})
 	fmt.Printf("SCC: %d components, labels %v\n", count, labels)
 
 	// BCC runs on the symmetrized graph, like the paper.
 	sym := g.Symmetrized()
-	bcc, _ := pasgal.BCC(sym, pasgal.Options{})
+	bcc, _, _ := pasgal.BCC(sym, pasgal.Options{})
 	fmt.Printf("BCC: %d biconnected components, articulation points:", bcc.NumBCC)
 	for v, isArt := range bcc.IsArt {
 		if isArt {
@@ -43,13 +43,13 @@ func main() {
 
 	// SSSP needs weights; attach deterministic uniform ones.
 	wg := pasgal.AddUniformWeights(g, 1, 10, 42)
-	wdist, _ := pasgal.SSSP(wg, 0, pasgal.RhoStepping{}, pasgal.Options{})
+	wdist, _, _ := pasgal.SSSP(wg, 0, pasgal.RhoStepping{}, pasgal.Options{})
 	fmt.Printf("SSSP distances from 0: %v\n", wdist)
 
 	// The same API scales to generated graphs: a 100k-vertex grid — the
 	// large-diameter regime PASGAL is designed for.
 	grid := pasgal.GenerateGrid(100, 1000, false, 7)
-	gd, gmet := pasgal.BFS(grid, 0, pasgal.Options{})
+	gd, gmet, _ := pasgal.BFS(grid, 0, pasgal.Options{})
 	far := 0
 	for _, d := range gd {
 		if int(d) > far {

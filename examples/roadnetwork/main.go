@@ -36,7 +36,7 @@ func main() {
 		{"bellman-ford", pasgal.BellmanFordPolicy{}},
 	} {
 		start := time.Now()
-		dist, met := pasgal.SSSP(weighted, src, pc.policy, pasgal.Options{})
+		dist, met, _ := pasgal.SSSP(weighted, src, pc.policy, pasgal.Options{})
 		reached := 0
 		var far uint64
 		for _, d := range dist {
@@ -54,7 +54,7 @@ func main() {
 
 	// Actual routing: reconstruct a concrete route from the shortest-path
 	// tree.
-	dist, parent, _ := pasgal.SSSPTree(weighted, src, nil, pasgal.Options{})
+	dist, parent, _, _ := pasgal.SSSPTree(weighted, src, nil, pasgal.Options{})
 	dstV := uint32(weighted.N - 1)
 	for dist[dstV] == pasgal.InfWeight {
 		dstV--
@@ -65,14 +65,14 @@ func main() {
 
 	// A direct query is cheaper still: point-to-point search prunes
 	// everything past the target.
-	d, pmet := pasgal.PointToPoint(weighted, src, dstV, nil, pasgal.Options{})
+	d, pmet, _ := pasgal.PointToPoint(weighted, src, dstV, nil, pasgal.Options{})
 	fmt.Printf("point-to-point: same distance %v, %d edges touched\n",
 		d == dist[dstV], pmet.EdgesVisited)
 
 	// The headline effect: hop-distance search with VGC needs a small
 	// fraction of the synchronizations a level-synchronous BFS pays.
-	_, vgc := pasgal.BFS(road, src, pasgal.Options{})
-	_, lvl := pasgal.BFS(road, src, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
+	_, vgc, _ := pasgal.BFS(road, src, pasgal.Options{})
+	_, lvl, _ := pasgal.BFS(road, src, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
 	fmt.Printf("BFS global synchronizations: VGC %d vs level-synchronous %d (%.0fx fewer)\n",
 		vgc.Rounds, lvl.Rounds, float64(lvl.Rounds)/float64(vgc.Rounds))
 }

@@ -29,7 +29,7 @@ func main() {
 
 	// SCC: how much of the network is mutually connected?
 	start := time.Now()
-	labels, count, met := pasgal.SCC(g, pasgal.Options{})
+	labels, count, met, _ := pasgal.SCC(g, pasgal.Options{})
 	sizes := map[uint32]int{}
 	for _, l := range labels {
 		sizes[l]++
@@ -52,7 +52,7 @@ func main() {
 			hub = v
 		}
 	}
-	dist, bmet := pasgal.BFS(g, hub, pasgal.Options{})
+	dist, bmet, _ := pasgal.BFS(g, hub, pasgal.Options{})
 	reach, ecc := 0, uint32(0)
 	for _, d := range dist {
 		if d != pasgal.InfDist {

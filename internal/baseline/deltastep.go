@@ -49,27 +49,32 @@ func (r *bucketRing) take(b int) []uint32 {
 // through the shared buckets, one global synchronization per inner round.
 // delta <= 0 picks a heuristic Δ (average edge weight).
 func DeltaSteppingSSSP(g *graph.Graph, src uint32, delta uint64) ([]uint64, *core.Metrics) {
-	return DeltaSteppingSSSPOpt(g, src, delta, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	out, met, _ := DeltaSteppingSSSPOpt(g, src, delta, core.Options{})
+	return out, met
 }
 
-// DeltaSteppingSSSPOpt is DeltaSteppingSSSP with Options plumbing (tracer
-// and metric options only; Δ remains this baseline's own parameter).
-func DeltaSteppingSSSPOpt(g *graph.Graph, src uint32, delta uint64, opt core.Options) ([]uint64, *core.Metrics) {
+// DeltaSteppingSSSPOpt is DeltaSteppingSSSP with Options plumbing (ctx,
+// tracer, and metric options only; Δ remains this baseline's own
+// parameter).
+func DeltaSteppingSSSPOpt(g *graph.Graph, src uint32, delta uint64, opt core.Options) ([]uint64, *core.Metrics, error) {
 	if !g.Weighted() {
 		panic("baseline: DeltaSteppingSSSP requires a weighted graph")
 	}
 	met := core.NewMetrics(opt, "delta-sssp")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(core.InfWeight) })
 	out := make([]uint64, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	if len(g.Edges) == 0 {
 		dist[src].Store(0)
 		parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-		return out, met
+		return out, met, cl.Poll()
 	}
 	if delta == 0 {
 		total := parallel.Sum(len(g.Weights), func(i int) uint64 { return uint64(g.Weights[i]) })
@@ -86,17 +91,27 @@ func DeltaSteppingSSSPOpt(g *graph.Graph, src uint32, delta uint64, opt core.Opt
 	pending.Store(1)
 
 	for k := 0; pending.Load() > 0; k++ {
+		// Phase boundary check; the inner loop re-polls before every take,
+		// but an empty bucket must not advance the phase uncancelled.
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		lo, hi := uint64(k)*delta, uint64(k+1)*delta
 		// A vertex can be improved within its own bucket (light edges), so
 		// the bucket is reprocessed until it stops refilling.
 		for {
+			// Round boundary: a canceled round invalidates the pending
+			// count (drained chunks never re-add their discoveries).
+			if err := cl.Poll(); err != nil {
+				return nil, met, err
+			}
 			f := ring.take(k)
 			if len(f) == 0 {
 				break
 			}
 			pending.Add(int64(-len(f)))
 			met.Round(len(f))
-			parallel.ForRange(len(f), 1, func(flo, fhi int) {
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(flo, fhi int) {
 				var edges int64
 				for i := flo; i < fhi; i++ {
 					u := f[i]
@@ -126,6 +141,10 @@ func DeltaSteppingSSSPOpt(g *graph.Graph, src uint32, delta uint64, opt core.Opt
 		}
 		met.AddPhase()
 	}
+	// Final check before materializing (see GBBSBFSOpt).
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }

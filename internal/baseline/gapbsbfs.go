@@ -13,20 +13,24 @@ import (
 // 1/alpha of the unexplored edges, then bitmap-based bottom-up rounds until
 // the frontier shrinks below n/beta.
 func GAPBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
-	return GAPBSBFSOpt(g, src, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	out, met, _ := GAPBSBFSOpt(g, src, core.Options{})
+	return out, met
 }
 
-// GAPBSBFSOpt is GAPBSBFS with Options plumbing (tracer and metric options
-// only; alpha/beta stay fixed at GAPBS's published constants).
-func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics) {
+// GAPBSBFSOpt is GAPBSBFS with Options plumbing (ctx, tracer, and metric
+// options only; alpha/beta stay fixed at GAPBS's published constants).
+func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics, error) {
 	const alpha, beta = 15, 18
 	met := core.NewMetrics(opt, "gapbs-bfs")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
 	out := make([]uint32, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	in := g.Transpose()
 
@@ -37,6 +41,9 @@ func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.
 	frontierEdges := int64(g.Degree(src))
 
 	for round := uint32(0); len(frontier) > 0; round++ {
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		met.Round(len(frontier))
 		if !bottomUp && frontierEdges > edgesRemaining/alpha {
 			bottomUp = true
@@ -60,7 +67,7 @@ func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.
 				}
 			})
 			var visited int64
-			parallel.ForRange(n, 0, func(lo, hi int) {
+			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
 				var local int64
 				for vi := lo; vi < hi; vi++ {
 					v := uint32(vi)
@@ -90,7 +97,7 @@ func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.
 			total := parallel.Scan(offs)
 			met.AddEdges(total)
 			outv := make([]uint32, total)
-			parallel.For(len(frontier), 1, func(i int) {
+			parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 				u := frontier[i]
 				at := offs[i]
 				for _, w := range g.Neighbors(u) {
@@ -111,6 +118,10 @@ func GAPBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.
 		edgesRemaining -= frontierEdges
 		frontier = next
 	}
+	// Final check before materializing (see GBBSBFSOpt).
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }

@@ -16,20 +16,27 @@ import (
 // FAST-BCC. Components are processed one BFS at a time, as a BFS-based
 // system must.
 func GBBSBCC(g *graph.Graph) (core.BCCResult, *core.Metrics) {
-	return GBBSBCCOpt(g, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	res, met, _ := GBBSBCCOpt(g, core.Options{})
+	return res, met
 }
 
-// GBBSBCCOpt is GBBSBCC with Options plumbing (tracer and metric options
-// only).
-func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics) {
+// GBBSBCCOpt is GBBSBCC with Options plumbing (ctx, tracer, and metric
+// options only).
+func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics, error) {
 	if g.Directed {
 		panic("baseline: GBBSBCC requires an undirected graph")
 	}
 	met := core.NewMetrics(opt, "gbbs-bcc")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	if n == 0 {
-		res, _ := core.BCCFromForest(g, euler.Build(0, nil))
-		return res, met
+		res, _, err := core.BCCFromForest(g, euler.Build(0, nil), opt)
+		if perr := cl.Poll(); perr != nil {
+			err = perr
+		}
+		return res, met, err
 	}
 
 	// BFS spanning forest.
@@ -47,6 +54,11 @@ func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics
 		}
 		frontier := []uint32{uint32(start)}
 		for len(frontier) > 0 {
+			// Round boundary: a canceled round invalidates the tree-edge
+			// accumulation below (drained chunks claim no parents).
+			if err := cl.Poll(); err != nil {
+				return core.BCCResult{}, met, err
+			}
 			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
@@ -55,7 +67,7 @@ func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics
 			total := parallel.Scan(offs)
 			met.AddEdges(total)
 			outv := make([]uint32, total)
-			parallel.For(len(frontier), 1, func(i int) {
+			parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 				u := frontier[i]
 				at := offs[i]
 				for _, w := range g.Neighbors(u) {
@@ -76,8 +88,16 @@ func GBBSBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics
 		}
 	}
 
+	// Final check before the labeling stages: a canceled drain above would
+	// have produced a truncated forest.
+	if err := cl.Poll(); err != nil {
+		return core.BCCResult{}, met, err
+	}
 	f := euler.Build(n, tree)
-	res, met2 := core.BCCFromForest(g, f)
+	res, met2, err := core.BCCFromForest(g, f, opt)
+	if err != nil {
+		return core.BCCResult{}, met, err
+	}
 	met.AddEdges(met2.EdgesVisited)
-	return res, met
+	return res, met, nil
 }

@@ -21,19 +21,23 @@ import (
 // sweep when the frontier covers enough of the edge set (direction
 // optimization). One global synchronization per hop.
 func GBBSBFS(g *graph.Graph, src uint32) ([]uint32, *core.Metrics) {
-	return GBBSBFSOpt(g, src, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	out, met, _ := GBBSBFSOpt(g, src, core.Options{})
+	return out, met
 }
 
-// GBBSBFSOpt is GBBSBFS with Options plumbing (only the tracer and metric
-// options apply; the algorithmic knobs are PASGAL's, not GBBS's).
-func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics) {
+// GBBSBFSOpt is GBBSBFS with Options plumbing (only the ctx, tracer, and
+// metric options apply; the algorithmic knobs are PASGAL's, not GBBS's).
+func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.Metrics, error) {
 	met := core.NewMetrics(opt, "gbbs-bfs")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
 	out := make([]uint32, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	in := g.Transpose()
 	m := int64(len(g.Edges))
@@ -41,6 +45,9 @@ func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.M
 	dist[src].Store(0)
 	frontier := []uint32{src}
 	for round := uint32(0); len(frontier) > 0; round++ {
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		met.Round(len(frontier))
 		outEdges := parallel.Sum(len(frontier), func(i int) int64 {
 			return int64(g.Degree(frontier[i]))
@@ -51,7 +58,7 @@ func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.M
 			// evaluated twice).
 			met.AddBottomUp()
 			var visited int64
-			parallel.ForRange(n, 0, func(lo, hi int) {
+			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
 				var local int64
 				for vi := lo; vi < hi; vi++ {
 					v := uint32(vi)
@@ -83,7 +90,7 @@ func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.M
 		total := parallel.Scan(offs)
 		met.AddEdges(total)
 		outv := make([]uint32, total)
-		parallel.For(len(frontier), 1, func(i int) {
+		parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 			u := frontier[i]
 			at := offs[i]
 			for _, w := range g.Neighbors(u) {
@@ -98,6 +105,11 @@ func GBBSBFSOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint32, *core.M
 		})
 		frontier = parallel.Pack(outv, func(i int) bool { return outv[i] != graph.None })
 	}
+	// Final check before materializing: a canceled round's drained chunks
+	// leave outv holding stale zero values that pack into a bogus frontier.
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }

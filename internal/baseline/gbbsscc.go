@@ -16,21 +16,25 @@ import (
 // synchronizations per search, which is precisely the behavior Figure 1
 // contrasts PASGAL against.
 func GBBSSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
-	return GBBSSCCOpt(g, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	comp, count, met, _ := GBBSSCCOpt(g, core.Options{})
+	return comp, count, met
 }
 
-// GBBSSCCOpt is GBBSSCC with Options plumbing (tracer and metric options
-// only).
-func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics) {
+// GBBSSCCOpt is GBBSSCC with Options plumbing (ctx, tracer, and metric
+// options only).
+func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics, error) {
 	if !g.Directed {
 		panic("baseline: GBBSSCC requires a directed graph")
 	}
 	met := core.NewMetrics(opt, "gbbs-scc")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)
 	if n == 0 {
-		return comp, 0, met
+		return comp, 0, met, cl.Poll()
 	}
 	tr := g.Transpose()
 	sub := make([]uint64, n)
@@ -41,6 +45,11 @@ func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics)
 	pivotTarget := 1
 	seed := uint64(0x1234abcd5678ef90)
 	for len(live) > 0 {
+		// Phase boundary: a canceled reachability pass leaves labels
+		// incomplete, which would settle wrong components.
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		k := pivotTarget
 		if k > len(live) {
@@ -58,8 +67,12 @@ func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics)
 			fwd[pivots[i]].Store(uint32(i))
 			bwd[pivots[i]].Store(uint32(i))
 		})
-		bfsReach(g, comp, sub, fwd, pivots, met)
-		bfsReach(tr, comp, sub, bwd, pivots, met)
+		if err := bfsReach(g, comp, sub, fwd, pivots, met, cl); err != nil {
+			return nil, 0, met, err
+		}
+		if err := bfsReach(tr, comp, sub, bwd, pivots, met, cl); err != nil {
+			return nil, 0, met, err
+		}
 		parallel.For(len(live), 0, func(i int) {
 			v := live[i]
 			fl, bl := fwd[v].Load(), bwd[v].Load()
@@ -77,16 +90,24 @@ func GBBSSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics)
 		pivotTarget *= 2
 		seed = seed*0x2545f4914f6cdd1d + 7
 	}
+	// Final check before counting; the last phase may have been drained.
+	if err := cl.Poll(); err != nil {
+		return nil, 0, met, err
+	}
 	count := parallel.Count(n, func(v int) bool { return comp[v] == uint32(v) })
-	return comp, count, met
+	return comp, count, met, nil
 }
 
 // bfsReach propagates minimum pivot indices level-synchronously.
 func bfsReach(g *graph.Graph, comp []uint32, sub []uint64,
-	label []atomic.Uint32, pivots []uint32, met *core.Metrics) {
+	label []atomic.Uint32, pivots []uint32, met *core.Metrics,
+	cl *core.Canceler) error {
 
 	frontier := append([]uint32(nil), pivots...)
 	for len(frontier) > 0 {
+		if err := cl.Poll(); err != nil {
+			return err
+		}
 		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
@@ -95,7 +116,7 @@ func bfsReach(g *graph.Graph, comp []uint32, sub []uint64,
 		total := parallel.Scan(offs)
 		met.AddEdges(total)
 		outv := make([]uint32, total)
-		parallel.For(len(frontier), 1, func(i int) {
+		parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 			u := frontier[i]
 			lu := label[u].Load()
 			su := sub[u]
@@ -119,6 +140,8 @@ func bfsReach(g *graph.Graph, comp []uint32, sub []uint64,
 		})
 		frontier = parallel.Pack(outv, func(i int) bool { return outv[i] != graph.None })
 	}
+	// The caller reads the labels right after this returns.
+	return cl.Poll()
 }
 
 func sccHash(seed uint64, v uint32) uint64 {

@@ -14,27 +14,34 @@ import (
 // relative to Δ-stepping on heavy-tailed weight ranges but simple and
 // level-synchronous — the profile of GBBS's general-weight SSSP.
 func GBBSBellmanFordSSSP(g *graph.Graph, src uint32) ([]uint64, *core.Metrics) {
-	return GBBSBellmanFordSSSPOpt(g, src, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	out, met, _ := GBBSBellmanFordSSSPOpt(g, src, core.Options{})
+	return out, met
 }
 
 // GBBSBellmanFordSSSPOpt is GBBSBellmanFordSSSP with Options plumbing
-// (tracer and metric options only).
-func GBBSBellmanFordSSSPOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint64, *core.Metrics) {
+// (ctx, tracer, and metric options only).
+func GBBSBellmanFordSSSPOpt(g *graph.Graph, src uint32, opt core.Options) ([]uint64, *core.Metrics, error) {
 	if !g.Weighted() {
 		panic("baseline: GBBSBellmanFordSSSP requires a weighted graph")
 	}
 	met := core.NewMetrics(opt, "gbbs-sssp")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(core.InfWeight) })
 	out := make([]uint64, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	dist[src].Store(0)
 	frontier := []uint32{src}
 	inNext := make([]atomic.Uint32, n) // dedup claims for the next frontier
 	for len(frontier) > 0 {
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
@@ -43,7 +50,7 @@ func GBBSBellmanFordSSSPOpt(g *graph.Graph, src uint32, opt core.Options) ([]uin
 		total := parallel.Scan(offs)
 		met.AddEdges(total)
 		outv := make([]uint32, total)
-		parallel.For(len(frontier), 1, func(i int) {
+		parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 			u := frontier[i]
 			du := dist[u].Load()
 			wts := g.NeighborWeights(u)
@@ -71,6 +78,10 @@ func GBBSBellmanFordSSSPOpt(g *graph.Graph, src uint32, opt core.Options) ([]uin
 		frontier = parallel.Pack(outv, func(i int) bool { return outv[i] != graph.None })
 		parallel.For(len(frontier), 0, func(i int) { inNext[frontier[i]].Store(0) })
 	}
+	// Final check before materializing (see GBBSBFSOpt).
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }

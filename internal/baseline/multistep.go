@@ -19,21 +19,25 @@ const multistepSeqCutoff = 256
 // BFS), then rounds of max-color propagation with per-color backward
 // sweeps, finishing the tail sequentially with Tarjan's algorithm.
 func MultistepSCC(g *graph.Graph) ([]uint32, int, *core.Metrics) {
-	return MultistepSCCOpt(g, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	comp, count, met, _ := MultistepSCCOpt(g, core.Options{})
+	return comp, count, met
 }
 
-// MultistepSCCOpt is MultistepSCC with Options plumbing (tracer and metric
-// options only).
-func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics) {
+// MultistepSCCOpt is MultistepSCC with Options plumbing (ctx, tracer, and
+// metric options only).
+func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Metrics, error) {
 	if !g.Directed {
 		panic("baseline: MultistepSCC requires a directed graph")
 	}
 	met := core.NewMetrics(opt, "multistep-scc")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)
 	if n == 0 {
-		return comp, 0, met
+		return comp, 0, met, cl.Poll()
 	}
 	tr := g.Transpose()
 	live := parallel.PackIndex(n, func(int) bool { return true })
@@ -49,6 +53,9 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 
 	// Step 1: trim to fixpoint (capped).
 	for t := 0; t < 5 && len(live) > 0; t++ {
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		trimmed := parallel.Pack(live, func(i int) bool {
 			v := live[i]
 			return !liveNeighbor(g, v) || !liveNeighbor(tr, v)
@@ -63,14 +70,23 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 	// Step 2: FW-BW from the max degree-product pivot (expected to hit the
 	// giant SCC of a power-law graph).
 	if len(live) > 0 {
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		best := parallel.MaxIndex(len(live), func(i int) int64 {
 			v := live[i]
 			return int64(g.Degree(v)+1) * int64(tr.Degree(v)+1)
 		})
 		pivot := live[best]
-		fwd := markReach(g, comp, pivot, met)
-		bwd := markReach(tr, comp, pivot, met)
+		fwd, err := markReach(g, comp, pivot, met, cl)
+		if err != nil {
+			return nil, 0, met, err
+		}
+		bwd, err := markReach(tr, comp, pivot, met, cl)
+		if err != nil {
+			return nil, 0, met, err
+		}
 		parallel.For(len(live), 0, func(i int) {
 			v := live[i]
 			if fwd[v] && bwd[v] {
@@ -83,11 +99,19 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 	// Step 3: coloring rounds.
 	color := make([]atomic.Uint32, n)
 	for len(live) > multistepSeqCutoff {
+		// Phase boundary: canceled color propagation leaves the coloring
+		// fixpoint unreached, which would settle wrong components.
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		parallel.For(len(live), 0, func(i int) { color[live[i]].Store(live[i]) })
 		// Propagate the maximum color forward to a fixpoint.
 		frontier := append([]uint32(nil), live...)
 		for len(frontier) > 0 {
+			if err := cl.Poll(); err != nil {
+				return nil, 0, met, err
+			}
 			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
@@ -96,7 +120,7 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 			total := parallel.Scan(offs)
 			met.AddEdges(total)
 			outv := make([]uint32, total)
-			parallel.For(len(frontier), 1, func(i int) {
+			parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 				u := frontier[i]
 				cu := color[u].Load()
 				at := offs[i]
@@ -127,6 +151,9 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 		parallel.For(len(roots), 0, func(i int) { settled[roots[i]].Store(1) })
 		frontier = roots
 		for len(frontier) > 0 {
+			if err := cl.Poll(); err != nil {
+				return nil, 0, met, err
+			}
 			met.Round(len(frontier))
 			offs := make([]int64, len(frontier))
 			parallel.For(len(frontier), 0, func(i int) {
@@ -135,7 +162,7 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 			total := parallel.Scan(offs)
 			met.AddEdges(total)
 			outv := make([]uint32, total)
-			parallel.For(len(frontier), 1, func(i int) {
+			parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 				u := frontier[i]
 				cu := color[u].Load()
 				at := offs[i]
@@ -161,6 +188,9 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 
 	// Step 4: sequential Tarjan on the induced remainder.
 	if len(live) > 0 {
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		idx := make(map[uint32]uint32, len(live))
 		for i, v := range live {
@@ -191,18 +221,27 @@ func MultistepSCCOpt(g *graph.Graph, opt core.Options) ([]uint32, int, *core.Met
 		}
 	}
 
+	// Final check before counting (see GBBSSCCOpt).
+	if err := cl.Poll(); err != nil {
+		return nil, 0, met, err
+	}
 	count := parallel.Count(n, func(v int) bool { return comp[v] == uint32(v) })
-	return comp, count, met
+	return comp, count, met, nil
 }
 
 // markReach marks all live vertices reachable from src with a level-
 // synchronous BFS.
-func markReach(g *graph.Graph, comp []uint32, src uint32, met *core.Metrics) []bool {
+func markReach(g *graph.Graph, comp []uint32, src uint32, met *core.Metrics,
+	cl *core.Canceler) ([]bool, error) {
+
 	n := g.N
 	mark := make([]atomic.Uint32, n)
 	mark[src].Store(1)
 	frontier := []uint32{src}
 	for len(frontier) > 0 {
+		if err := cl.Poll(); err != nil {
+			return nil, err
+		}
 		met.Round(len(frontier))
 		offs := make([]int64, len(frontier))
 		parallel.For(len(frontier), 0, func(i int) {
@@ -211,7 +250,7 @@ func markReach(g *graph.Graph, comp []uint32, src uint32, met *core.Metrics) []b
 		total := parallel.Scan(offs)
 		met.AddEdges(total)
 		outv := make([]uint32, total)
-		parallel.For(len(frontier), 1, func(i int) {
+		parallel.ForCancel(cl.Token(), len(frontier), 1, func(i int) {
 			u := frontier[i]
 			at := offs[i]
 			for _, w := range g.Neighbors(u) {
@@ -225,7 +264,10 @@ func markReach(g *graph.Graph, comp []uint32, src uint32, met *core.Metrics) []b
 		})
 		frontier = parallel.Pack(outv, func(i int) bool { return outv[i] != graph.None })
 	}
+	if err := cl.Poll(); err != nil {
+		return nil, err
+	}
 	out := make([]bool, n)
 	parallel.For(n, 0, func(i int) { out[i] = mark[i].Load() == 1 })
-	return out
+	return out, nil
 }

@@ -23,16 +23,20 @@ import (
 // metrics-side value reports the materialized size so the benchmark harness
 // can chart the space blow-up.
 func TarjanVishkinBCC(g *graph.Graph) (core.BCCResult, *core.Metrics, int64) {
-	return TarjanVishkinBCCOpt(g, core.Options{})
+	// Without a ctx in Options the run cannot be canceled.
+	res, met, auxBytes, _ := TarjanVishkinBCCOpt(g, core.Options{})
+	return res, met, auxBytes
 }
 
-// TarjanVishkinBCCOpt is TarjanVishkinBCC with Options plumbing (tracer and
-// metric options only).
-func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics, int64) {
+// TarjanVishkinBCCOpt is TarjanVishkinBCC with Options plumbing (ctx,
+// tracer, and metric options only).
+func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *core.Metrics, int64, error) {
 	if g.Directed {
 		panic("baseline: TarjanVishkinBCC requires an undirected graph")
 	}
 	met := core.NewMetrics(opt, "tv-bcc")
+	cl := core.NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	res := core.BCCResult{
 		ArcLabel: make([]uint32, len(g.Edges)),
@@ -40,7 +44,7 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 	}
 	parallel.Fill(res.ArcLabel, graph.None)
 	if n == 0 {
-		return res, met, 0
+		return res, met, 0, cl.Poll()
 	}
 	tree, _, _ := conn.SpanningForest(g)
 	f := euler.Build(n, tree)
@@ -49,11 +53,16 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 		return f.Parent[u] == w || f.Parent[w] == u
 	}
 
+	// Phase boundary before the edge-linear low/high sweep.
+	if err := cl.Poll(); err != nil {
+		return core.BCCResult{}, met, 0, err
+	}
+
 	// Per-vertex local low/high in preorder position (same definitions as
 	// FAST-BCC).
 	localLow := make([]uint32, n)
 	localHigh := make([]uint32, n)
-	parallel.For(n, 64, func(ui int) {
+	parallel.ForCancel(cl.Token(), n, 64, func(ui int) {
 		u := uint32(ui)
 		lo, hi := f.Pre[u], f.Pre[u]
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
@@ -70,6 +79,11 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 		localLow[f.Pre[u]] = lo
 		localHigh[f.Pre[u]] = hi
 	})
+	// A canceled drain above leaves localLow/localHigh zeroed; the RMQ
+	// tables must not be built from them.
+	if err := cl.Poll(); err != nil {
+		return core.BCCResult{}, met, 0, err
+	}
 	lowR := rmq.NewMin(localLow)
 	highR := rmq.NewMax(localHigh)
 	met.AddEdges(int64(len(g.Edges)))
@@ -81,7 +95,13 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 	//       escapes subtree(p(v))                        -> aux (v, p(v))
 	auxCap := len(g.Edges)/2 + n
 	aux := make([]graph.Edge, 0, auxCap)
+	const tvPollStride = 1 << 16 // sequential loops: poll every 64Ki vertices
 	for u := uint32(0); u < uint32(n); u++ {
+		if u%tvPollStride == 0 {
+			if err := cl.Poll(); err != nil {
+				return core.BCCResult{}, met, 0, err
+			}
+		}
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
 			w := g.Edges[e]
 			if w <= u || isTree(u, w) {
@@ -93,6 +113,11 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 		}
 	}
 	for v := uint32(0); v < uint32(n); v++ {
+		if v%tvPollStride == 0 {
+			if err := cl.Poll(); err != nil {
+				return core.BCCResult{}, met, 0, err
+			}
+		}
 		p := f.Parent[v]
 		if p == graph.None {
 			continue
@@ -108,6 +133,11 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 	auxBytes := int64(len(aux))*12 + int64(len(auxGraph.Edges))*4 + int64(n+1)*8
 
 	labels, _ := conn.Components(auxGraph)
+
+	// Final phase boundary before labeling writes into res.
+	if err := cl.Poll(); err != nil {
+		return core.BCCResult{}, met, 0, err
+	}
 
 	// Arc labels and articulation points, as in FAST-BCC.
 	parallel.For(n, 64, func(ui int) {
@@ -127,7 +157,7 @@ func TarjanVishkinBCCOpt(g *graph.Graph, opt core.Options) (core.BCCResult, *cor
 		}
 	})
 	compactBCCLabels(g, &res)
-	return res, met, auxBytes
+	return res, met, auxBytes, nil
 }
 
 // compactBCCLabels renumbers arc labels to [0, NumBCC) and fills IsArt.

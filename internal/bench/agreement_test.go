@@ -24,7 +24,7 @@ func TestAllImplementationsAgree(t *testing.T) {
 			// BFS: all four implementations agree.
 			want := seq.BFS(g, src)
 			for name, run := range map[string]func() []uint32{
-				"pasgal": func() []uint32 { d, _ := core.BFS(g, src, core.Options{}); return d },
+				"pasgal": func() []uint32 { d, _, _ := core.BFS(g, src, core.Options{}); return d },
 				"gbbs":   func() []uint32 { d, _ := baseline.GBBSBFS(g, src); return d },
 				"gapbs":  func() []uint32 { d, _ := baseline.GAPBSBFS(g, src); return d },
 			} {
@@ -41,7 +41,7 @@ func TestAllImplementationsAgree(t *testing.T) {
 			if g.Directed {
 				wantC, wantN := seq.TarjanSCC(g)
 				for name, run := range map[string]func() ([]uint32, int){
-					"pasgal":   func() ([]uint32, int) { c, n, _ := core.SCC(g, core.Options{}); return c, n },
+					"pasgal":   func() ([]uint32, int) { c, n, _, _ := core.SCC(g, core.Options{}); return c, n },
 					"gbbs":     func() ([]uint32, int) { c, n, _ := baseline.GBBSSCC(g); return c, n },
 					"multi":    func() ([]uint32, int) { c, n, _ := baseline.MultistepSCC(g); return c, n },
 					"kosaraju": func() ([]uint32, int) { return seq.KosarajuSCC(g) },
@@ -60,7 +60,7 @@ func TestAllImplementationsAgree(t *testing.T) {
 			sym := g.Symmetrized()
 			wantB := seq.HopcroftTarjanBCC(sym)
 			for name, run := range map[string]func() core.BCCResult{
-				"pasgal": func() core.BCCResult { r, _ := core.BCC(sym, core.Options{}); return r },
+				"pasgal": func() core.BCCResult { r, _, _ := core.BCC(sym, core.Options{}); return r },
 				"gbbs":   func() core.BCCResult { r, _ := baseline.GBBSBCC(sym); return r },
 				"tv":     func() core.BCCResult { r, _, _ := baseline.TarjanVishkinBCC(sym); return r },
 			} {
@@ -78,11 +78,11 @@ func TestAllImplementationsAgree(t *testing.T) {
 			wantD := seq.Dijkstra(wg, src)
 			for name, run := range map[string]func() []uint64{
 				"rho": func() []uint64 {
-					d, _ := core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
+					d, _, _ := core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
 					return d
 				},
 				"delta": func() []uint64 {
-					d, _ := core.SSSP(wg, src, core.DeltaStepping{Delta: 500}, core.Options{})
+					d, _, _ := core.SSSP(wg, src, core.DeltaStepping{Delta: 500}, core.Options{})
 					return d
 				},
 				"base": func() []uint64 { d, _ := baseline.DeltaSteppingSSSP(wg, src, 500); return d },
@@ -97,7 +97,7 @@ func TestAllImplementationsAgree(t *testing.T) {
 
 			// k-core on the symmetrized graph.
 			wantK, wantDg := seq.KCore(sym)
-			gotK, gotDg, _ := core.KCore(sym, core.Options{})
+			gotK, gotDg, _, _ := core.KCore(sym, core.Options{})
 			if gotDg != wantDg {
 				t.Fatalf("KCore: degeneracy %d, want %d", gotDg, wantDg)
 			}

@@ -113,13 +113,13 @@ func TestDifferentialBFS(t *testing.T) {
 			for _, src := range diffSources(sh.g) {
 				want := seq.BFS(sh.g, src)
 				impls := map[string]func() []uint32{
-					"core": func() []uint32 { d, _ := core.BFS(sh.g, src, core.Options{}); return d },
+					"core": func() []uint32 { d, _, _ := core.BFS(sh.g, src, core.Options{}); return d },
 					"core-novgc": func() []uint32 {
-						d, _ := core.BFS(sh.g, src, core.Options{Tau: 1})
+						d, _, _ := core.BFS(sh.g, src, core.Options{Tau: 1})
 						return d
 					},
 					"core-flat": func() []uint32 {
-						d, _ := core.BFS(sh.g, src, core.Options{DisableHashBag: true})
+						d, _, _ := core.BFS(sh.g, src, core.Options{DisableHashBag: true})
 						return d
 					},
 					"gbbs":  func() []uint32 { d, _ := baseline.GBBSBFS(sh.g, src); return d },
@@ -157,9 +157,9 @@ func TestDifferentialSCC(t *testing.T) {
 				t.Fatalf("sequential oracles disagree: tarjan %d vs kosaraju %d", wantN, kosN)
 			}
 			impls := map[string]func() ([]uint32, int){
-				"core": func() ([]uint32, int) { c, n, _ := core.SCC(sh.g, core.Options{}); return c, n },
+				"core": func() ([]uint32, int) { c, n, _, _ := core.SCC(sh.g, core.Options{}); return c, n },
 				"core-notrim": func() ([]uint32, int) {
-					c, n, _ := core.SCC(sh.g, core.Options{TrimRounds: -1})
+					c, n, _, _ := core.SCC(sh.g, core.Options{TrimRounds: -1})
 					return c, n
 				},
 				"gbbs":      func() ([]uint32, int) { c, n, _ := baseline.GBBSSCC(sh.g); return c, n },
@@ -190,7 +190,7 @@ func TestDifferentialBCC(t *testing.T) {
 			sym := sh.g.Symmetrized()
 			want := seq.HopcroftTarjanBCC(sym)
 			impls := map[string]func() core.BCCResult{
-				"core": func() core.BCCResult { r, _ := core.BCC(sym, core.Options{}); return r },
+				"core": func() core.BCCResult { r, _, _ := core.BCC(sym, core.Options{}); return r },
 				"gbbs": func() core.BCCResult { r, _ := baseline.GBBSBCC(sym); return r },
 				"tv":   func() core.BCCResult { r, _, _ := baseline.TarjanVishkinBCC(sym); return r },
 			}
@@ -228,15 +228,15 @@ func TestDifferentialSSSP(t *testing.T) {
 				}
 				impls := map[string]func() []uint64{
 					"rho": func() []uint64 {
-						d, _ := core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
+						d, _, _ := core.SSSP(wg, src, core.RhoStepping{}, core.Options{})
 						return d
 					},
 					"delta": func() []uint64 {
-						d, _ := core.SSSP(wg, src, core.DeltaStepping{Delta: 512}, core.Options{})
+						d, _, _ := core.SSSP(wg, src, core.DeltaStepping{Delta: 512}, core.Options{})
 						return d
 					},
 					"bf-policy": func() []uint64 {
-						d, _ := core.SSSP(wg, src, core.BellmanFordPolicy{}, core.Options{})
+						d, _, _ := core.SSSP(wg, src, core.BellmanFordPolicy{}, core.Options{})
 						return d
 					},
 					"deltastep": func() []uint64 {

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -27,10 +28,16 @@ type Config struct {
 	// Tracer, when non-nil, is threaded through every timed algorithm run
 	// (PASGAL and baselines) of the table experiments.
 	Tracer *trace.Tracer
+
+	// Ctx, when non-nil, is threaded through every timed algorithm run so a
+	// deadline or SIGINT aborts the sweep instead of hanging the process.
+	// Canceled runs report whatever timing they got; timed() keeps going, so
+	// the caller should check Ctx between experiments.
+	Ctx context.Context
 }
 
 // options returns the core.Options the tables thread into each run.
-func (c Config) options() core.Options { return core.Options{Tracer: c.Tracer} }
+func (c Config) options() core.Options { return core.Options{Ctx: c.Ctx, Tracer: c.Tracer} }
 
 func (c Config) registry() []Spec {
 	specs := Registry()
@@ -204,7 +211,7 @@ func AblationTau(c Config) {
 		for _, tau := range taus {
 			var met *core.Metrics
 			t := timed(c.Reps, func() {
-				_, met = core.BFS(g, src, core.Options{Tau: tau, DisableDirectionOpt: true})
+				_, met, _ = core.BFS(g, src, core.Options{Tau: tau, DisableDirectionOpt: true})
 			})
 			rows = append(rows, []string{name, fmt.Sprintf("%d", tau), fmtTime(t),
 				fmtCount(int(met.Rounds)), fmtCount(int(met.EdgesVisited)),
@@ -225,7 +232,7 @@ func AblationTauSCC(c Config) {
 		for _, tau := range []int{1, 32, 512, 4096} {
 			var met *core.Metrics
 			t := timed(c.Reps, func() {
-				_, _, met = core.SCC(g, core.Options{Tau: tau})
+				_, _, met, _ = core.SCC(g, core.Options{Tau: tau})
 			})
 			rows = append(rows, []string{name, fmt.Sprintf("%d", tau), fmtTime(t),
 				fmtCount(int(met.Rounds)), fmtCount(int(met.EdgesVisited))})
@@ -250,7 +257,7 @@ func AblationBag(c Config) {
 			}
 			var met *core.Metrics
 			t := timed(c.Reps, func() {
-				_, met = core.BFS(g, src, core.Options{DisableHashBag: flat})
+				_, met, _ = core.BFS(g, src, core.Options{DisableHashBag: flat})
 			})
 			rows = append(rows, []string{name, label, fmtTime(t), fmtCount(int(met.Rounds))})
 		}
@@ -274,7 +281,7 @@ func AblationDirOpt(c Config) {
 			}
 			var met *core.Metrics
 			t := timed(c.Reps, func() {
-				_, met = core.BFS(g, src, core.Options{DisableDirectionOpt: off})
+				_, met, _ = core.BFS(g, src, core.Options{DisableDirectionOpt: off})
 			})
 			rows = append(rows, []string{name, label, fmtTime(t), fmtCount(int(met.Rounds)),
 				fmtCount(int(met.BottomUp)), fmtCount(int(met.EdgesVisited))})
@@ -300,7 +307,7 @@ func AblationSSSPPolicy(c Config) {
 		src := PickSource(wg)
 		for i, pol := range policies {
 			var met *core.Metrics
-			t := timed(c.Reps, func() { _, met = core.SSSP(wg, src, pol, core.Options{}) })
+			t := timed(c.Reps, func() { _, met, _ = core.SSSP(wg, src, pol, core.Options{}) })
 			rows = append(rows, []string{name, labels[i], fmtTime(t),
 				fmtCount(int(met.Rounds)), fmtCount(int(met.Phases)),
 				fmtCount(int(met.EdgesVisited))})
@@ -327,7 +334,7 @@ func FrontierGrowth(c Config) {
 		{"tau=1 (no VGC)", core.Options{Tau: 1, DisableDirectionOpt: true, RecordFrontiers: true}},
 		{"tau=512 (VGC)", core.Options{Tau: 512, DisableDirectionOpt: true, RecordFrontiers: true}},
 	} {
-		_, met := core.BFS(g, src, cfg.opt)
+		_, met, _ := core.BFS(g, src, cfg.opt)
 		row := []string{cfg.name}
 		for r := 0; r < 12; r++ {
 			if r < len(met.FrontierSizes) {

@@ -89,7 +89,7 @@ func Fig1Model(c Config) {
 			run  func() *core.Metrics
 		}
 		for _, im := range []impl{
-			{"PASGAL", func() *core.Metrics { _, _, m := core.SCC(g, core.Options{}); return m }},
+			{"PASGAL", func() *core.Metrics { _, _, m, _ := core.SCC(g, core.Options{}); return m }},
 			{"GBBS", func() *core.Metrics { _, _, m := baseline.GBBSSCC(g); return m }},
 			{"Multistep", func() *core.Metrics { _, _, m := baseline.MultistepSCC(g); return m }},
 		} {

@@ -68,11 +68,11 @@ func RunBFSOpt(name, category string, g *graph.Graph, reps int, opt core.Options
 	src := PickSource(g)
 	res := newResult(name, category, g)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BFS(g, src, opt) })
+	res.Times["PASGAL"] = timed(reps, func() { _, met, _ = core.BFS(g, src, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBFSOpt(g, src, opt) })
+	res.Times["GBBS"] = timed(reps, func() { _, met, _ = baseline.GBBSBFSOpt(g, src, opt) })
 	res.Metrics["GBBS"] = met
-	res.Times["GAPBS"] = timed(reps, func() { _, met = baseline.GAPBSBFSOpt(g, src, opt) })
+	res.Times["GAPBS"] = timed(reps, func() { _, met, _ = baseline.GAPBSBFSOpt(g, src, opt) })
 	res.Metrics["GAPBS"] = met
 	res.Times["SeqQueue*"] = timed(reps, func() { seq.BFS(g, src) })
 	return res
@@ -90,11 +90,11 @@ func RunSCC(name, category string, g *graph.Graph, reps int) Result {
 func RunSCCOpt(name, category string, g *graph.Graph, reps int, opt core.Options) Result {
 	res := newResult(name, category, g)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, _, met = core.SCC(g, opt) })
+	res.Times["PASGAL"] = timed(reps, func() { _, _, met, _ = core.SCC(g, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, _, met = baseline.GBBSSCCOpt(g, opt) })
+	res.Times["GBBS"] = timed(reps, func() { _, _, met, _ = baseline.GBBSSCCOpt(g, opt) })
 	res.Metrics["GBBS"] = met
-	res.Times["Multistep"] = timed(reps, func() { _, _, met = baseline.MultistepSCCOpt(g, opt) })
+	res.Times["Multistep"] = timed(reps, func() { _, _, met, _ = baseline.MultistepSCCOpt(g, opt) })
 	res.Metrics["Multistep"] = met
 	res.Times["Tarjan*"] = timed(reps, func() { seq.TarjanSCC(g) })
 	return res
@@ -114,12 +114,12 @@ func RunBCCOpt(name, category string, g *graph.Graph, reps int, opt core.Options
 	sym := g.Symmetrized()
 	res := newResult(name, category, sym)
 	var met *core.Metrics
-	res.Times["PASGAL"] = timed(reps, func() { _, met = core.BCC(sym, opt) })
+	res.Times["PASGAL"] = timed(reps, func() { _, met, _ = core.BCC(sym, opt) })
 	res.Metrics["PASGAL"] = met
-	res.Times["GBBS"] = timed(reps, func() { _, met = baseline.GBBSBCCOpt(sym, opt) })
+	res.Times["GBBS"] = timed(reps, func() { _, met, _ = baseline.GBBSBCCOpt(sym, opt) })
 	res.Metrics["GBBS"] = met
 	var auxBytes int64
-	res.Times["TV"] = timed(reps, func() { _, met, auxBytes = baseline.TarjanVishkinBCCOpt(sym, opt) })
+	res.Times["TV"] = timed(reps, func() { _, met, auxBytes, _ = baseline.TarjanVishkinBCCOpt(sym, opt) })
 	res.Metrics["TV"] = met
 	res.Extra["TV aux"] = byteSize(auxBytes)
 	res.Times["HopcroftTarjan*"] = timed(reps, func() { seq.HopcroftTarjanBCC(sym) })
@@ -143,19 +143,19 @@ func RunSSSPOpt(name, category string, g *graph.Graph, reps int, opt core.Option
 	res := newResult(name, category, wg)
 	var met *core.Metrics
 	res.Times["PASGAL-rho"] = timed(reps, func() {
-		_, met = core.SSSP(wg, src, core.RhoStepping{}, opt)
+		_, met, _ = core.SSSP(wg, src, core.RhoStepping{}, opt)
 	})
 	res.Metrics["PASGAL-rho"] = met
 	res.Times["PASGAL-delta"] = timed(reps, func() {
-		_, met = core.SSSP(wg, src, core.DeltaStepping{Delta: 1 << 15}, opt)
+		_, met, _ = core.SSSP(wg, src, core.DeltaStepping{Delta: 1 << 15}, opt)
 	})
 	res.Metrics["PASGAL-delta"] = met
 	res.Times["DeltaStep"] = timed(reps, func() {
-		_, met = baseline.DeltaSteppingSSSPOpt(wg, src, 1<<15, opt)
+		_, met, _ = baseline.DeltaSteppingSSSPOpt(wg, src, 1<<15, opt)
 	})
 	res.Metrics["DeltaStep"] = met
 	res.Times["GBBS-BF"] = timed(reps, func() {
-		_, met = baseline.GBBSBellmanFordSSSPOpt(wg, src, opt)
+		_, met, _ = baseline.GBBSBellmanFordSSSPOpt(wg, src, opt)
 	})
 	res.Metrics["GBBS-BF"] = met
 	res.Times["Dijkstra*"] = timed(reps, func() { seq.Dijkstra(wg, src) })

@@ -52,7 +52,7 @@ func TestStressDifferential(t *testing.T) {
 		// BFS family.
 		want := seq.BFS(g, src)
 		for name, got := range map[string][]uint32{
-			"core":  first2(core.BFS(g, src, opt)),
+			"core":  first3(core.BFS(g, src, opt)),
 			"gbbs":  first2(baseline.GBBSBFS(g, src)),
 			"gapbs": first2(baseline.GAPBSBFS(g, src)),
 		} {
@@ -65,19 +65,19 @@ func TestStressDifferential(t *testing.T) {
 		}
 		// SCC family (count check; partition checked in non-stress tests).
 		_, wantN := seq.TarjanSCC(g)
-		if _, gotN, _ := core.SCC(g, opt); gotN != wantN {
+		if _, gotN, _, _ := core.SCC(g, opt); gotN != wantN {
 			t.Fatalf("iter %d seed %x: SCC count %d want %d", it, seed, gotN, wantN)
 		}
 		// BCC on the symmetrized graph.
 		sym := g.Symmetrized()
 		wantB := seq.HopcroftTarjanBCC(sym)
-		if res, _ := core.BCC(sym, opt); res.NumBCC != wantB.NumBCC {
+		if res, _, _ := core.BCC(sym, opt); res.NumBCC != wantB.NumBCC {
 			t.Fatalf("iter %d seed %x: BCC %d want %d", it, seed, res.NumBCC, wantB.NumBCC)
 		}
 		// SSSP.
 		wg := gen.AddUniformWeights(g, 1, 1+uint32(rng.IntN(1<<16)), seed^1)
 		wantD := seq.Dijkstra(wg, src)
-		gotD, _ := core.SSSP(wg, src, core.RhoStepping{Rho: 1 + rng.IntN(4096)}, opt)
+		gotD, _, _ := core.SSSP(wg, src, core.RhoStepping{Rho: 1 + rng.IntN(4096)}, opt)
 		for v := range wantD {
 			if gotD[v] != wantD[v] {
 				t.Fatalf("iter %d seed %x: SSSP dist[%d]=%d want %d",
@@ -91,3 +91,5 @@ func TestStressDifferential(t *testing.T) {
 }
 
 func first2[A, B any](a A, _ B) A { return a }
+
+func first3[A, B, C any](a A, _ B, _ C) A { return a }

@@ -43,13 +43,17 @@ type BCCResult struct {
 // Work O(n+m), polylogarithmic span, O(n) auxiliary space — no Θ(D)
 // synchronization chains and no Θ(m) auxiliary graph, the two failure modes
 // of GBBS-style and Tarjan–Vishkin-style biconnectivity respectively.
-func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
+// A non-nil opt.Ctx makes the run cancellable: on cancellation BCC
+// returns (zero BCCResult, partial Metrics, ErrCanceled/ErrDeadline).
+func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics, error) {
 	if g.Directed {
 		panic("core: BCC requires an undirected graph (symmetrize first)")
 	}
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "bcc")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	res := BCCResult{
 		ArcLabel: make([]uint32, len(g.Edges)),
@@ -57,36 +61,52 @@ func BCC(g *graph.Graph, opt Options) (BCCResult, *Metrics) {
 	}
 	parallel.Fill(res.ArcLabel, graph.None)
 	if n == 0 {
-		return res, met
+		return res, met, cl.Poll()
+	}
+	if err := cl.Poll(); err != nil {
+		return BCCResult{}, met, err
 	}
 
 	// (1) + (2): rooted spanning forest, no BFS.
 	tree, _, _ := conn.SpanningForest(g)
 	f := euler.Build(n, tree)
 	met.SetPhases(2)
-	labelFromForest(g, f, &res, met)
-	return res, met
+	if err := labelFromForest(g, f, &res, met, cl); err != nil {
+		return BCCResult{}, met, err
+	}
+	return res, met, nil
 }
 
 // BCCFromForest runs FAST-BCC's labeling stages (low/high, fence
 // classification, skeleton connectivity) on top of an already-rooted
 // spanning forest of g. The GBBS-style baseline uses it with a BFS-built
 // forest; BCC itself uses a union-find forest. The forest must span g.
-func BCCFromForest(g *graph.Graph, f *euler.Forest) (BCCResult, *Metrics) {
-	met := &Metrics{}
+// opt contributes the cancellation context (opt.Ctx) and observability
+// (opt.Tracer / opt.TraceScheduler); the labeling stages have no
+// VGC/frontier tunables.
+func BCCFromForest(g *graph.Graph, f *euler.Forest, opt Options) (BCCResult, *Metrics, error) {
+	defer attachRuntimeTracer(opt)()
+	met := NewMetrics(opt, "bcc")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	res := BCCResult{
 		ArcLabel: make([]uint32, len(g.Edges)),
 		IsArt:    make([]bool, g.N),
 	}
 	parallel.Fill(res.ArcLabel, graph.None)
 	if g.N == 0 {
-		return res, met
+		return res, met, cl.Poll()
 	}
-	labelFromForest(g, f, &res, met)
-	return res, met
+	if err := labelFromForest(g, f, &res, met, cl); err != nil {
+		return BCCResult{}, met, err
+	}
+	return res, met, nil
 }
 
-func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metrics) {
+// labelFromForest runs stages (3)-(5) plus label compaction, polling cl
+// at every stage boundary (each stage is a handful of flat parallel
+// passes; the passes themselves drain through cl's token).
+func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metrics, cl *Canceler) error {
 	n := g.N
 
 	// isTree marks arcs that realize a parent/child relation.
@@ -98,7 +118,7 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 	// own preorder plus the preorders of its non-tree neighbors.
 	localLow := make([]uint32, n)
 	localHigh := make([]uint32, n)
-	parallel.For(n, 64, func(ui int) {
+	parallel.ForCancel(cl.Token(), n, 64, func(ui int) {
 		u := uint32(ui)
 		lo := f.Pre[u]
 		hi := f.Pre[u]
@@ -118,13 +138,16 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 		localLow[f.Pre[u]] = lo
 		localHigh[f.Pre[u]] = hi
 	})
+	if err := cl.Poll(); err != nil {
+		return err
+	}
 	lowR := rmq.NewMin(localLow)
 	highR := rmq.NewMax(localHigh)
 	met.AddEdges(int64(len(g.Edges)))
 
 	// (4) fence test per non-root vertex, against the parent's interval.
 	fence := make([]bool, n)
-	parallel.For(n, 256, func(vi int) {
+	parallel.ForCancel(cl.Token(), n, 256, func(vi int) {
 		v := uint32(vi)
 		p := f.Parent[v]
 		if p == graph.None {
@@ -137,8 +160,11 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 
 	// (5) skeleton connectivity: unrelated non-tree edges + non-fence tree
 	// edges. Ancestor back edges are already accounted for by low/high.
+	if err := cl.Poll(); err != nil {
+		return err
+	}
 	uf := conn.NewUnionFind(n)
-	parallel.For(n, 64, func(ui int) {
+	parallel.ForCancel(cl.Token(), n, 64, func(ui int) {
 		u := uint32(ui)
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
 			w := g.Edges[e]
@@ -161,7 +187,10 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 	// -> skeleton component of its deeper endpoint (for unrelated
 	// endpoints the components coincide). Component ids are skeleton
 	// roots, compacted afterwards.
-	parallel.For(n, 64, func(ui int) {
+	if err := cl.Poll(); err != nil {
+		return err
+	}
+	parallel.ForCancel(cl.Token(), n, 64, func(ui int) {
 		u := uint32(ui)
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
 			w := g.Edges[e]
@@ -179,7 +208,11 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 	})
 
 	// Compact labels to [0, NumBCC) and detect articulation points
-	// (vertices incident to >= 2 distinct BCCs).
+	// (vertices incident to >= 2 distinct BCCs). The compaction reads
+	// every arc label, so a canceled labeling pass must surface first.
+	if err := cl.Poll(); err != nil {
+		return err
+	}
 	labelUsed := make([]atomic.Uint32, n)
 	parallel.ForRange(len(res.ArcLabel), 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -213,4 +246,5 @@ func labelFromForest(g *graph.Graph, f *euler.Forest, res *BCCResult, met *Metri
 			}
 		}
 	})
+	return cl.Poll()
 }

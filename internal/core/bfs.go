@@ -26,16 +26,21 @@ import (
 // Unlike textbook BFS a vertex can be visited more than once (a local
 // search may install a distance that a later relaxation improves) — that is
 // the extra work VGC knowingly trades for fewer synchronizations.
-func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation BFS returns
+// (nil, partial Metrics, ErrCanceled/ErrDeadline).
+func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "bfs")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
 	out := make([]uint32, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	tau := opt.tau()
 	// Ring capacity: a local search from the window's deepest extracted
@@ -67,6 +72,13 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 
 	cur := 0
 	for pending.Load() > 0 {
+		// Round boundary: a canceled round may have drained chunks without
+		// inserting their discoveries, so the pending count (and the bucket
+		// ring invariant below) no longer mean anything — stop before
+		// touching them.
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		// Advance to the first non-empty bucket; all pending distances lie
 		// in [cur+1, cur+nBags) whenever bucket cur is empty, so the scan
 		// is bounded and never misses work.
@@ -114,7 +126,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 			// past the cap is re-relaxed when its capped in-neighbor's
 			// bucket is processed, so nothing is lost.
 			maxIns := uint32(cur + nBags - 1)
-			parallel.ForRange(n, 0, func(lo, hi int) {
+			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
 				var local int64
 				for vi := lo; vi < hi; vi++ {
 					v := uint32(vi)
@@ -147,7 +159,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 		// final and redundant re-relaxation is rare (a LIFO local search
 		// would chase depth-first chains of inflated distances and repair
 		// them over and over).
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -196,8 +208,14 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics) {
 		})
 	}
 
+	// Final check before materializing: a cancellation during the last
+	// round can empty the pending count without completing the work, so
+	// only a clean Poll here lets the result be claimed complete.
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }
 
 // frontierSet is the rotating set of distance-indexed frontiers: hash bags

@@ -17,10 +17,12 @@ import (
 // Unlike BFS, BFSTree runs purely top-down (a bottom-up round would have
 // to synthesize parents for repaired distances); prefer BFS when only
 // distances are needed on low-diameter graphs.
-func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []uint32, met *Metrics) {
+func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []uint32, met *Metrics, err error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met = NewMetrics(opt, "bfs-tree")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist = make([]uint32, n)
 	parent = make([]uint32, n)
@@ -29,7 +31,7 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 		parent[i] = graph.None
 	})
 	if n == 0 {
-		return dist, parent, met
+		return dist, parent, met, cl.Poll()
 	}
 	tau := opt.tau()
 	nBags := 2*tau + 4
@@ -53,6 +55,11 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 	const windowGrowCut = 2048
 	cur := 0
 	for pending.Load() > 0 {
+		// Round boundary: after a canceled round the pending count and the
+		// bucket ring invariant are meaningless; stop before scanning.
+		if perr := cl.Poll(); perr != nil {
+			return nil, nil, met, perr
+		}
 		for fr.len(cur) == 0 {
 			cur++
 		}
@@ -75,7 +82,7 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 		} else if window > 1 {
 			window /= 2
 		}
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -120,6 +127,10 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 			met.AddEdges(edgeCount)
 		})
 	}
+	// Final check before materializing (see BFS).
+	if perr := cl.Poll(); perr != nil {
+		return nil, nil, met, perr
+	}
 	parallel.For(n, 0, func(i int) {
 		s := state[i].Load()
 		if s != infPacked {
@@ -128,5 +139,5 @@ func BFSTree(g *graph.Graph, src uint32, opt Options) (dist []uint32, parent []u
 		}
 	})
 	parent[src] = graph.None
-	return dist, parent, met
+	return dist, parent, met, nil
 }

@@ -15,7 +15,7 @@ func TestBFSTreeInvariants(t *testing.T) {
 				if oname == "nodiropt" {
 					continue // BFSTree has no direction optimization
 				}
-				dist, parent, _ := BFSTree(g, 0, opt)
+				dist, parent, _, _ := BFSTree(g, 0, opt)
 				for v := range want {
 					if dist[v] != want[v] {
 						t.Fatalf("%s/%s: dist[%d] = %d, want %d",
@@ -50,7 +50,7 @@ func TestBFSTreePathToSource(t *testing.T) {
 	// Walking parents from any reached vertex must arrive at the source in
 	// exactly dist[v] hops.
 	g := testGraphs(true)["weblike"]
-	dist, parent, _ := BFSTree(g, 0, Options{})
+	dist, parent, _, _ := BFSTree(g, 0, Options{})
 	for v := uint32(0); v < uint32(g.N); v += 97 {
 		if dist[v] == graph.InfDist {
 			continue

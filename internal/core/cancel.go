@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"pasgal/internal/parallel"
+)
+
+// ErrCanceled is returned when a run stops because Options.Ctx was
+// canceled. Test with errors.Is; the returned error additionally wraps a
+// non-standard cancellation cause when the context carries one.
+var ErrCanceled = errors.New("pasgal: run canceled")
+
+// ErrDeadline is returned when a run stops because Options.Ctx's deadline
+// passed. Test with errors.Is.
+var ErrDeadline = errors.New("pasgal: deadline exceeded")
+
+// Canceler binds one algorithm run to its Options.Ctx. It owns the
+// parallel.Cancel token the run's loops poll at chunk-claim boundaries,
+// and translates the context's done signal into that token via
+// context.AfterFunc — no watcher goroutine, nothing to leak.
+//
+// The nil *Canceler (what NewCanceler returns for a nil Ctx) is the
+// "cancellation disabled" representation: Poll always returns nil and
+// Token returns the nil token, so drivers thread it unconditionally.
+//
+// Lifecycle at every driver entry point:
+//
+//	cl := NewCanceler(opt, met)
+//	defer cl.Close()
+//	...
+//	if err := cl.Poll(); err != nil { return <zero>, met, err }
+//
+// Poll must run at every round/phase boundary AND once more after the
+// main loop, before results are materialized: a cancellation that fires
+// mid-round makes the chunk drain skip frontier inserts, so the loop can
+// terminate looking "converged" while the result is silently partial.
+// Only the final Poll distinguishes the two.
+type Canceler struct {
+	ctx  context.Context
+	tok  *parallel.Cancel
+	stop func() bool
+	met  *Metrics
+	seen atomic.Bool // cancel trace event emitted
+}
+
+// NewCanceler returns the run's Canceler, or nil when opt.Ctx is nil.
+// A context that is already done is detected synchronously, so a
+// pre-canceled Ctx deterministically fails the driver's first Poll.
+// met (may be nil) supplies the rounds-completed count for the trace
+// cancel event, which is emitted through opt.Tracer.
+func NewCanceler(opt Options, met *Metrics) *Canceler {
+	if opt.Ctx == nil {
+		return nil
+	}
+	c := &Canceler{ctx: opt.Ctx, tok: parallel.NewCancel(), met: met}
+	if err := opt.Ctx.Err(); err != nil {
+		// Already done: fire now rather than waiting for AfterFunc's
+		// asynchronous delivery.
+		c.tok.Fire(context.Cause(opt.Ctx))
+		return c
+	}
+	tok := c.tok
+	ctx := opt.Ctx
+	c.stop = context.AfterFunc(ctx, func() {
+		tok.Fire(context.Cause(ctx))
+	})
+	return c
+}
+
+// Token returns the parallel.Cancel token to pass into ForRangeCancel /
+// ForCancel for this run's loops (nil on a nil Canceler — which those
+// entry points accept as "never cancels").
+func (c *Canceler) Token() *parallel.Cancel {
+	if c == nil {
+		return nil
+	}
+	return c.tok
+}
+
+// Poll is the round/phase-boundary check: it returns nil while the run
+// may continue, and the typed error (ErrCanceled or ErrDeadline, wrapping
+// any custom cause) once the context is done or the token has fired. The
+// first failing Poll emits the trace cancel event with the rounds
+// completed so far.
+func (c *Canceler) Poll() error {
+	if c == nil {
+		return nil
+	}
+	if !c.tok.Canceled() && c.ctx.Err() == nil {
+		return nil
+	}
+	// The direct ctx.Err check above makes cancellation visible even if
+	// AfterFunc has not delivered yet; latch the token so in-flight loops
+	// stop too.
+	c.tok.Fire(context.Cause(c.ctx))
+	if c.seen.CompareAndSwap(false, true) && c.met != nil {
+		c.met.tracer.Cancel(c.met.algo, atomic.LoadInt64(&c.met.Rounds))
+	}
+	return c.err()
+}
+
+// Close releases the context→token binding. Always defer it: without the
+// stop call, a long-lived Ctx would accumulate one AfterFunc registration
+// per run.
+func (c *Canceler) Close() {
+	if c == nil || c.stop == nil {
+		return
+	}
+	c.stop()
+}
+
+// err maps the context state to the typed sentinel, attaching a custom
+// cancellation cause when one was set via context.WithCancelCause.
+func (c *Canceler) err() error {
+	cause := context.Cause(c.ctx)
+	if cause == nil {
+		cause = c.tok.Cause()
+	}
+	kind := ErrCanceled
+	if errors.Is(c.ctx.Err(), context.DeadlineExceeded) || errors.Is(cause, context.DeadlineExceeded) {
+		kind = ErrDeadline
+	}
+	if cause == nil || errors.Is(cause, context.Canceled) ||
+		errors.Is(cause, context.DeadlineExceeded) {
+		return kind
+	}
+	return fmt.Errorf("%w: %w", kind, cause)
+}

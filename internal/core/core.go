@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 
@@ -43,6 +44,14 @@ const DefaultTrimRounds = 2
 
 // Options tunes the PASGAL algorithms. The zero value selects defaults.
 type Options struct {
+	// Ctx, when non-nil, makes the run cancellable: every algorithm polls
+	// it at round/phase boundaries (and the parallel runtime at chunk-claim
+	// boundaries) and returns ErrCanceled or ErrDeadline — with the Metrics
+	// accumulated so far, but never a partial result — once it is done.
+	// nil means the run cannot be interrupted, and polling costs one nil
+	// test. See docs/ROBUSTNESS.md for the cancellation contract.
+	Ctx context.Context
+
 	// Tau is the VGC local-search budget in edges; <= 0 selects
 	// DefaultTau. Tau = 1 effectively disables VGC (every discovered
 	// vertex goes back through the shared frontier), which is what the

@@ -52,7 +52,7 @@ func TestBFSMatchesSequential(t *testing.T) {
 		for name, g := range testGraphs(directed) {
 			want := seq.BFS(g, 0)
 			for oname, opt := range optionMatrix() {
-				got, met := BFS(g, 0, opt)
+				got, met, _ := BFS(g, 0, opt)
 				for v := range want {
 					if got[v] != want[v] {
 						t.Fatalf("%s/%s directed=%v: dist[%d] = %d, want %d",
@@ -73,7 +73,7 @@ func TestBFSFromRandomSources(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		src := uint32(rng.IntN(g.N))
 		want := seq.BFS(g, src)
-		got, _ := BFS(g, src, Options{})
+		got, _, _ := BFS(g, src, Options{})
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("src=%d: dist[%d] = %d, want %d", src, v, got[v], want[v])
@@ -86,8 +86,8 @@ func TestBFSFromRandomSources(t *testing.T) {
 // length L takes L rounds level-synchronously but ~L/tau with VGC.
 func TestBFSVGCReducesRounds(t *testing.T) {
 	g := gen.Chain(20000, false)
-	_, metVGC := BFS(g, 0, Options{Tau: 512, DisableDirectionOpt: true})
-	_, metNo := BFS(g, 0, Options{Tau: 1, DisableDirectionOpt: true})
+	_, metVGC, _ := BFS(g, 0, Options{Tau: 512, DisableDirectionOpt: true})
+	_, metNo, _ := BFS(g, 0, Options{Tau: 1, DisableDirectionOpt: true})
 	if metVGC.Rounds*10 >= metNo.Rounds {
 		t.Fatalf("VGC rounds %d not far below no-VGC rounds %d",
 			metVGC.Rounds, metNo.Rounds)
@@ -99,7 +99,7 @@ func TestBFSVGCReducesRounds(t *testing.T) {
 
 func TestBFSDirectionOptTriggers(t *testing.T) {
 	g := gen.SocialRMAT(12, 16, false, 11)
-	_, met := BFS(g, 0, Options{DenseFrac: 0.01})
+	_, met, _ := BFS(g, 0, Options{DenseFrac: 0.01})
 	if met.BottomUp == 0 {
 		t.Fatal("expected at least one bottom-up round on a dense social graph")
 	}
@@ -133,7 +133,7 @@ func TestSCCMatchesTarjan(t *testing.T) {
 			if oname == "nodiropt" {
 				continue // not applicable to SCC
 			}
-			labels, count, _ := SCC(g, opt)
+			labels, count, _, _ := SCC(g, opt)
 			sccPartitionsEqual(t, name+"/"+oname, g, labels, count)
 		}
 	}
@@ -144,20 +144,20 @@ func TestSCCRandomDigraphs(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		n := 1 + rng.IntN(300)
 		g := gen.ER(n, rng.IntN(4*n+1), true, uint64(500+trial))
-		labels, count, _ := SCC(g, Options{Tau: 1 + rng.IntN(64)})
+		labels, count, _, _ := SCC(g, Options{Tau: 1 + rng.IntN(64)})
 		sccPartitionsEqual(t, "random", g, labels, count)
 	}
 }
 
 func TestSCCTrimDisabled(t *testing.T) {
 	g := gen.WebLike(3000, 6, 0.3, 40, 12)
-	labels, count, _ := SCC(g, Options{TrimRounds: -1})
+	labels, count, _, _ := SCC(g, Options{TrimRounds: -1})
 	sccPartitionsEqual(t, "notrim", g, labels, count)
 }
 
 func TestSCCLabelsAreRepresentatives(t *testing.T) {
 	g := gen.SocialRMAT(10, 8, true, 13)
-	labels, _, _ := SCC(g, Options{})
+	labels, _, _, _ := SCC(g, Options{})
 	for v, l := range labels {
 		if labels[l] != l {
 			t.Fatalf("label of %d is %d, which has label %d", v, l, labels[l])
@@ -202,7 +202,7 @@ func bccEquivalent(t *testing.T, name string, g *graph.Graph, got BCCResult) {
 
 func TestBCCMatchesHopcroftTarjan(t *testing.T) {
 	for name, g := range testGraphs(false) {
-		got, _ := BCC(g, Options{})
+		got, _, _ := BCC(g, Options{})
 		bccEquivalent(t, name, g, got)
 	}
 }
@@ -212,7 +212,7 @@ func TestBCCRandomGraphs(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		n := 1 + rng.IntN(250)
 		g := gen.ER(n, rng.IntN(3*n+1), false, uint64(900+trial))
-		got, _ := BCC(g, Options{})
+		got, _, _ := BCC(g, Options{})
 		bccEquivalent(t, "random", g, got)
 	}
 }
@@ -220,7 +220,7 @@ func TestBCCRandomGraphs(t *testing.T) {
 func TestBCCOnSymmetrizedDirected(t *testing.T) {
 	// The paper symmetrizes directed graphs for BCC.
 	g := gen.WebLike(3000, 6, 0.25, 40, 14).Symmetrized()
-	got, _ := BCC(g, Options{})
+	got, _, _ := BCC(g, Options{})
 	bccEquivalent(t, "weblike-sym", g, got)
 }
 
@@ -234,7 +234,7 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 			wg := gen.AddUniformWeights(g, 1, 100, 21)
 			want := seq.Dijkstra(wg, 0)
 			for _, pol := range policies {
-				got, _ := SSSP(wg, 0, pol, Options{})
+				got, _, _ := SSSP(wg, 0, pol, Options{})
 				pname := "default"
 				if pol != nil {
 					pname = pol.Name()
@@ -253,7 +253,7 @@ func TestSSSPMatchesDijkstra(t *testing.T) {
 func TestSSSPSmallTau(t *testing.T) {
 	g := gen.AddUniformWeights(gen.SampledGrid(40, 40, 0.85, false, 22), 1, 20, 23)
 	want := seq.Dijkstra(g, 5)
-	got, _ := SSSP(g, 5, RhoStepping{Rho: 16}, Options{Tau: 4})
+	got, _, _ := SSSP(g, 5, RhoStepping{Rho: 16}, Options{Tau: 4})
 	for v := range want {
 		if got[v] != want[v] {
 			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
@@ -265,7 +265,7 @@ func TestSSSPZeroWeights(t *testing.T) {
 	// Zero-weight edges are legal (uint32 weights, no negative cycles).
 	g := gen.AddUniformWeights(gen.ER(400, 1600, true, 24), 0, 5, 25)
 	want := seq.Dijkstra(g, 0)
-	got, _ := SSSP(g, 0, nil, Options{})
+	got, _, _ := SSSP(g, 0, nil, Options{})
 	for v := range want {
 		if got[v] != want[v] {
 			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
@@ -279,8 +279,8 @@ func TestSSSPZeroWeights(t *testing.T) {
 func TestRecordFrontiersAndGrowth(t *testing.T) {
 	g := gen.Grid2D(30, 1000, false, 77)
 	src := uint32(0)
-	_, metNo := BFS(g, src, Options{Tau: 1, DisableDirectionOpt: true, RecordFrontiers: true})
-	_, metVGC := BFS(g, src, Options{Tau: 512, DisableDirectionOpt: true, RecordFrontiers: true})
+	_, metNo, _ := BFS(g, src, Options{Tau: 1, DisableDirectionOpt: true, RecordFrontiers: true})
+	_, metVGC, _ := BFS(g, src, Options{Tau: 512, DisableDirectionOpt: true, RecordFrontiers: true})
 	if int64(len(metNo.FrontierSizes)) != metNo.Rounds ||
 		int64(len(metVGC.FrontierSizes)) != metVGC.Rounds {
 		t.Fatal("FrontierSizes length != Rounds")
@@ -300,7 +300,7 @@ func TestRecordFrontiersAndGrowth(t *testing.T) {
 			metNo.FrontierSizes[:min(10, len(metNo.FrontierSizes))])
 	}
 	// Recording off => no series.
-	_, metOff := BFS(g, src, Options{})
+	_, metOff, _ := BFS(g, src, Options{})
 	if metOff.FrontierSizes != nil {
 		t.Fatal("FrontierSizes recorded without the option")
 	}
@@ -310,12 +310,12 @@ func TestRecordFrontiersAndGrowth(t *testing.T) {
 
 func TestMetricsPopulated(t *testing.T) {
 	g := gen.Grid2D(60, 60, false, 31)
-	_, met := BFS(g, 0, Options{})
+	_, met, _ := BFS(g, 0, Options{})
 	if met.EdgesVisited == 0 || met.VerticesTaken == 0 || met.MaxFrontier == 0 {
 		t.Fatalf("BFS metrics empty: %+v", met)
 	}
 	dg := gen.SocialRMAT(10, 8, true, 32)
-	_, _, met = SCC(dg, Options{})
+	_, _, met, _ = SCC(dg, Options{})
 	if met.Phases == 0 {
 		t.Fatalf("SCC metrics empty: %+v", met)
 	}
@@ -325,9 +325,9 @@ func TestBFSDenseFracExtremes(t *testing.T) {
 	g := gen.SocialRMAT(11, 10, false, 55)
 	want := seq.BFS(g, 0)
 	// Tiny DenseFrac: nearly every round goes bottom-up.
-	gotLow, metLow := BFS(g, 0, Options{DenseFrac: 1e-9})
+	gotLow, metLow, _ := BFS(g, 0, Options{DenseFrac: 1e-9})
 	// DenseFrac ~1: bottom-up never triggers.
-	gotHigh, metHigh := BFS(g, 0, Options{DenseFrac: 0.999999})
+	gotHigh, metHigh, _ := BFS(g, 0, Options{DenseFrac: 0.999999})
 	for v := range want {
 		if gotLow[v] != want[v] || gotHigh[v] != want[v] {
 			t.Fatalf("dist[%d] mismatch under DenseFrac extremes", v)

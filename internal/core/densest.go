@@ -9,9 +9,12 @@ import (
 // edges (edges whose removal disconnects their component). A bridge is
 // exactly a biconnected component of size one edge, so this is a direct
 // corollary of FAST-BCC.
-func Bridges(g *graph.Graph, opt Options) ([]bool, int, *Metrics) {
+func Bridges(g *graph.Graph, opt Options) ([]bool, int, *Metrics, error) {
 	defer attachRuntimeTracer(opt)()
-	res, met := BCC(g, opt)
+	res, met, err := BCC(g, opt)
+	if err != nil {
+		return nil, 0, met, err
+	}
 	// Count arcs per BCC label; label with exactly 2 arcs = bridge.
 	counts := make([]int64, res.NumBCC)
 	for _, l := range res.ArcLabel {
@@ -33,7 +36,7 @@ func Bridges(g *graph.Graph, opt Options) ([]bool, int, *Metrics) {
 			nBridges++
 		}
 	}
-	return out, nBridges, met
+	return out, nBridges, met, nil
 }
 
 // DensestSubgraph returns Charikar's greedy-peeling 2-approximation of the
@@ -50,14 +53,17 @@ func Bridges(g *graph.Graph, opt Options) ([]bool, int, *Metrics) {
 // densest prefix of the peeling order is a union of core levels' prefixes
 // — we evaluate every core level and pick the best, which includes the
 // maximum-coreness core achieving >= OPT/2.
-func DensestSubgraph(g *graph.Graph, opt Options) ([]uint32, float64, *Metrics) {
+func DensestSubgraph(g *graph.Graph, opt Options) ([]uint32, float64, *Metrics, error) {
 	if g.Directed {
 		panic("core: DensestSubgraph requires an undirected graph")
 	}
 	defer attachRuntimeTracer(opt)()
-	core, degeneracy, met := KCore(g, opt)
+	core, degeneracy, met, err := KCore(g, opt)
+	if err != nil {
+		return nil, 0, met, err
+	}
 	if g.N == 0 {
-		return nil, 0, met
+		return nil, 0, met, nil
 	}
 	// For each core level k, the k-core is {v : core[v] >= k}. Compute
 	// vertex and edge counts per level with suffix sums.
@@ -93,5 +99,5 @@ func DensestSubgraph(g *graph.Graph, opt Options) ([]uint32, float64, *Metrics) 
 		}
 	}
 	verts := parallel.PackIndex(g.N, func(v int) bool { return core[v] >= uint32(bestK) })
-	return verts, bestDensity, met
+	return verts, bestDensity, met, nil
 }

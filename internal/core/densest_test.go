@@ -12,7 +12,7 @@ import (
 func TestBridgesKnownCases(t *testing.T) {
 	// Path: every edge is a bridge.
 	g := gen.Chain(10, false)
-	flags, count, _ := Bridges(g, Options{})
+	flags, count, _, _ := Bridges(g, Options{})
 	if count != 9 {
 		t.Fatalf("path bridges = %d", count)
 	}
@@ -22,7 +22,7 @@ func TestBridgesKnownCases(t *testing.T) {
 		}
 	}
 	// Cycle: no bridges.
-	_, count, _ = Bridges(gen.Cycle(10, false), Options{})
+	_, count, _, _ = Bridges(gen.Cycle(10, false), Options{})
 	if count != 0 {
 		t.Fatalf("cycle bridges = %d", count)
 	}
@@ -33,7 +33,7 @@ func TestBridgesKnownCases(t *testing.T) {
 		{U: 2, V: 3},
 	}
 	bg := graph.FromEdges(6, edges, false, graph.BuildOptions{})
-	flags, count, _ = Bridges(bg, Options{})
+	flags, count, _, _ = Bridges(bg, Options{})
 	if count != 1 {
 		t.Fatalf("barbell bridges = %d", count)
 	}
@@ -50,7 +50,7 @@ func TestBridgesSemantics(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		n := 5 + rng.IntN(60)
 		g := gen.ER(n, rng.IntN(2*n)+1, false, uint64(trial))
-		flags, _, _ := Bridges(g, Options{})
+		flags, _, _, _ := Bridges(g, Options{})
 		_, baseCount := seq.TarjanSCC(g.Symmetrized().Transpose()) // reuse: comps via SCC of sym graph
 		_ = baseCount
 		comps := countComps(g, graph.None, graph.None)
@@ -113,7 +113,7 @@ func TestDensestSubgraphKnownCases(t *testing.T) {
 		edges = append(edges, graph.Edge{U: i - 1, V: i})
 	}
 	g := graph.FromEdges(30, edges, false, graph.BuildOptions{})
-	verts, density, _ := DensestSubgraph(g, Options{})
+	verts, density, _, _ := DensestSubgraph(g, Options{})
 	if len(verts) != 5 {
 		t.Fatalf("densest has %d vertices, want the K5", len(verts))
 	}
@@ -126,7 +126,7 @@ func TestDensestSubgraphKnownCases(t *testing.T) {
 		t.Fatalf("density = %v, want 2", density)
 	}
 	// Empty graph.
-	verts, density, _ = DensestSubgraph(graph.FromEdges(0, nil, false, graph.BuildOptions{}), Options{})
+	verts, density, _, _ = DensestSubgraph(graph.FromEdges(0, nil, false, graph.BuildOptions{}), Options{})
 	if len(verts) != 0 || density != 0 {
 		t.Fatal("empty graph densest")
 	}
@@ -140,7 +140,7 @@ func TestDensestSubgraphGuarantee(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		n := 10 + rng.IntN(300)
 		g := gen.ER(n, rng.IntN(6*n)+1, false, uint64(50+trial))
-		verts, density, _ := DensestSubgraph(g, Options{})
+		verts, density, _, _ := DensestSubgraph(g, Options{})
 		_, degeneracy := seq.KCore(g)
 		if density < float64(degeneracy)/2 {
 			t.Fatalf("trial %d: density %.3f below degeneracy/2 = %.1f",

@@ -13,7 +13,7 @@ import (
 
 func TestKCoreKnownCases(t *testing.T) {
 	// A path: every vertex has coreness 1.
-	core, maxc, _ := KCore(gen.Chain(50, false), Options{})
+	core, maxc, _, _ := KCore(gen.Chain(50, false), Options{})
 	if maxc != 1 {
 		t.Fatalf("path degeneracy = %d", maxc)
 	}
@@ -23,18 +23,18 @@ func TestKCoreKnownCases(t *testing.T) {
 		}
 	}
 	// A cycle: coreness 2 everywhere.
-	core, maxc, _ = KCore(gen.Cycle(30, false), Options{})
+	core, maxc, _, _ = KCore(gen.Cycle(30, false), Options{})
 	if maxc != 2 || core[7] != 2 {
 		t.Fatalf("cycle coreness wrong: max=%d", maxc)
 	}
 	// Isolated vertices: coreness 0.
-	core, maxc, _ = KCore(graph.FromEdges(3, nil, false, graph.BuildOptions{}), Options{})
+	core, maxc, _, _ = KCore(graph.FromEdges(3, nil, false, graph.BuildOptions{}), Options{})
 	if maxc != 0 || core[0] != 0 {
 		t.Fatal("isolated coreness wrong")
 	}
 	// A triangle with a tail: triangle coreness 2, tail 1.
 	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}, {U: 3, V: 4}}
-	core, maxc, _ = KCore(graph.FromEdges(5, edges, false, graph.BuildOptions{}), Options{})
+	core, maxc, _, _ = KCore(graph.FromEdges(5, edges, false, graph.BuildOptions{}), Options{})
 	if maxc != 2 || core[0] != 2 || core[1] != 2 || core[2] != 2 || core[3] != 1 || core[4] != 1 {
 		t.Fatalf("triangle+tail coreness wrong: %v", core)
 	}
@@ -52,7 +52,7 @@ func TestKCoreMatchesSequential(t *testing.T) {
 	for name, g := range suite {
 		want, wantMax := seq.KCore(g)
 		for _, tau := range []int{1, 64, 0} {
-			got, gotMax, met := KCore(g, Options{Tau: tau})
+			got, gotMax, met, _ := KCore(g, Options{Tau: tau})
 			if gotMax != wantMax {
 				t.Fatalf("%s tau=%d: degeneracy %d, want %d", name, tau, gotMax, wantMax)
 			}
@@ -73,8 +73,8 @@ func TestKCoreMatchesSequential(t *testing.T) {
 // level-synchronously takes one round per vertex.
 func TestKCoreVGCReducesRounds(t *testing.T) {
 	g := gen.Chain(20000, false)
-	_, _, metVGC := KCore(g, Options{Tau: 512})
-	_, _, metNo := KCore(g, Options{Tau: 1})
+	_, _, metVGC, _ := KCore(g, Options{Tau: 512})
+	_, _, metNo, _ := KCore(g, Options{Tau: 1})
 	if metVGC.Rounds*5 >= metNo.Rounds {
 		t.Fatalf("VGC peeling rounds %d not far below %d", metVGC.Rounds, metNo.Rounds)
 	}
@@ -86,7 +86,7 @@ func TestKCoreRandom(t *testing.T) {
 		n := 1 + rng.IntN(300)
 		g := gen.ER(n, rng.IntN(5*n+1), false, uint64(trial))
 		want, wantMax := seq.KCore(g)
-		got, gotMax, _ := KCore(g, Options{Tau: 1 + rng.IntN(64)})
+		got, gotMax, _, _ := KCore(g, Options{Tau: 1 + rng.IntN(64)})
 		if gotMax != wantMax {
 			t.Fatalf("trial %d: degeneracy %d want %d", trial, gotMax, wantMax)
 		}
@@ -112,13 +112,13 @@ func TestPointToPointMatchesDijkstra(t *testing.T) {
 		full := seq.Dijkstra(g, 0)
 		for trial := 0; trial < 8; trial++ {
 			dst := uint32(rng.IntN(g.N))
-			got, _ := PointToPoint(g, 0, dst, nil, Options{})
+			got, _, _ := PointToPoint(g, 0, dst, nil, Options{})
 			if got != full[dst] {
 				t.Fatalf("graph %d dst %d: got %d, want %d", gi, dst, got, full[dst])
 			}
 		}
 		// Unreachable and trivial cases.
-		if d, _ := PointToPoint(g, 5, 5, nil, Options{}); d != 0 {
+		if d, _, _ := PointToPoint(g, 5, 5, nil, Options{}); d != 0 {
 			t.Fatal("src == dst should be 0")
 		}
 	}
@@ -130,8 +130,8 @@ func TestPointToPointPrunes(t *testing.T) {
 	g := gen.AddUniformWeights(gen.Grid2D(30, 600, false, 1), 1, 10, 2)
 	src := uint32(0)
 	dst := uint32(5) // a few columns away
-	_, metPTP := PointToPoint(g, src, dst, nil, Options{})
-	_, metFull := SSSP(g, src, nil, Options{})
+	_, metPTP, _ := PointToPoint(g, src, dst, nil, Options{})
+	_, metFull, _ := SSSP(g, src, nil, Options{})
 	if metPTP.EdgesVisited*2 >= metFull.EdgesVisited {
 		t.Fatalf("PTP visited %d edges, full SSSP %d — pruning ineffective",
 			metPTP.EdgesVisited, metFull.EdgesVisited)
@@ -143,7 +143,7 @@ func TestPointToPointPolicies(t *testing.T) {
 	want := seq.Dijkstra(g, 0)
 	for _, pol := range []StepPolicy{RhoStepping{Rho: 32}, DeltaStepping{Delta: 16},
 		BellmanFordPolicy{}} {
-		got, _ := PointToPoint(g, 0, uint32(g.N-1), pol, Options{})
+		got, _, _ := PointToPoint(g, 0, uint32(g.N-1), pol, Options{})
 		if got != want[g.N-1] {
 			t.Fatalf("%s: got %d, want %d", pol.Name(), got, want[g.N-1])
 		}

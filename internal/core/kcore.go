@@ -21,17 +21,22 @@ import (
 // the shared frontier.
 //
 // Returns the coreness array, the degeneracy (max coreness), and metrics.
-func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation it returns
+// (nil, 0, partial Metrics, ErrCanceled/ErrDeadline).
+func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics, error) {
 	if g.Directed {
 		panic("core: KCore requires an undirected graph")
 	}
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "kcore")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	core := make([]uint32, n)
 	if n == 0 {
-		return core, 0, met
+		return core, 0, met, cl.Poll()
 	}
 	tau := opt.tau()
 
@@ -44,6 +49,11 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	live := parallel.PackIndex(n, func(int) bool { return true })
 
 	for k := int64(0); len(live) > 0; k++ {
+		// Phase boundary: a canceled peel leaves residual degrees and
+		// claims half-applied; stop before seeding the next level.
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		// Seed this level: all live vertices whose degree has fallen to
 		// <= k. The claim CAS makes seeding race-free against peeling.
@@ -54,9 +64,12 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 			}
 		})
 		for bag.Len() > 0 {
+			if err := cl.Poll(); err != nil {
+				return nil, 0, met, err
+			}
 			f := bag.Extract()
 			met.Round(len(f))
-			parallel.ForRange(len(f), 1, func(lo, hi int) {
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 				queue := make([]uint32, 0, 64)
 				var edgeCount int64
 				for i := lo; i < hi; i++ {
@@ -93,6 +106,10 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 		}
 		live = parallel.Pack(live, func(i int) bool { return claimed[live[i]].Load() == 0 })
 	}
+	// Final check before materializing; see BFS.
+	if err := cl.Poll(); err != nil {
+		return nil, 0, met, err
+	}
 	maxCore := int64(0)
 	parallel.For(n, 0, func(v int) { core[v] = claimed[v].Load() - 1 })
 	for v := 0; v < n; v++ {
@@ -100,5 +117,5 @@ func KCore(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 			maxCore = int64(core[v])
 		}
 	}
-	return core, int(maxCore), met
+	return core, int(maxCore), met, nil
 }

@@ -164,10 +164,10 @@ func TestNormalizedIdempotent(t *testing.T) {
 // force bottom-up rounds while preserving correctness.
 func TestBFSDenseFracBoundaries(t *testing.T) {
 	g := gen.ER(800, 4000, false, 11)
-	want, _ := BFS(g, 0, Options{DisableDirectionOpt: true})
+	want, _, _ := BFS(g, 0, Options{DisableDirectionOpt: true})
 
 	for _, frac := range []float64{1, 1.5, math.Inf(1), math.NaN()} {
-		got, met := BFS(g, 0, Options{DenseFrac: frac})
+		got, met, _ := BFS(g, 0, Options{DenseFrac: frac})
 		if met.BottomUp != 0 {
 			t.Errorf("DenseFrac=%v ran %d bottom-up rounds, want 0", frac, met.BottomUp)
 		}
@@ -178,7 +178,7 @@ func TestBFSDenseFracBoundaries(t *testing.T) {
 		}
 	}
 
-	got, met := BFS(g, 0, Options{DenseFrac: math.SmallestNonzeroFloat64})
+	got, met, _ := BFS(g, 0, Options{DenseFrac: math.SmallestNonzeroFloat64})
 	if met.BottomUp == 0 {
 		t.Error("tiny DenseFrac never switched bottom-up on a dense graph")
 	}
@@ -193,9 +193,9 @@ func TestBFSDenseFracBoundaries(t *testing.T) {
 // boundaries; all must agree on the component partition.
 func TestSCCTrimRoundsBoundaries(t *testing.T) {
 	g := gen.WebLike(600, 5, 0.3, 20, 13)
-	ref, refCount, _ := SCC(g, Options{})
+	ref, refCount, _, _ := SCC(g, Options{})
 	for _, tr := range []int{math.MinInt, -1, 0, 1, 50} {
-		got, count, _ := SCC(g, Options{TrimRounds: tr})
+		got, count, _, _ := SCC(g, Options{TrimRounds: tr})
 		if count != refCount {
 			t.Errorf("TrimRounds=%d found %d SCCs, want %d", tr, count, refCount)
 			continue
@@ -219,9 +219,9 @@ func TestSCCTrimRoundsBoundaries(t *testing.T) {
 // millions of frontier buckets for no extra coverage.
 func TestBFSTauBoundaries(t *testing.T) {
 	g := gen.Chain(3000, false)
-	want, _ := BFS(g, 0, Options{})
+	want, _, _ := BFS(g, 0, Options{})
 	for _, tau := range []int{math.MinInt, 0, 1, 4096} {
-		got, met := BFS(g, 0, Options{Tau: tau})
+		got, met, _ := BFS(g, 0, Options{Tau: tau})
 		if met.Rounds <= 0 {
 			t.Errorf("Tau=%d recorded %d rounds", tau, met.Rounds)
 		}
@@ -264,12 +264,12 @@ func TestBFSSmallTauBottomUpChain(t *testing.T) {
 	// The pull scan only chains within one sequentially-scanned chunk, so
 	// pin to one worker to make the deep chain (and the bug) deterministic.
 	defer parallel.SetWorkers(parallel.SetWorkers(1))
-	want, _ := BFS(g, 0, Options{DisableDirectionOpt: true})
+	want, _, _ := BFS(g, 0, Options{DisableDirectionOpt: true})
 	// DenseFrac 0.3: only the wide hub frontier goes bottom-up; the later
 	// (chain) rounds stay top-down, so a dropped chain entry is never
 	// repaired by another bottom-up pull and the hook stays unreached.
 	for _, tau := range []int{1, 2, 3, 5, 9} {
-		got, met := BFS(g, 0, Options{Tau: tau, DenseFrac: 0.3})
+		got, met, _ := BFS(g, 0, Options{Tau: tau, DenseFrac: 0.3})
 		if met.BottomUp == 0 {
 			t.Fatalf("Tau=%d: shape did not trigger a bottom-up round", tau)
 		}

@@ -18,7 +18,7 @@ func TestQuickBFSOptimalityConditions(t *testing.T) {
 		n := 2 + int(nRaw)%400
 		m := int(mRaw) % (4 * n)
 		g := gen.ER(n, m, true, seed)
-		dist, _ := BFS(g, 0, Options{Tau: 1 + int(seed%100)})
+		dist, _, _ := BFS(g, 0, Options{Tau: 1 + int(seed%100)})
 		if dist[0] != 0 {
 			return false
 		}
@@ -63,7 +63,7 @@ func TestQuickSSSPOptimalityConditions(t *testing.T) {
 	f := func(seed uint64, nRaw uint16) bool {
 		n := 2 + int(nRaw)%300
 		g := gen.AddUniformWeights(gen.ER(n, 3*n, true, seed), 1, 50, seed+1)
-		dist, _ := SSSP(g, 0, RhoStepping{Rho: 1 + int(seed%64)}, Options{})
+		dist, _, _ := SSSP(g, 0, RhoStepping{Rho: 1 + int(seed%64)}, Options{})
 		if dist[0] != 0 {
 			return false
 		}
@@ -108,7 +108,7 @@ func TestQuickSCCCondensationAcyclic(t *testing.T) {
 	f := func(seed uint64, nRaw uint16) bool {
 		n := 2 + int(nRaw)%250
 		g := gen.ER(n, 3*n, true, seed)
-		labels, count, _ := SCC(g, Options{})
+		labels, count, _, _ := SCC(g, Options{})
 		// Map representative labels to dense ids.
 		dense := map[uint32]uint32{}
 		for _, l := range labels {
@@ -145,7 +145,7 @@ func TestQuickBCCPartition(t *testing.T) {
 	f := func(seed uint64, nRaw uint16) bool {
 		n := 2 + int(nRaw)%200
 		g := gen.ER(n, 2*n, false, seed)
-		res, _ := BCC(g, Options{})
+		res, _, _ := BCC(g, Options{})
 		want := seq.HopcroftTarjanBCC(g)
 		if res.NumBCC != want.NumBCC {
 			return false
@@ -187,8 +187,8 @@ func TestQuickKCoreMonotone(t *testing.T) {
 			}
 		}
 		super := graph.FromEdges(n, edges, false, graph.BuildOptions{})
-		c1, _, _ := KCore(base, Options{})
-		c2, _, _ := KCore(super, Options{})
+		c1, _, _, _ := KCore(base, Options{})
+		c2, _, _, _ := KCore(super, Options{})
 		for v := 0; v < n; v++ {
 			if c2[v] < c1[v] {
 				return false

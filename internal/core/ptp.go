@@ -18,7 +18,10 @@ import (
 // active vertex is at least as far as the best dst distance.
 //
 // Returns InfWeight if dst is unreachable from src.
-func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation it returns
+// (InfWeight, partial Metrics, ErrCanceled/ErrDeadline).
+func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics, error) {
 	if !g.Weighted() {
 		panic("core: PointToPoint requires a weighted graph")
 	}
@@ -28,12 +31,14 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "ptp")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	if n == 0 {
-		return InfWeight, met
+		return InfWeight, met, cl.Poll()
 	}
 	if src == dst {
-		return 0, met
+		return 0, met, cl.Poll()
 	}
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(InfWeight) })
@@ -55,7 +60,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 		if theta == InfWeight {
 			localBudget = 0
 		}
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -122,6 +127,10 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	}
 
 	for {
+		// Round/phase boundary check; see SSSP.
+		if err := cl.Poll(); err != nil {
+			return InfWeight, met, err
+		}
 		if near.Len() > 0 {
 			processFrontier(near.Extract())
 			continue
@@ -148,7 +157,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 		if theta < sample[0] {
 			theta = sample[0]
 		}
-		parallel.ForRange(len(f), 0, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := f[i]
 				d := dist[v].Load()
@@ -163,5 +172,10 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 			}
 		})
 	}
-	return dist[dst].Load(), met
+	// Final check: a canceled last round may have terminated the loop with
+	// dst's distance still improvable.
+	if err := cl.Poll(); err != nil {
+		return InfWeight, met, err
+	}
+	return dist[dst].Load(), met, nil
 }

@@ -12,14 +12,19 @@ import (
 // paper's §2.1 primitive in isolation: a reachability search needs no BFS
 // order, so the VGC local search visits vertices in arbitrary multi-hop
 // order, each vertex claimed exactly once by a CAS.
-func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation it returns
+// (nil, partial Metrics, ErrCanceled/ErrDeadline).
+func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "reach")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	out := make([]bool, n)
 	if n == 0 || len(srcs) == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	tau := opt.tau()
 	visited := make([]atomic.Uint32, n)
@@ -31,9 +36,12 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 		}
 	}
 	for bag.Len() > 0 {
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		f := bag.Extract()
 		met.Round(len(f))
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -63,6 +71,10 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
 			met.AddEdges(edgeCount)
 		})
 	}
+	// Final check before materializing; see BFS.
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = visited[i].Load() == 1 })
-	return out, met
+	return out, met, nil
 }

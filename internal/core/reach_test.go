@@ -13,7 +13,7 @@ import (
 func TestReachableMatchesBFS(t *testing.T) {
 	for name, g := range testGraphs(true) {
 		want := seq.BFS(g, 0)
-		got, met := Reachable(g, []uint32{0}, Options{})
+		got, met, _ := Reachable(g, []uint32{0}, Options{})
 		for v := range want {
 			if got[v] != (want[v] != graph.InfDist) {
 				t.Fatalf("%s: reach[%d] = %v, BFS dist %d", name, v, got[v], want[v])
@@ -27,33 +27,33 @@ func TestReachableMatchesBFS(t *testing.T) {
 
 func TestReachableMultiSource(t *testing.T) {
 	g := gen.Chain(100, true)
-	got, _ := Reachable(g, []uint32{50, 80}, Options{})
+	got, _, _ := Reachable(g, []uint32{50, 80}, Options{})
 	for v := 0; v < 100; v++ {
 		if got[v] != (v >= 50) {
 			t.Fatalf("reach[%d] = %v", v, got[v])
 		}
 	}
 	// Duplicate sources are fine.
-	got, _ = Reachable(g, []uint32{0, 0, 0}, Options{})
+	got, _, _ = Reachable(g, []uint32{0, 0, 0}, Options{})
 	for v := 0; v < 100; v++ {
 		if !got[v] {
 			t.Fatalf("dup-source reach[%d] false", v)
 		}
 	}
 	// No sources / empty graph.
-	if r, _ := Reachable(g, nil, Options{}); r[0] {
+	if r, _, _ := Reachable(g, nil, Options{}); r[0] {
 		t.Fatal("no-source reach should be empty")
 	}
 	eg := graph.FromEdges(0, nil, true, graph.BuildOptions{})
-	if r, _ := Reachable(eg, nil, Options{}); len(r) != 0 {
+	if r, _, _ := Reachable(eg, nil, Options{}); len(r) != 0 {
 		t.Fatal("empty graph reach")
 	}
 }
 
 func TestReachableVGCReducesRounds(t *testing.T) {
 	g := gen.Chain(20000, true)
-	_, metVGC := Reachable(g, []uint32{0}, Options{Tau: 512})
-	_, metNo := Reachable(g, []uint32{0}, Options{Tau: 1})
+	_, metVGC, _ := Reachable(g, []uint32{0}, Options{Tau: 512})
+	_, metNo, _ := Reachable(g, []uint32{0}, Options{Tau: 1})
 	if metVGC.Rounds*10 >= metNo.Rounds {
 		t.Fatalf("VGC rounds %d vs %d", metVGC.Rounds, metNo.Rounds)
 	}
@@ -65,14 +65,14 @@ func TestBCCFromForestDirect(t *testing.T) {
 	g := gen.TriGrid(15, 15)
 	want := seq.HopcroftTarjanBCC(g)
 
-	direct, _ := BCC(g, Options{})
+	direct, _, _ := BCC(g, Options{})
 	if direct.NumBCC != want.NumBCC {
 		t.Fatalf("NumBCC %d want %d", direct.NumBCC, want.NumBCC)
 	}
 
 	tree, _, _ := conn.SpanningForest(g)
 	f := euler.Build(g.N, tree)
-	viaForest, met := BCCFromForest(g, f)
+	viaForest, met, _ := BCCFromForest(g, f, Options{})
 	if viaForest.NumBCC != want.NumBCC {
 		t.Fatalf("BCCFromForest NumBCC %d want %d", viaForest.NumBCC, want.NumBCC)
 	}
@@ -86,7 +86,7 @@ func TestBCCFromForestDirect(t *testing.T) {
 	}
 	// Empty graph path.
 	empty := graph.FromEdges(0, nil, false, graph.BuildOptions{})
-	res, _ := BCCFromForest(empty, euler.Build(0, nil))
+	res, _, _ := BCCFromForest(empty, euler.Build(0, nil), Options{})
 	if res.NumBCC != 0 {
 		t.Fatal("empty BCCFromForest")
 	}

@@ -25,18 +25,23 @@ import (
 //
 // It returns a per-vertex component label (the id of a representative
 // vertex) and the component count.
-func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation SCC
+// returns (nil, 0, partial Metrics, ErrCanceled/ErrDeadline).
+func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics, error) {
 	if !g.Directed {
 		panic("core: SCC requires a directed graph")
 	}
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "scc")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	comp := make([]uint32, n)
 	parallel.Fill(comp, graph.None)
 	if n == 0 {
-		return comp, 0, met
+		return comp, 0, met, cl.Poll()
 	}
 	tr := g.Transpose()
 
@@ -49,6 +54,9 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	// Trimming: peel vertices with no live in- or out-neighbor (their SCC
 	// is a singleton). Each pass exposes new trimmable vertices.
 	for t := 0; t < opt.trimRounds() && len(live) > 0; t++ {
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		trimmed := parallel.Pack(live, func(i int) bool {
 			v := live[i]
 			return !hasLiveNeighbor(g, comp, sub, v) || !hasLiveNeighbor(tr, comp, sub, v)
@@ -63,6 +71,12 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 	pivotTarget := 1
 	seed := uint64(0x9e3779b97f4a7c15)
 	for len(live) > 0 {
+		// Phase boundary: a canceled reachability round leaves fwd/bwd
+		// labels incomplete, which would settle vertices into wrong
+		// components — stop before reading them.
+		if err := cl.Poll(); err != nil {
+			return nil, 0, met, err
+		}
 		met.AddPhase()
 		// Deterministic pseudo-random pivot choice: order live vertices by
 		// a per-round hash and take the first k.
@@ -85,8 +99,12 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 			bwd[pivots[i]].Store(uint32(i))
 		})
 
-		multiReach(g, comp, sub, fwd, pivots, opt, met)
-		multiReach(tr, comp, sub, bwd, pivots, opt, met)
+		if err := multiReach(g, comp, sub, fwd, pivots, opt, met, cl); err != nil {
+			return nil, 0, met, err
+		}
+		if err := multiReach(tr, comp, sub, bwd, pivots, opt, met, cl); err != nil {
+			return nil, 0, met, err
+		}
 
 		// Settle: fwd label == bwd label == some pivot index.
 		parallel.For(len(live), 0, func(i int) {
@@ -108,8 +126,12 @@ func SCC(g *graph.Graph, opt Options) ([]uint32, int, *Metrics) {
 		seed = seed*0x2545f4914f6cdd1d + 1
 	}
 
+	// Final check before counting; see BFS.
+	if err := cl.Poll(); err != nil {
+		return nil, 0, met, err
+	}
 	count := parallel.Count(n, func(v int) bool { return comp[v] == uint32(v) })
-	return comp, count, met
+	return comp, count, met, nil
 }
 
 func hasLiveNeighbor(g *graph.Graph, comp []uint32, sub []uint64, v uint32) bool {
@@ -141,7 +163,8 @@ func refineHash(old uint64, fl, bl uint32) uint64 {
 // with pivot indices at the pivots and graph.None elsewhere. Frontiers are
 // hash bags; extraction processes vertices with VGC local searches.
 func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
-	label []atomic.Uint32, pivots []uint32, opt Options, met *Metrics) {
+	label []atomic.Uint32, pivots []uint32, opt Options, met *Metrics,
+	cl *Canceler) error {
 
 	tau := opt.tau()
 	bag := hashbag.New(max(64, 2*len(pivots)))
@@ -150,11 +173,14 @@ func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
 		bag.Insert(p)
 	}
 	for bag.Len() > 0 {
+		if err := cl.Poll(); err != nil {
+			return err
+		}
 		f := bag.Extract()
 		met.Round(len(f))
 		// FIFO local worklist: labels propagate breadth-first within a
 		// task, minimizing claim-then-reclaim churn between pivots.
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -196,4 +222,7 @@ func multiReach(g *graph.Graph, comp []uint32, sub []uint64,
 			met.AddEdges(edgeCount)
 		})
 	}
+	// The caller reads the propagated labels right after this returns, so
+	// a canceled final round must surface here, not at the next phase.
+	return cl.Poll()
 }

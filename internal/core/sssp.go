@@ -27,13 +27,22 @@ type StepPolicy interface {
 // Meyer & Sanders' Δ-stepping.
 type DeltaStepping struct{ Delta uint64 }
 
-// Threshold implements StepPolicy.
+// Threshold implements StepPolicy: the end of sample[0]'s Δ-band,
+// (sample[0]/Δ + 1)·Δ, saturated to InfWeight. The saturation matters:
+// for tentative distances within Δ of MaxUint64 the band-end product
+// wraps in uint64 and would return θ < sample[0], stalling the phase
+// loop's progress guarantee.
 func (p DeltaStepping) Threshold(sample []uint64, active int) uint64 {
 	d := p.Delta
 	if d == 0 {
 		d = 1
 	}
-	return (sample[0]/d + 1) * d
+	q := sample[0] / d
+	if q >= InfWeight/d {
+		// (q+1)*d would exceed (or wrap past) MaxUint64.
+		return InfWeight
+	}
+	return (q + 1) * d
 }
 
 // Name implements StepPolicy.
@@ -83,7 +92,10 @@ func (BellmanFordPolicy) Name() string { return "bf" }
 // in-task instead of round-tripping through the frontier).
 //
 // policy == nil selects ρ-stepping with its default ρ.
-func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics) {
+//
+// A non-nil opt.Ctx makes the run cancellable: on cancellation SSSP
+// returns (nil, partial Metrics, ErrCanceled/ErrDeadline).
+func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics, error) {
 	if !g.Weighted() {
 		panic("core: SSSP requires a weighted graph")
 	}
@@ -93,12 +105,14 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "sssp")
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
 	n := g.N
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(InfWeight) })
 	out := make([]uint64, n)
 	if n == 0 {
-		return out, met
+		return out, met, cl.Poll()
 	}
 	tau := opt.tau()
 
@@ -123,7 +137,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 		// FIFO local worklist: the local search relaxes in mini-BFS order,
 		// keeping tentative distances close to final (a LIFO order would
 		// chase depth-first chains of inflated distances).
-		parallel.ForRange(len(f), 1, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -172,6 +186,12 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	}
 
 	for {
+		// Round/phase boundary: a canceled round drains chunks without
+		// re-inserting deferred vertices, so the near/far emptiness test
+		// below would read as convergence — stop first.
+		if err := cl.Poll(); err != nil {
+			return nil, met, err
+		}
 		if near.Len() > 0 {
 			processFrontier(near.Extract())
 			continue
@@ -195,7 +215,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 		if theta < sample[0] {
 			theta = sample[0] // guarantee progress
 		}
-		parallel.ForRange(len(f), 0, func(lo, hi int) {
+		parallel.ForRangeCancel(cl.Token(), len(f), 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				v := f[i]
 				if dist[v].Load() <= theta {
@@ -207,6 +227,11 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 		})
 	}
 
+	// Final check before materializing: only a clean Poll lets the result
+	// be claimed complete (see BFS).
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
 	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met
+	return out, met, nil
 }

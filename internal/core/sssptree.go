@@ -14,11 +14,22 @@ import (
 // (dist[u] + w(u,v) = dist[v]) by the optimality conditions, so the
 // derivation cannot fail. Deriving parents after convergence avoids
 // widening the relaxation CAS to a double-word (distance, parent) pair.
-func SSSPTree(g *graph.Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics) {
-	dist, met = SSSP(g, src, policy, opt)
+func SSSPTree(g *graph.Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics, err error) {
+	dist, met, err = SSSP(g, src, policy, opt)
+	if err != nil {
+		return nil, nil, met, err
+	}
+	// The derivation phase gets its own context binding (SSSP's closed with
+	// its return); distances are complete here, so cancellation only skips
+	// the parent pass.
+	cl := NewCanceler(opt, met)
+	defer cl.Close()
+	if err := cl.Poll(); err != nil {
+		return nil, nil, met, err
+	}
 	parent = make([]uint32, g.N)
 	in := g.Transpose()
-	parallel.For(g.N, 64, func(vi int) {
+	parallel.ForCancel(cl.Token(), g.N, 64, func(vi int) {
 		v := uint32(vi)
 		parent[v] = graph.None
 		if v == src || dist[v] == InfWeight {
@@ -33,7 +44,10 @@ func SSSPTree(g *graph.Graph, src uint32, policy StepPolicy, opt Options) (dist 
 		}
 		panic("core: SSSPTree: no tight predecessor (distances inconsistent)")
 	})
-	return dist, parent, met
+	if err := cl.Poll(); err != nil {
+		return nil, nil, met, err
+	}
+	return dist, parent, met, nil
 }
 
 // PathTo reconstructs the path from the tree's root to v using a parent

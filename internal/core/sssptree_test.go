@@ -15,7 +15,7 @@ func TestSSSPTreeInvariants(t *testing.T) {
 		n := 5 + rng.IntN(400)
 		g := gen.AddUniformWeights(gen.ER(n, 3*n, trial%2 == 0, uint64(trial)), 1, 100, uint64(trial))
 		src := uint32(rng.IntN(n))
-		dist, parent, _ := SSSPTree(g, src, nil, Options{})
+		dist, parent, _, _ := SSSPTree(g, src, nil, Options{})
 		want := seq.Dijkstra(g, src)
 		for v := uint32(0); v < uint32(n); v++ {
 			if dist[v] != want[v] {
@@ -41,7 +41,7 @@ func TestSSSPTreeInvariants(t *testing.T) {
 
 func TestPathTo(t *testing.T) {
 	g := gen.AddUniformWeights(gen.Chain(10, true), 4, 4, 1)
-	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	dist, parent, _, _ := SSSPTree(g, 0, nil, Options{})
 	path := PathTo(parent, 0, 9)
 	if len(path) != 10 {
 		t.Fatalf("path length %d", len(path))
@@ -61,7 +61,7 @@ func TestPathTo(t *testing.T) {
 	// Unreachable vertex.
 	g2 := gen.AddUniformWeights(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1, W: 1}}, true,
 		graph.BuildOptions{Weighted: true}), 1, 1, 1)
-	_, parent2, _ := SSSPTree(g2, 0, nil, Options{})
+	_, parent2, _, _ := SSSPTree(g2, 0, nil, Options{})
 	if PathTo(parent2, 0, 2) != nil {
 		t.Fatal("unreachable path should be nil")
 	}
@@ -70,7 +70,7 @@ func TestPathTo(t *testing.T) {
 func TestSSSPTreePathWeights(t *testing.T) {
 	// Walking any tree path must sum to the distance.
 	g := gen.AddUniformWeights(gen.SampledGrid(30, 30, 0.9, false, 3), 1, 50, 4)
-	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	dist, parent, _, _ := SSSPTree(g, 0, nil, Options{})
 	for v := uint32(0); v < uint32(g.N); v += 37 {
 		if dist[v] == InfWeight {
 			continue

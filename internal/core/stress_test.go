@@ -42,7 +42,7 @@ func TestStressBFSConcurrentQueries(t *testing.T) {
 				wg.Add(1)
 				go func(i int, s uint32) {
 					defer wg.Done()
-					dist, _ := BFS(g, s, Options{})
+					dist, _, _ := BFS(g, s, Options{})
 					for v := range dist {
 						if dist[v] != want[i][v] {
 							errc <- "distance mismatch"
@@ -74,7 +74,7 @@ func TestStressSCCUnderRace(t *testing.T) {
 	for trial := 0; trial < 3; trial++ {
 		n := 500 + rng.IntN(1500)
 		g := gen.ER(n, 3*n, true, uint64(trial)+40)
-		_, gotCount, _ := SCC(g, Options{Tau: 1})
+		_, gotCount, _, _ := SCC(g, Options{Tau: 1})
 		_, wantCount := seq.KosarajuSCC(g)
 		if gotCount != wantCount {
 			t.Fatalf("trial %d: %d SCCs, oracle has %d", trial, gotCount, wantCount)

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+// TestDeltaSteppingThresholdSaturates pins the overflow behavior of the
+// Δ-stepping band-end computation: (sample[0]/Δ + 1)·Δ wraps in uint64 when
+// sample[0] sits within Δ of MaxUint64, which used to return θ < sample[0]
+// and stall the phase loop's progress guarantee. The fix saturates to
+// InfWeight.
+func TestDeltaSteppingThresholdSaturates(t *testing.T) {
+	cases := []struct {
+		name   string
+		delta  uint64
+		sample uint64
+		want   uint64
+	}{
+		{"normal band", 10, 25, 30},
+		{"band boundary", 10, 30, 40},
+		{"zero delta acts as one", 0, 7, 8},
+		{"huge delta, small sample", 1 << 63, 42, 1 << 63},
+		{"wrap: sample in top band of huge delta", 1 << 63, 1<<63 + 42, InfWeight},
+		{"wrap: sample at MaxUint64, delta 1", 1, math.MaxUint64, InfWeight},
+		{"wrap: sample near MaxUint64", 10, math.MaxUint64 - 5, InfWeight},
+		{"delta MaxUint64", math.MaxUint64, 12345, InfWeight},
+	}
+	for _, tc := range cases {
+		got := DeltaStepping{Delta: tc.delta}.Threshold([]uint64{tc.sample}, 1)
+		if got != tc.want {
+			t.Errorf("%s: Threshold(%d, delta=%d) = %d, want %d",
+				tc.name, tc.sample, tc.delta, got, tc.want)
+		}
+		if got < tc.sample {
+			t.Errorf("%s: θ = %d < sample[0] = %d violates the progress guarantee",
+				tc.name, got, tc.sample)
+		}
+	}
+}
+
+// maxWeightTestGraph is a 3-row ladder whose weights are all MaxUint32 —
+// the largest weight the readers accept — so tentative distances climb by
+// ~4.3e9 per hop and the Δ-band arithmetic runs close to its limits.
+func maxWeightTestGraph(cols int) *graph.Graph {
+	var edges []graph.Edge
+	id := func(r, c int) uint32 { return uint32(r*cols + c) }
+	for r := 0; r < 3; r++ {
+		for c := 0; c+1 < cols; c++ {
+			edges = append(edges, graph.Edge{U: id(r, c), V: id(r, c+1), W: math.MaxUint32})
+		}
+	}
+	for c := 0; c < cols; c += 2 {
+		edges = append(edges, graph.Edge{U: id(0, c), V: id(1, c), W: math.MaxUint32})
+		edges = append(edges, graph.Edge{U: id(1, c), V: id(2, c), W: math.MaxUint32})
+	}
+	return graph.FromEdges(3*cols, edges, true, graph.BuildOptions{Weighted: true})
+}
+
+// TestSSSPMaxWeightBoundedPhases runs every stepping policy — including the
+// Δ values whose band ends overflow uint64 — on the max-weight graph and
+// checks (a) exact agreement with Dijkstra and (b) that the phase count
+// stays linear in n, i.e. every phase made progress and none of the
+// thresholds wrapped below sample[0].
+func TestSSSPMaxWeightBoundedPhases(t *testing.T) {
+	g := maxWeightTestGraph(200)
+	want := seq.Dijkstra(g, 0)
+	policies := []StepPolicy{
+		RhoStepping{},
+		RhoStepping{Rho: 1},
+		DeltaStepping{Delta: 1},
+		DeltaStepping{Delta: math.MaxUint32},
+		DeltaStepping{Delta: 1 << 63},
+		DeltaStepping{Delta: math.MaxUint64},
+		BellmanFordPolicy{},
+	}
+	// Every policy must converge in at most a phase per distinct distance
+	// value (plus slack); a wrapped θ would either loop forever or blow far
+	// past this.
+	maxPhases := int64(4*g.N + 16)
+	for _, pol := range policies {
+		got, met, err := SSSP(g, 0, pol, Options{})
+		if err != nil {
+			t.Fatalf("%s: unexpected error: %v", pol.Name(), err)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s(delta/rho variant): dist[%d] = %d, Dijkstra says %d",
+					pol.Name(), v, got[v], want[v])
+			}
+		}
+		if met.Phases > maxPhases {
+			t.Fatalf("%s: %d phases on a %d-vertex graph (bound %d): threshold not advancing",
+				pol.Name(), met.Phases, g.N, maxPhases)
+		}
+	}
+}

@@ -28,7 +28,7 @@ func traceRounds(tr *trace.Tracer, algo string) (idx, frontier []int64) {
 func TestTraceMatchesMetricsBFSChain(t *testing.T) {
 	g := gen.Chain(5000, false)
 	tr := trace.New()
-	dist, met := BFS(g, 0, Options{Tracer: tr, RecordFrontiers: true})
+	dist, met, _ := BFS(g, 0, Options{Tracer: tr, RecordFrontiers: true})
 	if dist[4999] != 4999 {
 		t.Fatalf("chain BFS broken: dist[4999] = %d", dist[4999])
 	}
@@ -69,7 +69,7 @@ func TestTraceMatchesMetricsBFSChain(t *testing.T) {
 func TestTraceMatchesMetricsBFSGrid(t *testing.T) {
 	g := gen.Grid2D(60, 60, false, 1)
 	tr := trace.New()
-	_, met := BFS(g, 0, Options{Tracer: tr, RecordFrontiers: true, DenseFrac: 1e-6})
+	_, met, _ := BFS(g, 0, Options{Tracer: tr, RecordFrontiers: true, DenseFrac: 1e-6})
 	if met.BottomUp == 0 {
 		t.Fatal("grid BFS with tiny DenseFrac never switched bottom-up")
 	}
@@ -107,7 +107,7 @@ func TestTraceMatchesMetricsBFSGrid(t *testing.T) {
 func TestTracePhasesSCC(t *testing.T) {
 	g := gen.WebLike(800, 5, 0.3, 20, 9)
 	tr := trace.New()
-	_, _, met := SCC(g, Options{Tracer: tr})
+	_, _, met, _ := SCC(g, Options{Tracer: tr})
 	if met.Phases == 0 {
 		t.Fatal("SCC ran zero phases")
 	}
@@ -134,9 +134,9 @@ func TestTraceSharedAcrossAlgos(t *testing.T) {
 	tr := trace.New()
 	opt := Options{Tracer: tr}
 	g := gen.Chain(500, false)
-	_, metBFS := BFS(g, 0, opt)
+	_, metBFS, _ := BFS(g, 0, opt)
 	dg := gen.Cycle(400, true)
-	_, _, metSCC := SCC(dg, opt)
+	_, _, metSCC, _ := SCC(dg, opt)
 
 	bfsIdx, _ := traceRounds(tr, "bfs")
 	sccIdx, _ := traceRounds(tr, "scc")
@@ -163,7 +163,7 @@ func TestTraceSchedulerCounters(t *testing.T) {
 
 	tr := trace.New()
 	before := parallel.SchedStats()
-	_, met := BFS(g, 0, Options{Tracer: tr, TraceScheduler: true})
+	_, met, _ := BFS(g, 0, Options{Tracer: tr, TraceScheduler: true})
 	after := parallel.SchedStats()
 	if met.Rounds == 0 {
 		t.Fatal("BFS did no rounds")
@@ -207,8 +207,8 @@ func TestTraceSchedulerCounters(t *testing.T) {
 // explicit nil tracer — and produce no events anywhere.
 func TestTraceNilIsDefault(t *testing.T) {
 	g := gen.Chain(300, false)
-	d1, m1 := BFS(g, 0, Options{})
-	d2, m2 := BFS(g, 0, Options{Tracer: nil})
+	d1, m1, _ := BFS(g, 0, Options{})
+	d2, m2, _ := BFS(g, 0, Options{Tracer: nil})
 	if m1.Rounds != m2.Rounds {
 		t.Fatalf("nil tracer changed round count: %d vs %d", m1.Rounds, m2.Rounds)
 	}

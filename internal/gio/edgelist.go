@@ -42,6 +42,16 @@ func ReadEdgeList(r io.Reader, n int, directed bool) (*graph.Graph, error) {
 			}
 			weighted = true
 		}
+		// Ids MaxUint32 and above collide with the graph.None sentinel (and
+		// would push n past the 32-bit limit); weights are stored as uint32.
+		if u >= maxVertexCount || v >= maxVertexCount {
+			return nil, fmt.Errorf("gio: line %d: vertex id %d exceeds the 32-bit limit %d",
+				lineNo, max(u, v), uint64(maxVertexCount-1))
+		}
+		if w > maxEdgeWeight {
+			return nil, fmt.Errorf("gio: line %d: weight %d exceeds the 32-bit limit %d",
+				lineNo, w, uint64(maxEdgeWeight))
+		}
 		e := graph.Edge{U: uint32(u), V: uint32(v), W: uint32(w)}
 		if e.U > maxID {
 			maxID = e.U

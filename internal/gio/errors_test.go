@@ -2,10 +2,117 @@ package gio
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"pasgal/internal/gen"
 )
+
+// TestTextReadersRejectOutOfRange pins the 32-bit boundary behavior of the
+// text readers: vertex counts, vertex ids, and weights that do not fit the
+// uint32 storage must produce line-numbered errors, never silent
+// truncation (which previously aliased distinct vertices and wrapped
+// weights).
+func TestTextReadersRejectOutOfRange(t *testing.T) {
+	cases := []struct {
+		name    string
+		read    func(string) error
+		input   string
+		wantSub string // substring the error must contain ("" = any error)
+	}{
+		{
+			"dimacs n over 2^32-1",
+			readDIMACSErr,
+			"p sp 4294967296 1\na 1 2 7\n",
+			"line 1",
+		},
+		{
+			"dimacs weight over 2^32-1",
+			readDIMACSErr,
+			"p sp 4 1\na 1 2 4294967296\n",
+			"line 2",
+		},
+		{
+			"dimacs weight at limit ok",
+			readDIMACSErr,
+			"p sp 4 1\na 1 2 4294967295\n",
+			"OK",
+		},
+		{
+			"mtx rows over 2^32-1",
+			readMTXErr,
+			"%%MatrixMarket matrix coordinate pattern general\n4294967296 4294967296 1\n1 2\n",
+			"line 2",
+		},
+		{
+			"mtx weight over 2^32-1",
+			readMTXErr,
+			"%%MatrixMarket matrix coordinate integer general\n4 4 1\n1 2 4294967296\n",
+			"line 3",
+		},
+		{
+			"mtx weight at limit ok",
+			readMTXErr,
+			"%%MatrixMarket matrix coordinate integer general\n4 4 1\n1 2 4294967295\n",
+			"OK",
+		},
+		{
+			"edgelist id at None sentinel",
+			readELErr,
+			"0 4294967295\n",
+			"line 1",
+		},
+		{
+			"edgelist id over 2^32-1",
+			readELErr,
+			"2 4294967296\n",
+			"line 1",
+		},
+		{
+			"edgelist weight over 2^32-1",
+			readELErr,
+			"# c\n0 1 4294967296\n",
+			"line 2",
+		},
+		{
+			"edgelist weight at limit ok",
+			readELErr,
+			"0 1 4294967295\n",
+			"OK",
+		},
+	}
+	for _, tc := range cases {
+		err := tc.read(tc.input)
+		if tc.wantSub == "OK" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: expected error, got none", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func readDIMACSErr(in string) error {
+	_, err := ReadDIMACS(strings.NewReader(in))
+	return err
+}
+
+func readMTXErr(in string) error {
+	_, err := ReadMTX(strings.NewReader(in))
+	return err
+}
+
+func readELErr(in string) error {
+	_, err := ReadEdgeList(strings.NewReader(in), -1, true)
+	return err
+}
 
 // failingWriter errors after allowing n bytes through — exercising every
 // writer's error-propagation branches.

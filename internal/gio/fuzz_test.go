@@ -65,8 +65,36 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("0 1\n1 2\n")
 	f.Add("0 1 5\n# c\n")
 	f.Add("x y\n")
+	// 32-bit boundary seeds: ids/weights at and past the uint32 limits.
+	// (Valid near-limit ids are deliberately absent: n is inferred as
+	// max id + 1, so a legal 4-billion id would make the fuzzer allocate a
+	// 4-billion-vertex CSR.)
+	f.Add("0 4294967295\n")
+	f.Add("4294967296 1\n")
+	f.Add("0 1 4294967296\n")
+	f.Add("0 1 4294967295\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadEdgeList(strings.NewReader(in), -1, true)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+	})
+}
+
+func FuzzReadDIMACS(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteDIMACS(&seed, gen.AddUniformWeights(gen.Grid2D(3, 3, false, 1), 1, 9, 2))
+	f.Add(seed.String())
+	f.Add("c x\np sp 2 1\na 1 2 7\n")
+	// 32-bit boundary seeds.
+	f.Add("p sp 4294967296 1\na 1 2 7\n")
+	f.Add("p sp 2 1\na 1 2 4294967296\n")
+	f.Add("p sp 2 1\na 1 2 4294967295\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadDIMACS(strings.NewReader(in))
 		if err != nil {
 			return
 		}
@@ -81,6 +109,9 @@ func FuzzReadMTX(f *testing.F) {
 	_ = WriteMTX(&seed, gen.Grid2D(3, 3, false, 1))
 	f.Add(seed.String())
 	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	// 32-bit boundary seeds.
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n4294967296 4294967296 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n3 3 1\n1 2 4294967296\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadMTX(strings.NewReader(in))
 		if err != nil {

@@ -35,21 +35,31 @@ func ReadMTX(r io.Reader) (*graph.Graph, error) {
 
 	// Skip comments, read the size line.
 	var rows, cols, nnz int64
+	lineNo := 1
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '%' {
 			continue
 		}
 		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
-			return nil, fmt.Errorf("gio: mtx size line: %w", err)
+			return nil, fmt.Errorf("gio: mtx line %d: size line: %w", lineNo, err)
 		}
 		break
 	}
 	if rows != cols {
 		return nil, fmt.Errorf("gio: mtx matrix is %dx%d, need square", rows, cols)
 	}
+	if rows < 0 || nnz < 0 {
+		return nil, fmt.Errorf("gio: mtx line %d: implausible sizes", lineNo)
+	}
+	if rows > maxVertexCount {
+		return nil, fmt.Errorf("gio: mtx line %d: %d rows exceeds the 32-bit vertex-id limit %d",
+			lineNo, rows, int64(maxVertexCount))
+	}
 	edges := make([]graph.Edge, 0, nnz)
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || line[0] == '%' {
 			continue
@@ -63,10 +73,14 @@ func ReadMTX(r io.Reader) (*graph.Graph, error) {
 			_, err = fmt.Sscan(line, &u, &v)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("gio: mtx entry %q: %w", line, err)
+			return nil, fmt.Errorf("gio: mtx line %d: entry %q: %w", lineNo, line, err)
 		}
 		if u < 1 || u > rows || v < 1 || v > rows {
-			return nil, fmt.Errorf("gio: mtx entry (%d,%d) out of range", u, v)
+			return nil, fmt.Errorf("gio: mtx line %d: entry (%d,%d) out of range", lineNo, u, v)
+		}
+		if w > maxEdgeWeight {
+			return nil, fmt.Errorf("gio: mtx line %d: weight %g exceeds the 32-bit limit %d",
+				lineNo, w, int64(maxEdgeWeight))
 		}
 		wt := uint32(w)
 		if w < 0 {

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CancelPollAnalyzer reports round/phase-boundary loops that never poll
+// the run's cancellation token. The cancellation contract (see
+// docs/ROBUSTNESS.md) requires every algorithm driver to check its
+// core.Canceler at each round boundary: a loop that records rounds or
+// phases but never calls Poll keeps running arbitrarily long after the
+// context is done — exactly the bug the contract exists to prevent, and
+// one no dynamic test catches unless it happens to cancel inside that
+// specific loop.
+//
+// The rule fires only inside functions that hold a Canceler (a parameter
+// of type *Canceler / *core.Canceler, or a local obtained from
+// NewCanceler), so non-cancellable code is never flagged. Within such a
+// function, any for/range loop whose body records a round or phase
+// boundary (Metrics.Round, Metrics.AddPhase, Metrics.AddBottomUp) must
+// also contain a Poll call. Matching is syntactic on method names, so it
+// keeps working where cross-package type information is stubbed.
+func CancelPollAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "cancel-poll",
+		Doc:  "a round/phase loop in a function holding a Canceler must poll it",
+		Run:  runCancelPoll,
+	}
+}
+
+// boundaryMethods are the Metrics methods that mark a loop as a
+// round/phase boundary loop.
+var boundaryMethods = map[string]bool{
+	"Round": true, "AddPhase": true, "AddBottomUp": true,
+}
+
+func runCancelPoll(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !holdsCanceler(fd) {
+				continue
+			}
+			out = append(out, checkCancelPoll(pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// holdsCanceler reports whether fd has a cancellation token to poll: a
+// parameter of (syntactic) type *Canceler or *core.Canceler, or a body
+// that calls NewCanceler.
+func holdsCanceler(fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			if isCancelerType(field.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "NewCanceler" {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "NewCanceler" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCancelerType matches the syntactic forms *Canceler and *pkg.Canceler.
+func isCancelerType(t ast.Expr) bool {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	switch e := unparen(star.X).(type) {
+	case *ast.Ident:
+		return e.Name == "Canceler"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Canceler"
+	}
+	return false
+}
+
+// checkCancelPoll attributes each boundary call to its nearest enclosing
+// loop and flags loops that contain a boundary call but no Poll call.
+func checkCancelPoll(pkg *Package, fd *ast.FuncDecl) []Finding {
+	type loopInfo struct {
+		node     ast.Node // *ast.ForStmt or *ast.RangeStmt
+		boundary string   // first boundary method seen, "" if none
+		polled   bool
+	}
+	loops := map[ast.Node]*loopInfo{}
+	var order []ast.Node
+
+	nearestLoop := func(stack []ast.Node) ast.Node {
+		// stack[len-1] is the call; skip it and find the closest loop.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return stack[i]
+			}
+		}
+		return nil
+	}
+
+	walkStack(fd.Body, func(stack []ast.Node) bool {
+		switch n := stack[len(stack)-1].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if loops[n] == nil {
+				loops[n] = &loopInfo{node: n}
+				order = append(order, n)
+			}
+		case *ast.CallExpr:
+			sel, ok := unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Poll" && !boundaryMethods[name] {
+				return true
+			}
+			loop := nearestLoop(stack)
+			if loop == nil {
+				return true
+			}
+			info := loops[loop]
+			if name == "Poll" {
+				// A poll anywhere inside the loop body satisfies every
+				// boundary call attributed to that loop — and, since an
+				// outer loop's body contains its inner loops, polling the
+				// outer round loop does not excuse an un-polled inner one.
+				info.polled = true
+			} else if info.boundary == "" {
+				info.boundary = name
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, node := range order {
+		info := loops[node]
+		if info.boundary == "" || info.polled {
+			continue
+		}
+		// An inner boundary loop inherits a poll from an enclosing loop
+		// only if the poll is syntactically inside that inner loop — which
+		// it is not, or polled would be set. Flag it.
+		out = append(out, Finding{
+			Pos:  pkg.position(node.Pos()),
+			Rule: "cancel-poll",
+			Message: fmt.Sprintf(
+				"loop records a round/phase boundary (%s) but never polls the Canceler; a canceled context cannot stop it — add cl.Poll() at the loop top (docs/ROBUSTNESS.md)",
+				info.boundary),
+		})
+	}
+	return out
+}

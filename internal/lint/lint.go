@@ -20,6 +20,10 @@
 //   - wait-group-misuse: wg.Add called inside the spawned goroutine rather
 //     than before the launch, or a WaitGroup that is Add-ed but never waited
 //     on.
+//   - cancel-poll: a round/phase-boundary loop (one that records
+//     Metrics.Round/AddPhase/AddBottomUp) inside a function holding a
+//     core.Canceler that never calls Poll — a canceled context could not
+//     stop that loop.
 //
 // Findings on provably safe hot paths are suppressed with an allowlist
 // comment on the flagged line or the line above it:
@@ -75,6 +79,7 @@ func Analyzers() []*Analyzer {
 		AtomicCopyAnalyzer(),
 		ParallelCaptureAnalyzer(),
 		WaitGroupAnalyzer(),
+		CancelPollAnalyzer(),
 	}
 }
 

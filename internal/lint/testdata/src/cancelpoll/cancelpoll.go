@@ -1,0 +1,108 @@
+// Package cancelpoll exercises the cancel-poll analyzer: round/phase
+// loops in functions holding a Canceler must poll it. The types mirror
+// internal/core's Canceler/Metrics shapes; the analyzer matches method
+// names syntactically, exactly as it must against stubbed imports.
+package cancelpoll
+
+type Metrics struct{}
+
+func (m *Metrics) Round(frontier int) {}
+func (m *Metrics) AddPhase()          {}
+func (m *Metrics) AddBottomUp()       {}
+
+type Canceler struct{}
+
+func (c *Canceler) Poll() error { return nil }
+
+type Options struct{}
+
+func NewCanceler(opt Options, met *Metrics) *Canceler { return &Canceler{} }
+
+// badUnpolledRoundLoop is the bug the rule exists for: the driver builds
+// a Canceler but its round loop never checks it, so cancellation cannot
+// stop the run.
+func badUnpolledRoundLoop(n int, opt Options) {
+	met := &Metrics{}
+	cl := NewCanceler(opt, met)
+	_ = cl
+	for i := 0; i < n; i++ { // want:cancel-poll
+		met.Round(i)
+	}
+}
+
+// badUnpolledPhaseLoop: same for phase boundaries, with the Canceler
+// arriving as a parameter.
+func badUnpolledPhaseLoop(n int, met *Metrics, cl *Canceler) {
+	for i := 0; i < n; i++ { // want:cancel-poll
+		met.AddPhase()
+	}
+}
+
+// badInnerLoopNotExcusedByOuterPoll: polling the outer loop does not make
+// the inner round loop cancellable — the run can spend arbitrarily long
+// inside the inner loop between outer polls.
+func badInnerLoopNotExcusedByOuterPoll(n int, met *Metrics, cl *Canceler) error {
+	for p := 0; p < n; p++ {
+		if err := cl.Poll(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ { // want:cancel-poll
+			met.Round(i)
+		}
+	}
+	return nil
+}
+
+// goodPolledRoundLoop is the contract's canonical shape: poll at the loop
+// top, record the round after.
+func goodPolledRoundLoop(n int, opt Options) error {
+	met := &Metrics{}
+	cl := NewCanceler(opt, met)
+	for i := 0; i < n; i++ {
+		if err := cl.Poll(); err != nil {
+			return err
+		}
+		met.Round(i)
+	}
+	return nil
+}
+
+// goodRangeLoop: range loops are checked the same way.
+func goodRangeLoop(frontier []int, met *Metrics, cl *Canceler) error {
+	for range frontier {
+		if err := cl.Poll(); err != nil {
+			return err
+		}
+		met.AddBottomUp()
+	}
+	return nil
+}
+
+// goodNoCanceler: a function without a Canceler in scope is out of the
+// rule's jurisdiction — it has nothing to poll.
+func goodNoCanceler(n int) {
+	met := &Metrics{}
+	for i := 0; i < n; i++ {
+		met.Round(i)
+	}
+}
+
+// goodLoopWithoutBoundary: loops that record no round/phase boundary
+// (result materialization, counting) need no poll.
+func goodLoopWithoutBoundary(xs []int, cl *Canceler) int {
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// goodAllowlisted shows the escape hatch: a deliberate exception carries
+// the ignore comment and a justification.
+func goodAllowlisted(n int, met *Metrics, cl *Canceler) {
+	//pasgal:vet ignore=cancel-poll -- bounded to 3 iterations, cheaper than the poll
+	for i := 0; i < 3; i++ {
+		met.AddPhase()
+	}
+	_ = n
+}

@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCancelNilSafety pins the "nil token never cancels" contract every
+// non-cancellable entry point relies on: all methods must be safe and
+// behave as an unfired token on a nil receiver.
+func TestCancelNilSafety(t *testing.T) {
+	var c *Cancel
+	if c.Canceled() {
+		t.Fatal("nil token reports canceled")
+	}
+	if c.Cause() != nil {
+		t.Fatalf("nil token has cause %v", c.Cause())
+	}
+	c.Fire(errors.New("ignored")) // must not panic
+	if c.Canceled() {
+		t.Fatal("nil token canceled after Fire")
+	}
+}
+
+// TestCancelFirstFireWins checks stickiness and cause retention: the first
+// Fire's cause is kept, later calls (including nil-cause ones) are no-ops.
+func TestCancelFirstFireWins(t *testing.T) {
+	first := errors.New("first")
+	c := NewCancel()
+	if c.Canceled() || c.Cause() != nil {
+		t.Fatal("fresh token not in the unfired state")
+	}
+	c.Fire(first)
+	c.Fire(errors.New("second"))
+	c.Fire(nil)
+	if !c.Canceled() {
+		t.Fatal("token not canceled after Fire")
+	}
+	if got := c.Cause(); got != first {
+		t.Fatalf("Cause() = %v, want the first Fire's cause", got)
+	}
+}
+
+// TestCancelNilCause: Fire(nil) is a valid cancellation ("canceled without
+// explanation") and still latches the flag.
+func TestCancelNilCause(t *testing.T) {
+	c := NewCancel()
+	c.Fire(nil)
+	if !c.Canceled() {
+		t.Fatal("token not canceled after Fire(nil)")
+	}
+	if c.Cause() != nil {
+		t.Fatalf("Cause() = %v, want nil", c.Cause())
+	}
+	// A later cause must not overwrite the nil one: the first Fire won.
+	c.Fire(errors.New("late"))
+	if c.Cause() != nil {
+		t.Fatal("later Fire overwrote the winning nil cause")
+	}
+}
+
+// TestForRangeCancelPreFired: a token that fired before the launch must
+// prevent every body execution — the launch path short-circuits, so not
+// even one inline chunk runs.
+func TestForRangeCancelPreFired(t *testing.T) {
+	c := NewCancel()
+	c.Fire(nil)
+	var ran atomic.Int64
+	ForRangeCancel(c, 1<<16, 64, func(lo, hi int) { ran.Add(int64(hi - lo)) })
+	ForCancel(c, 1<<16, 64, func(i int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("pre-fired token executed %d iterations, want 0", got)
+	}
+}
+
+// TestForRangeCancelNilTokenIsForRange: a nil token must make
+// ForRangeCancel exactly ForRange — every index visited exactly once.
+func TestForRangeCancelNilTokenIsForRange(t *testing.T) {
+	const n = 100001
+	seen := make([]atomic.Int32, n)
+	ForRangeCancel(nil, n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	})
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+// TestForRangeCancelDrains fires the token from inside the body and checks
+// the drain contract: the launch returns normally, skipped chunks never run,
+// and the work done after the fire is bounded by the chunks already in
+// flight (at most one per participant), not by the remaining iteration
+// space.
+func TestForRangeCancelDrains(t *testing.T) {
+	const (
+		n     = 1 << 20
+		grain = 256
+	)
+	for trial := 0; trial < 20; trial++ {
+		c := NewCancel()
+		var ran atomic.Int64
+		ForRangeCancel(c, n, grain, func(lo, hi int) {
+			if ran.Add(int64(hi-lo)) >= 4*grain {
+				c.Fire(nil)
+			}
+		})
+		if !c.Canceled() {
+			t.Fatal("token did not fire")
+		}
+		// After the fire, each participant may finish the one chunk it had
+		// already claimed; everything else must drain without running.
+		bound := int64(4*grain + (Workers()+1)*grain)
+		if got := ran.Load(); got >= n || got > bound {
+			t.Fatalf("trial %d: %d of %d iterations ran after cancel (bound %d): drain did not bound the work",
+				trial, got, n, bound)
+		}
+	}
+}
+
+// TestForRangeCancelJoinComplete: even on a canceled loop the join must be
+// complete — no body invocation may still be running (or start) after
+// ForRangeCancel returns.
+func TestForRangeCancelJoinComplete(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		c := NewCancel()
+		var inFlight, ran atomic.Int64
+		ForRangeCancel(c, 1<<18, 64, func(lo, hi int) {
+			inFlight.Add(1)
+			if ran.Add(int64(hi-lo)) > 1<<12 {
+				c.Fire(nil)
+			}
+			inFlight.Add(-1)
+		})
+		if got := inFlight.Load(); got != 0 {
+			t.Fatalf("trial %d: %d body calls still in flight after return", trial, got)
+		}
+	}
+}
+
+// TestForRangeCancelPanicWins: a body panic must still propagate exactly
+// once out of a canceled launch — cancellation drains work, it must not
+// swallow the panic that was already in flight.
+func TestForRangeCancelPanicWins(t *testing.T) {
+	c := NewCancel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate through a canceled launch")
+		}
+	}()
+	ForRangeCancel(c, 1<<16, 64, func(lo, hi int) {
+		c.Fire(nil)
+		panic("boom")
+	})
+}
+
+// TestStressCancelConcurrentFire hammers the fire/drain race from outside
+// the loop: many trials where an independent goroutine fires the token at a
+// random point while the loop runs. Under -race this checks the
+// flag-publication ordering between Fire and the per-chunk poll; the
+// invariants are the same as the deterministic tests (join complete, no
+// full execution once fired early, Cause visible after Canceled).
+func TestStressCancelConcurrentFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	cause := errors.New("external stop")
+	for trial := 0; trial < 200; trial++ {
+		c := NewCancel()
+		var ran atomic.Int64
+		var wg sync.WaitGroup
+		release := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-release
+			c.Fire(cause)
+		}()
+		ForRangeCancel(c, 1<<16, 32, func(lo, hi int) {
+			if lo == 0 {
+				close(release)
+			}
+			ran.Add(int64(hi - lo))
+		})
+		wg.Wait()
+		if !c.Canceled() {
+			t.Fatal("token not canceled after Fire returned")
+		}
+		if got := c.Cause(); got != cause {
+			t.Fatalf("trial %d: Cause() = %v, want the firing goroutine's cause", trial, got)
+		}
+	}
+}

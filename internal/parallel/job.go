@@ -36,6 +36,13 @@ type job struct {
 
 	arms []forkArm
 
+	// cancel, when non-nil, is polled once per chunk claim: a fired token
+	// makes runLoop drain remaining chunks without executing the body,
+	// exactly like the post-panic path. Do arms are not cancellable — a
+	// fork's arms are a fixed, small set the caller steals back at the
+	// join, so there is nothing meaningful to shed.
+	cancel *Cancel
+
 	pending   atomic.Int64
 	done      chan struct{}
 	panicked  atomic.Bool
@@ -160,10 +167,13 @@ func (j *job) runLoop(home int) bool {
 		if hi > j.n {
 			hi = j.n
 		}
-		// After a panic the remaining chunks are drained without running
-		// the body, so the join completes quickly and the panic value can
-		// be re-raised.
-		if !j.panicked.Load() {
+		// After a panic — or once the job's cancel token fires — the
+		// remaining chunks are drained without running the body, so the
+		// join completes in O(chunks) claim work and the launch returns
+		// promptly. This poll at the chunk-claim boundary (takeOne or
+		// stealHalf above) is the entire per-chunk cancellation cost: one
+		// nil test plus, for cancellable loops, one atomic load.
+		if !j.panicked.Load() && !j.cancel.Canceled() {
 			j.exec(lo, hi)
 		}
 		if j.pending.Add(-1) == 0 {

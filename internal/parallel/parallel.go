@@ -96,7 +96,15 @@ func SetTracer(t *trace.Tracer) *trace.Tracer {
 // dynamically by work stealing. Panics in the body are propagated to the
 // caller after all outstanding chunks finish.
 func ForRange(n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
+	forRange(nil, n, grain, body)
+}
+
+// forRange is the shared launch path behind ForRange and ForRangeCancel.
+// c may be nil (never cancels). Cancellation is polled per chunk claim in
+// runLoop; here it only short-circuits the inline path and the launch of a
+// loop whose token has already fired.
+func forRange(c *Cancel, n, grain int, body func(lo, hi int)) {
+	if n <= 0 || c.Canceled() {
 		return
 	}
 	p := Workers()
@@ -121,7 +129,7 @@ func ForRange(n, grain int, body func(lo, hi int)) {
 	statForks.Add(int64(k - 1))
 	tracer.Load().Loop(int64(k-1), int64(chunks))
 
-	j := &job{body: body, grain: grain, n: n, done: make(chan struct{})}
+	j := &job{body: body, grain: grain, n: n, cancel: c, done: make(chan struct{})}
 	j.pending.Store(int64(chunks))
 	j.slots = make([]slot, k)
 	per, rem := chunks/k, chunks%k

@@ -50,6 +50,8 @@ func (t *Tracer) WriteRoundLog(w io.Writer) error {
 			fmt.Fprintf(bw, "+%.6fs %-12s phase %d (detail=%d)\n", ts, ev.Algo, ev.A, ev.B)
 		case KindResize:
 			fmt.Fprintf(bw, "+%.6fs %-12s grew to level %d (%d slots)\n", ts, ev.Algo, ev.A, ev.B)
+		case KindCancel:
+			fmt.Fprintf(bw, "+%.6fs %-12s canceled after %d rounds\n", ts, ev.Algo, ev.A)
 		}
 	}
 	return bw.Flush()
@@ -176,6 +178,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				Name: "bag resize", Cat: "resize", Ph: "i", S: "t",
 				TS: us(ev.TS), PID: 1, TID: tid,
 				Args: map[string]any{"level": ev.A, "slots": ev.B},
+			})
+		case KindCancel:
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "canceled", Cat: "cancel", Ph: "i", S: "t",
+				TS: us(ev.TS), PID: 1, TID: tid,
+				Args: map[string]any{"rounds": ev.A},
 			})
 		}
 	}

@@ -39,6 +39,7 @@ const (
 	CtrSteals                     // loop range halves and Do arms claimed by non-owners
 	CtrParks                      // idle pool workers that blocked
 	CtrWakes                      // wakeups issued to parked workers
+	CtrCancels                    // runs stopped by cancellation or deadline
 	numCounters
 )
 
@@ -46,6 +47,7 @@ const (
 var counterNames = [numCounters]string{
 	"rounds", "bottom_up", "phases", "bag_resizes", "bag_retries",
 	"loops", "forks", "inline_loops", "steals", "parks", "wakes",
+	"cancels",
 }
 
 // Name returns the counter's snake_case name as used in the sinks.
@@ -65,6 +67,7 @@ const (
 	KindDirSwitch             // a round ran bottom-up (direction-optimized)
 	KindPhase                 // one outer phase boundary
 	KindResize                // a hash bag advanced to a larger chunk
+	KindCancel                // a run stopped early (cancellation/deadline)
 )
 
 // String names the kind as used in the sinks.
@@ -78,6 +81,8 @@ func (k Kind) String() string {
 		return "phase"
 	case KindResize:
 		return "resize"
+	case KindCancel:
+		return "cancel"
 	}
 	return "unknown"
 }
@@ -89,6 +94,7 @@ func (k Kind) String() string {
 //	KindDirSwitch: A = round index the switch applies to, B unused
 //	KindPhase:     A = phase index (1-based), B = caller detail (or -1)
 //	KindResize:    A = new chunk level, B = new chunk slot count
+//	KindCancel:    A = rounds completed when the run stopped, B unused
 type Event struct {
 	TS   int64
 	Kind Kind
@@ -170,6 +176,16 @@ func (t *Tracer) Phase(algo string, phase, detail int64) {
 	}
 	t.counters[CtrPhases].Add(1)
 	t.emit(Event{Kind: KindPhase, Algo: algo, A: phase, B: detail})
+}
+
+// Cancel records a run of algo stopping early at a cancellation or
+// deadline check, after completing `rounds` rounds.
+func (t *Tracer) Cancel(algo string, rounds int64) {
+	if t == nil {
+		return
+	}
+	t.counters[CtrCancels].Add(1)
+	t.emit(Event{Kind: KindCancel, Algo: algo, A: rounds})
 }
 
 // BagResize records a hash bag advancing to chunk level `level` of `slots`

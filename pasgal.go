@@ -81,6 +81,15 @@ type DeltaStepping = core.DeltaStepping
 // BellmanFordPolicy processes every active vertex every phase.
 type BellmanFordPolicy = core.BellmanFordPolicy
 
+// ErrCanceled is returned by every algorithm when Options.Ctx is canceled
+// before the run converges. The Metrics returned alongside it describe the
+// partial run; the result values are zero.
+var ErrCanceled = core.ErrCanceled
+
+// ErrDeadline is returned by every algorithm when Options.Ctx's deadline
+// passes before the run converges.
+var ErrDeadline = core.ErrDeadline
+
 const (
 	// None is the "no vertex" sentinel.
 	None = graph.None
@@ -97,41 +106,43 @@ func NewGraph(n int, edges []Edge, directed bool, opt BuildOptions) *Graph {
 }
 
 // BFS returns hop distances from src (InfDist when unreachable) using
-// PASGAL's vertical-granularity-control BFS.
-func BFS(g *Graph, src uint32, opt Options) ([]uint32, *Metrics) {
+// PASGAL's vertical-granularity-control BFS. With Options.Ctx set, a
+// canceled or expired context stops the run early with ErrCanceled or
+// ErrDeadline and partial Metrics (never a partial result).
+func BFS(g *Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 	return core.BFS(g, src, opt)
 }
 
 // BFSTree returns hop distances and a BFS-tree parent per reached vertex
 // (None for the source and unreached vertices). Distance/parent pairs are
 // updated with a single packed CAS, so the tree is always consistent.
-func BFSTree(g *Graph, src uint32, opt Options) (dist, parent []uint32, met *Metrics) {
+func BFSTree(g *Graph, src uint32, opt Options) (dist, parent []uint32, met *Metrics, err error) {
 	return core.BFSTree(g, src, opt)
 }
 
 // SCC returns, for a directed graph, a strongly-connected-component label
 // per vertex (the id of a representative member) and the component count.
-func SCC(g *Graph, opt Options) ([]uint32, int, *Metrics) {
+func SCC(g *Graph, opt Options) ([]uint32, int, *Metrics, error) {
 	return core.SCC(g, opt)
 }
 
 // BCC returns the biconnected components of an undirected graph using
 // FAST-BCC: a label per arc, the component count, and articulation points.
 // Symmetrize directed graphs first (g.Symmetrized()).
-func BCC(g *Graph, opt Options) (BCCResult, *Metrics) {
+func BCC(g *Graph, opt Options) (BCCResult, *Metrics, error) {
 	return core.BCC(g, opt)
 }
 
 // SSSP returns shortest-path distances from src on a weighted graph using
 // the stepping framework. policy == nil selects ρ-stepping defaults.
-func SSSP(g *Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics) {
+func SSSP(g *Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics, error) {
 	return core.SSSP(g, src, policy, opt)
 }
 
 // SSSPTree returns shortest-path distances and a shortest-path tree
 // (parent per reached vertex; None for src and unreachable vertices).
 // Use PathTo to reconstruct routes.
-func SSSPTree(g *Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics) {
+func SSSPTree(g *Graph, src uint32, policy StepPolicy, opt Options) (dist []uint64, parent []uint32, met *Metrics, err error) {
 	return core.SSSPTree(g, src, policy, opt)
 }
 
@@ -144,7 +155,7 @@ func PathTo(parent []uint32, root, v uint32) []uint32 {
 // KCore returns the coreness of every vertex of an undirected graph and
 // the degeneracy, by parallel peeling with VGC (one of the paper's named
 // extensions).
-func KCore(g *Graph, opt Options) ([]uint32, int, *Metrics) {
+func KCore(g *Graph, opt Options) ([]uint32, int, *Metrics, error) {
 	return core.KCore(g, opt)
 }
 
@@ -152,7 +163,7 @@ func KCore(g *Graph, opt Options) ([]uint32, int, *Metrics) {
 // weighted graph (InfWeight if unreachable), using the stepping framework
 // with goal-directed pruning (one of the paper's named extensions).
 // policy == nil selects ρ-stepping defaults.
-func PointToPoint(g *Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics) {
+func PointToPoint(g *Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics, error) {
 	return core.PointToPoint(g, src, dst, policy, opt)
 }
 
@@ -162,7 +173,7 @@ func SequentialKCore(g *Graph) ([]uint32, int) { return seq.KCore(g) }
 
 // Reachable marks every vertex reachable from any source, using the
 // paper's order-relaxed VGC reachability search.
-func Reachable(g *Graph, srcs []uint32, opt Options) ([]bool, *Metrics) {
+func Reachable(g *Graph, srcs []uint32, opt Options) ([]bool, *Metrics, error) {
 	return core.Reachable(g, srcs, opt)
 }
 
@@ -199,14 +210,14 @@ func DegreeHistogram(g *Graph) []int64 { return graph.DegreeHistogram(g) }
 // Bridges flags the bridge edges of an undirected graph (per arc; both
 // arcs of a bridge are flagged) and returns the bridge count — a direct
 // corollary of FAST-BCC (a bridge is a single-edge biconnected component).
-func Bridges(g *Graph, opt Options) ([]bool, int, *Metrics) {
+func Bridges(g *Graph, opt Options) ([]bool, int, *Metrics, error) {
 	return core.Bridges(g, opt)
 }
 
 // DensestSubgraph returns Charikar's peeling 2-approximation of the
 // maximum-density subgraph, computed from the VGC k-core decomposition:
 // the vertex set, its density (edges/vertices), and metrics.
-func DensestSubgraph(g *Graph, opt Options) ([]uint32, float64, *Metrics) {
+func DensestSubgraph(g *Graph, opt Options) ([]uint32, float64, *Metrics, error) {
 	return core.DensestSubgraph(g, opt)
 }
 

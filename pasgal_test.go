@@ -1,6 +1,8 @@
 package pasgal
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -19,7 +21,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	g := NewGraph(8, edges, true, BuildOptions{})
 
-	dist, met := BFS(g, 0, Options{})
+	dist, met, _ := BFS(g, 0, Options{})
 	wantDist := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
 	for v := range wantDist {
 		if dist[v] != wantDist[v] {
@@ -36,7 +38,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		}
 	}
 
-	labels, count, _ := SCC(g, Options{})
+	labels, count, _, _ := SCC(g, Options{})
 	if count != 4 {
 		t.Fatalf("SCC count = %d, want 4", count)
 	}
@@ -48,7 +50,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	sym := g.Symmetrized()
-	bcc, _ := BCC(sym, Options{})
+	bcc, _, _ := BCC(sym, Options{})
 	if bcc.NumBCC != 5 {
 		t.Fatalf("BCC count = %d, want 5", bcc.NumBCC)
 	}
@@ -62,7 +64,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	wg := AddUniformWeights(g, 1, 10, 42)
-	wdist, _ := SSSP(wg, 0, nil, Options{})
+	wdist, _, _ := SSSP(wg, 0, nil, Options{})
 	seqW := SequentialSSSP(wg, 0)
 	for v := range wdist {
 		if wdist[v] != seqW[v] {
@@ -162,7 +164,7 @@ func TestGzipRoundTrip(t *testing.T) {
 func TestReachableAndConnectivity(t *testing.T) {
 	// Two directed components: 0->1->2, 3->4.
 	g := NewGraph(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}, true, BuildOptions{})
-	reach, met := Reachable(g, []uint32{0}, Options{})
+	reach, met, _ := Reachable(g, []uint32{0}, Options{})
 	want := []bool{true, true, true, false, false}
 	for v := range want {
 		if reach[v] != want[v] {
@@ -173,7 +175,7 @@ func TestReachableAndConnectivity(t *testing.T) {
 		t.Fatal("no rounds")
 	}
 	// Multi-source.
-	reach, _ = Reachable(g, []uint32{0, 3}, Options{})
+	reach, _, _ = Reachable(g, []uint32{0, 3}, Options{})
 	for v := 0; v < 5; v++ {
 		if !reach[v] {
 			t.Fatalf("multi-source reach[%d] false", v)
@@ -190,7 +192,7 @@ func TestReachableAndConnectivity(t *testing.T) {
 	}
 	// KCore + subgraph utilities.
 	ug := GenerateTriGrid(10, 10)
-	core, degen, _ := KCore(ug, Options{})
+	core, degen, _, _ := KCore(ug, Options{})
 	seqCore, seqDegen := SequentialKCore(ug)
 	if degen != seqDegen {
 		t.Fatalf("degeneracy %d vs %d", degen, seqDegen)
@@ -210,7 +212,7 @@ func TestReachableAndConnectivity(t *testing.T) {
 	}
 	// Point-to-point.
 	wg := AddUniformWeights(GenerateGrid(8, 8, false, 3), 1, 9, 4)
-	d, _ := PointToPoint(wg, 0, 63, nil, Options{})
+	d, _, _ := PointToPoint(wg, 0, 63, nil, Options{})
 	full := SequentialSSSP(wg, 0)
 	if d != full[63] {
 		t.Fatalf("ptp %d vs %d", d, full[63])
@@ -225,7 +227,7 @@ func TestWorkersControl(t *testing.T) {
 	}
 	// Algorithms still correct under a forced worker count.
 	g := GenerateGrid(20, 20, false, 1)
-	dist, _ := BFS(g, 0, Options{})
+	dist, _, _ := BFS(g, 0, Options{})
 	want := SequentialBFS(g, 0)
 	for v := range want {
 		if dist[v] != want[v] {
@@ -240,7 +242,7 @@ func TestMiningWrappers(t *testing.T) {
 		{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2},
 		{U: 1, V: 3}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
 	}, false, BuildOptions{})
-	verts, density, _ := DensestSubgraph(g, Options{})
+	verts, density, _, _ := DensestSubgraph(g, Options{})
 	if len(verts) != 4 || density != 1.5 {
 		t.Fatalf("densest: %d verts density %v", len(verts), density)
 	}
@@ -275,9 +277,59 @@ func TestNoGoroutineLeaks(t *testing.T) {
 
 func TestSSSPTreeWrapper(t *testing.T) {
 	g := AddUniformWeights(GenerateChain(6, true), 2, 2, 1)
-	dist, parent, _ := SSSPTree(g, 0, nil, Options{})
+	dist, parent, _, _ := SSSPTree(g, 0, nil, Options{})
 	path := PathTo(parent, 0, 5)
 	if len(path) != 6 || dist[5] != 10 {
 		t.Fatalf("path %v dist %d", path, dist[5])
+	}
+}
+
+// TestPublicAPICancellation: every public algorithm wrapper honors a
+// pre-canceled Options.Ctx — typed sentinel out, no result claimed
+// complete. The deep per-algorithm conformance lives in
+// internal/core/cancel_test.go; this pins the re-exported surface
+// (pasgal.ErrCanceled / pasgal.ErrDeadline and the Options alias).
+func TestPublicAPICancellation(t *testing.T) {
+	var edges []Edge
+	for i := uint32(0); i < 999; i++ {
+		edges = append(edges, Edge{U: i, V: i + 1, W: 1 + i%9})
+	}
+	dg := NewGraph(1000, edges, true, BuildOptions{Weighted: true})
+	ug := NewGraph(1000, edges, false, BuildOptions{Weighted: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Ctx: ctx}
+	runs := map[string]func() error{
+		"BFS":     func() error { _, _, err := BFS(dg, 0, opt); return err },
+		"BFSTree": func() error { _, _, _, err := BFSTree(dg, 0, opt); return err },
+		"SCC":     func() error { _, _, _, err := SCC(dg, opt); return err },
+		"BCC":     func() error { _, _, err := BCC(ug, opt); return err },
+		"SSSP":    func() error { _, _, err := SSSP(ug, 0, RhoStepping{}, opt); return err },
+		"SSSPTree": func() error {
+			_, _, _, err := SSSPTree(ug, 0, RhoStepping{}, opt)
+			return err
+		},
+		"PointToPoint": func() error {
+			_, _, err := PointToPoint(ug, 0, 999, RhoStepping{}, opt)
+			return err
+		},
+		"KCore":     func() error { _, _, _, err := KCore(ug, opt); return err },
+		"Reachable": func() error { _, _, err := Reachable(dg, []uint32{0}, opt); return err },
+		"Bridges":   func() error { _, _, _, err := Bridges(ug, opt); return err },
+		"DensestSubgraph": func() error {
+			_, _, _, err := DensestSubgraph(ug, opt)
+			return err
+		},
+	}
+	for name, run := range runs {
+		if err := run(); !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want pasgal.ErrCanceled", name, err)
+		}
+	}
+	// And the deadline flavor maps to the other sentinel.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := BFS(dg, 0, Options{Ctx: dctx}); !errors.Is(err, ErrDeadline) {
+		t.Errorf("deadline: err = %v, want pasgal.ErrDeadline", err)
 	}
 }

@@ -76,5 +76,11 @@ go test -race -run Stress -count=3 \
 # primitive x worker-count x grain x size cell catches ordering bugs the
 # stress loops' fixed shapes miss.
 go test -race -run 'Conformance|PanicPropagation' -count=1 ./internal/parallel
+# Cancellation conformance under -race: pre-canceled contexts, expired
+# deadlines, and mid-run cancels across every entry point — the
+# fire/drain hand-off is exactly the kind of publication race -race sees
+# and plain runs miss.
+go test -race -run 'Cancel' -count=1 \
+    ./internal/parallel ./internal/core ./internal/baseline
 
 echo 'all checks passed'

@@ -15,7 +15,7 @@ func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
 	for _, tool := range []string{"pasgal", "pasgal-gen", "pasgal-stats",
-		"pasgal-bench", "pasgal-convert"} {
+		"pasgal-bench", "pasgal-convert", "pasgal-vet"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Env = os.Environ()
@@ -239,5 +239,85 @@ func TestCLIErrors(t *testing.T) {
 		if err := exec.Command(c[0], c[1:]...).Run(); err == nil {
 			t.Fatalf("%v: expected non-zero exit", c)
 		}
+	}
+}
+
+// TestCLIVetJSON is the golden-output test for pasgal-vet -json: the
+// machine-readable findings for the xa/xb cross-package fixture must match
+// exactly — rule, position, message, and function are a stable contract
+// for editor and CI integrations. A second run over the escape fixture
+// checks the callPath field renders the multi-hop chain.
+func TestCLIVetJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	vet := filepath.Join(bins, "pasgal-vet")
+
+	runVet := func(pattern string) []map[string]any {
+		t.Helper()
+		cmd := exec.Command(vet, "-json", pattern)
+		out, err := cmd.Output()
+		// Findings are expected: exit status 1, not 0 and not 2.
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			t.Fatalf("pasgal-vet -json %s: err=%v, want exit 1\n%s", pattern, err, out)
+		}
+		var findings []map[string]any
+		if err := json.Unmarshal(out, &findings); err != nil {
+			t.Fatalf("invalid JSON from pasgal-vet: %v\n%s", err, out)
+		}
+		return findings
+	}
+
+	got := runVet("./internal/lint/testdata/src/xa")
+	want := []map[string]any{
+		{
+			"file":     "internal/lint/testdata/src/xa/xa.go",
+			"line":     float64(12),
+			"col":      float64(2),
+			"rule":     "xpkg-mixed-access",
+			"message":  "N is accessed atomically in pasgal/internal/lint/testdata/src/xb (internal/lint/testdata/src/xb/xb.go:12) but plainly written here; the packages race through the shared object",
+			"function": "lint/testdata/src/xa.badReset",
+		},
+		{
+			"file":     "internal/lint/testdata/src/xa/xa.go",
+			"line":     float64(18),
+			"col":      float64(7),
+			"rule":     "xpkg-mixed-access",
+			"message":  "N is accessed atomically in pasgal/internal/lint/testdata/src/xb (internal/lint/testdata/src/xb/xb.go:12) but plainly read here inside a goroutine/parallel closure",
+			"function": "lint/testdata/src/xa.badPeek",
+		},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		for k, v := range want[i] {
+			if got[i][k] != v {
+				t.Errorf("finding %d %s = %v, want %v", i, k, got[i][k], v)
+			}
+		}
+	}
+
+	// The escape fixture's chained case must carry a two-hop call path:
+	// closure -> relay -> escapedep.Bump.
+	var chained map[string]any
+	for _, f := range runVet("./internal/lint/testdata/src/escape") {
+		if f["function"] == "badChained" {
+			chained = f
+		}
+	}
+	if chained == nil {
+		t.Fatal("no finding for badChained in the escape fixture")
+	}
+	path, _ := chained["callPath"].([]any)
+	if len(path) != 2 {
+		t.Fatalf("badChained callPath = %v, want 2 hops", chained["callPath"])
+	}
+	if s, _ := path[0].(string); !strings.Contains(s, "escape.relay") {
+		t.Errorf("hop 0 = %v, want the relay helper", path[0])
+	}
+	if s, _ := path[1].(string); !strings.Contains(s, "escapedep.Bump") {
+		t.Errorf("hop 1 = %v, want the cross-package writer", path[1])
 	}
 }

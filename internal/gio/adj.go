@@ -5,6 +5,7 @@ package gio
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -189,7 +190,7 @@ func (t *tokenizer) word() (string, error) {
 	t.buf = t.buf[:0]
 	for {
 		b, err := t.r.ReadByte()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -211,7 +212,7 @@ func (t *tokenizer) uint() (uint64, error) {
 	seen := false
 	for {
 		b, err := t.r.ReadByte()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// EdgeKind classifies how a call-graph edge was established. The engine is
+// a may-analysis: every kind means "the callee may run when the caller
+// does", with decreasing syntactic directness.
+type EdgeKind uint8
+
+const (
+	// EdgeCall is a direct static call: f(), pkg.F(), recv.M().
+	EdgeCall EdgeKind = iota
+	// EdgeInterface is a call through an interface method, resolved to a
+	// concrete method of a module type implementing the interface.
+	EdgeInterface
+	// EdgeFuncValue is a reference to a declared function or method as a
+	// value (assigned, passed, stored); the engine assumes it may be
+	// invoked by whoever receives it.
+	EdgeFuncValue
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeInterface:
+		return "interface"
+	default:
+		return "func-value"
+	}
+}
+
+// CallEdge is one outgoing edge of the call graph: the caller may invoke
+// Callee; Pos is the call or reference site in the caller's body.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// CallGraph is a whole-module static call graph over declared functions
+// and methods. Function literals are not nodes: a literal's calls are
+// attributed to the declaration enclosing it (for summaries), and rules
+// that care about specific literals (escape-to-parallel) re-walk the
+// literal body with calleesIn.
+type CallGraph struct {
+	// Decls maps every module-declared function object to its syntax.
+	Decls map[*types.Func]*ast.FuncDecl
+	// DeclPkg maps a declared function to its loaded package.
+	DeclPkg map[*types.Func]*Package
+	// Edges maps a caller to its outgoing edges, deduplicated per callee
+	// (first site wins) in source order.
+	Edges map[*types.Func][]CallEdge
+
+	named []*types.Named                // all module named types, for interface resolution
+	impls map[*types.Func][]*types.Func // interface method -> concrete implementations
+}
+
+// buildCallGraph constructs the graph over every loaded package (analysis
+// targets and their in-module dependencies alike: a helper one package
+// away must still be a node, or facts cannot propagate across the import
+// edge).
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		Decls:   map[*types.Func]*ast.FuncDecl{},
+		DeclPkg: map[*types.Func]*Package{},
+		Edges:   map[*types.Func][]CallEdge{},
+		impls:   map[*types.Func][]*types.Func{},
+	}
+	// Pass 1: nodes, and the named-type universe for interface resolution.
+	for _, pkg := range pkgs {
+		if pkg.Info == nil || pkg.Types == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					g.Decls[fn] = fd
+					g.DeclPkg[fn] = pkg
+				}
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				g.named = append(g.named, named)
+			}
+		}
+	}
+	// Pass 2: edges.
+	for fn, fd := range g.Decls {
+		g.Edges[fn] = g.calleesIn(g.DeclPkg[fn], fd.Body)
+	}
+	return g
+}
+
+// calleesIn collects every edge out of root: static calls, interface calls
+// (resolved to module implementations), and references to declared
+// functions as values. Edges are deduplicated per callee keeping the
+// earliest site, and returned in source order.
+func (g *CallGraph) calleesIn(pkg *Package, root ast.Node) []CallEdge {
+	if pkg.Info == nil {
+		return nil
+	}
+	seen := map[*types.Func]int{} // callee -> index in out
+	var out []CallEdge
+	add := func(callee *types.Func, pos token.Pos, kind EdgeKind) {
+		if callee == nil {
+			return
+		}
+		if i, ok := seen[callee]; ok {
+			// Keep the strongest kind (a direct call beats a value ref)
+			// and the earliest position.
+			if kind < out[i].Kind {
+				out[i].Kind = kind
+			}
+			if pos < out[i].Pos {
+				out[i].Pos = pos
+			}
+			return
+		}
+		seen[callee] = len(out)
+		out = append(out, CallEdge{Callee: callee, Pos: pos, Kind: kind})
+	}
+	// funIdents marks identifiers consumed as the operator of a direct
+	// call, so the value-reference pass below does not double-count them.
+	funIdents := map[*ast.Ident]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+					funIdents[fun] = true
+					add(fn, n.Pos(), EdgeCall)
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+					funIdents[fun.Sel] = true
+					if isInterfaceMethod(fn) {
+						for _, impl := range g.implementations(fn) {
+							add(impl, n.Pos(), EdgeInterface)
+						}
+					} else {
+						add(fn, n.Pos(), EdgeCall)
+					}
+				}
+			}
+		case *ast.Ident:
+			if funIdents[n] {
+				return true
+			}
+			if _, isDecl := pkg.Info.Defs[n]; isDecl {
+				return true
+			}
+			fn, ok := pkg.Info.Uses[n].(*types.Func)
+			if !ok {
+				return true
+			}
+			// A method value (x.M) or function value (f) escaping into a
+			// variable, argument, or field: assume it may be invoked.
+			if isInterfaceMethod(fn) {
+				for _, impl := range g.implementations(fn) {
+					add(impl, n.Pos(), EdgeFuncValue)
+				}
+			} else {
+				add(fn, n.Pos(), EdgeFuncValue)
+			}
+		}
+		return true
+	})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	// Re-index after sorting is unnecessary: seen is discarded.
+	return out
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type
+// (an abstract method with no body of its own).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// implementations resolves an interface method to the concrete methods of
+// module types that implement the interface (memoized). This is the
+// standard sound over-approximation: every implementing type's method may
+// be the dynamic callee.
+func (g *CallGraph) implementations(m *types.Func) []*types.Func {
+	if impls, ok := g.impls[m]; ok {
+		return impls
+	}
+	var out []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface != nil {
+		for _, named := range g.named {
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, m.Pkg(), m.Name())
+			if impl, ok := obj.(*types.Func); ok {
+				out = append(out, impl)
+			}
+		}
+	}
+	g.impls[m] = out
+	return out
+}
+
+// PathTo returns a call path from one of roots to target as positions and
+// functions, using breadth-first search (shortest path), or nil if target
+// is unreachable. The returned slice alternates caller sites: element i
+// describes the call made by the i-th function on the path.
+func (g *CallGraph) PathTo(roots []*types.Func, target *types.Func) []CallEdge {
+	type queued struct {
+		fn   *types.Func
+		path []CallEdge
+	}
+	visited := map[*types.Func]bool{}
+	var queue []queued
+	for _, r := range roots {
+		if !visited[r] {
+			visited[r] = true
+			queue = append(queue, queued{fn: r})
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.fn == target {
+			return cur.path
+		}
+		for _, e := range g.Edges[cur.fn] {
+			if visited[e.Callee] {
+				continue
+			}
+			visited[e.Callee] = true
+			next := make([]CallEdge, len(cur.path), len(cur.path)+1)
+			copy(next, cur.path)
+			queue = append(queue, queued{fn: e.Callee, path: append(next, e)})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadCallGraphFixture builds the call graph over the cg fixture package.
+func loadCallGraphFixture(t *testing.T) *CallGraph {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(loader.ModuleRoot, "internal", "lint", "testdata", "src", "cg")
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCallGraph([]*Package{pkg})
+}
+
+// fnByName finds the declared function whose FullName ends in suffix.
+func fnByName(t *testing.T, g *CallGraph, suffix string) *types.Func {
+	t.Helper()
+	var found *types.Func
+	for fn := range g.Decls {
+		if strings.HasSuffix(fn.FullName(), suffix) {
+			if found != nil {
+				t.Fatalf("suffix %q matches both %s and %s", suffix, found.FullName(), fn.FullName())
+			}
+			found = fn
+		}
+	}
+	if found == nil {
+		t.Fatalf("no declared function matches %q", suffix)
+	}
+	return found
+}
+
+// edgeTo returns the edge from caller to callee, if present.
+func edgeTo(g *CallGraph, caller, callee *types.Func) (CallEdge, bool) {
+	for _, e := range g.Edges[caller] {
+		if e.Callee == callee {
+			return e, true
+		}
+	}
+	return CallEdge{}, false
+}
+
+// TestCallGraphInterfaceCall checks that a call through an interface method
+// fans out to every module implementation, pointer and value receivers
+// alike, with EdgeInterface kind.
+func TestCallGraphInterfaceCall(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	launch := fnByName(t, g, "cg.Launch")
+	aRun := fnByName(t, g, "cg.A).Run")
+	bRun := fnByName(t, g, "cg.B).Run")
+
+	for _, callee := range []*types.Func{aRun, bRun} {
+		e, ok := edgeTo(g, launch, callee)
+		if !ok {
+			t.Fatalf("Launch has no edge to %s; edges: %v", callee.FullName(), g.Edges[launch])
+		}
+		if e.Kind != EdgeInterface {
+			t.Errorf("Launch -> %s: kind = %v, want interface", callee.FullName(), e.Kind)
+		}
+	}
+}
+
+// TestCallGraphMethodValue checks that a method value escaping as a return
+// value produces a may-call edge of EdgeFuncValue kind.
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	handoff := fnByName(t, g, "cg.Handoff")
+	aRun := fnByName(t, g, "cg.A).Run")
+
+	e, ok := edgeTo(g, handoff, aRun)
+	if !ok {
+		t.Fatalf("Handoff has no edge to (*A).Run; edges: %v", g.Edges[handoff])
+	}
+	if e.Kind != EdgeFuncValue {
+		t.Errorf("Handoff -> (*A).Run: kind = %v, want func-value", e.Kind)
+	}
+}
+
+// TestCallGraphPathTo checks BFS reachability through a direct call plus an
+// interface hop, and unreachability in the reverse direction.
+func TestCallGraphPathTo(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	chain := fnByName(t, g, "cg.Chain")
+	launch := fnByName(t, g, "cg.Launch")
+	aRun := fnByName(t, g, "cg.A).Run")
+	bRun := fnByName(t, g, "cg.B).Run")
+
+	path := g.PathTo([]*types.Func{chain}, aRun)
+	if len(path) != 2 {
+		t.Fatalf("PathTo(Chain, (*A).Run) = %v, want 2 hops", path)
+	}
+	if path[0].Callee != launch || path[1].Callee != aRun {
+		t.Errorf("path hops = %s, %s; want Launch, (*A).Run",
+			path[0].Callee.FullName(), path[1].Callee.FullName())
+	}
+	if p := g.PathTo([]*types.Func{bRun}, chain); p != nil {
+		t.Errorf("PathTo((B).Run, Chain) = %v, want nil (unreachable)", p)
+	}
+	if len(g.Edges[bRun]) != 0 {
+		t.Errorf("(B).Run should have no outgoing edges, got %v", g.Edges[bRun])
+	}
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// EscapeToParallelAnalyzer is the interprocedural generalization of
+// parallel-capture: a closure handed to the fork-join runtime (or a go
+// statement) calls a helper — possibly in another package — whose
+// transitive summary says it plainly writes shared state the closure can
+// reach. The intra-procedural rule sees `sum += x` inside the closure; this
+// rule sees `acc.bump(x)` where bump, three calls and one package away,
+// does the same plain write.
+//
+// Precision comes from the facts layer (facts.go): a helper's write counts
+// only if its root escapes the helper (receiver/parameter or package-level
+// variable — writes to helper-local state are invisible side effects), and
+// a pointer-routed write (ViaPointer) is reported only when the closure's
+// call site actually passes captured state as the receiver or an argument.
+// Package-level writes (ViaGlobal) are racy from any concurrent context
+// and always reported. Non-literal arms (method values handed to
+// parallel.Do, `go f()` on a named function) are held to the ViaGlobal bar
+// only: handing a privately-owned receiver to one goroutine is the
+// sanctioned ownership-transfer pattern.
+func EscapeToParallelAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "escape-to-parallel",
+		Doc:       "closure passed to parallel.For/Do or go calls a helper that plainly writes shared state",
+		RunModule: runEscapeToParallel,
+	}
+}
+
+func runEscapeToParallel(m *Module) []Finding {
+	var out []Finding
+	for _, pkg := range m.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			concurrent := concurrentLits(pkg, file)
+			// Literal closures: full check, captured-root aware.
+			for lit := range concurrent {
+				out = append(out, m.checkConcurrentLit(pkg, lit, concurrent)...)
+			}
+			// Non-literal concurrent arms: go f(...) and function/method
+			// values passed to the runtime.
+			out = append(out, m.checkConcurrentValues(pkg, file)...)
+		}
+	}
+	return out
+}
+
+// checkConcurrentLit walks one concurrent closure body and checks every
+// direct call against the callee's transitive write summary.
+func (m *Module) checkConcurrentLit(pkg *Package, lit *ast.FuncLit, concurrent map[*ast.FuncLit]bool) []Finding {
+	var out []Finding
+	reported := map[*ast.CallExpr]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit && concurrent[inner] {
+			return false // processed as its own root
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || reported[call] {
+			return true
+		}
+		var recv ast.Expr
+		var callees []*types.Func
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+				callees = append(callees, fn)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				if isInterfaceMethod(fn) {
+					callees = m.Graph.implementations(fn)
+				} else {
+					callees = append(callees, fn)
+				}
+				if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+					recv = fun.X
+				}
+			}
+		}
+		if len(callees) == 0 {
+			return true
+		}
+		capturedArg := callSitePassesCaptured(pkg, lit, recv, call.Args)
+		for _, fn := range callees {
+			if f, ok := m.escapeFinding(pkg, call, fn, capturedArg); ok {
+				out = append(out, f)
+				reported[call] = true
+				break // one finding per call site is enough signal
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkConcurrentValues flags `go f(...)` on named functions and
+// function/method values handed to the parallel runtime, against the
+// ViaGlobal bar.
+func (m *Module) checkConcurrentValues(pkg *Package, file *ast.File) []Finding {
+	var out []Finding
+	check := func(site ast.Node, e ast.Expr) {
+		var fns []*types.Func
+		switch fun := unparen(e).(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+				fns = append(fns, fn)
+			}
+		case *ast.SelectorExpr:
+			if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+				if isInterfaceMethod(fn) {
+					fns = m.Graph.implementations(fn)
+				} else {
+					fns = append(fns, fn)
+				}
+			}
+		}
+		for _, fn := range fns {
+			if f, ok := m.escapeFinding(pkg, site, fn, false); ok {
+				out = append(out, f)
+				return
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if _, isLit := unparen(n.Call.Fun).(*ast.FuncLit); !isLit {
+				check(n, n.Call.Fun)
+			}
+		case *ast.CallExpr:
+			if isParallelLaunch(pkg, n) {
+				for _, arg := range n.Args {
+					if _, isLit := unparen(arg).(*ast.FuncLit); !isLit {
+						check(arg, arg)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// callSitePassesCaptured reports whether the receiver or any argument of a
+// call inside lit is rooted at a variable declared outside lit — the state
+// a pointer-routed write in the callee would reach.
+func callSitePassesCaptured(pkg *Package, lit *ast.FuncLit, recv ast.Expr, args []ast.Expr) bool {
+	exprs := args
+	if recv != nil {
+		exprs = append([]ast.Expr{recv}, args...)
+	}
+	for _, e := range exprs {
+		e = unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = u.X
+		}
+		v := rootVar(pkg, e)
+		if v == nil {
+			continue
+		}
+		if sharedVar(v) != nil {
+			return true // package-level or field root: shared by definition
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			return true // captured from outside the closure
+		}
+	}
+	return false
+}
+
+// escapeFinding checks one resolved callee against its transitive writes
+// and builds the finding — call path included — if it fires.
+func (m *Module) escapeFinding(pkg *Package, site ast.Node, fn *types.Func, capturedArg bool) (Finding, bool) {
+	trans := m.Sums.TransWrites(fn)
+	if len(trans) == 0 {
+		return Finding{}, false
+	}
+	var bestObj types.Object
+	var best writeSite
+	for obj, w := range trans {
+		if w.Via == ViaPointer && !capturedArg {
+			continue
+		}
+		if bestObj == nil || w.Pos < best.Pos {
+			bestObj, best = obj, w
+		}
+	}
+	if bestObj == nil {
+		return Finding{}, false
+	}
+	kind := "shared state"
+	if v, ok := bestObj.(*types.Var); ok {
+		if v.IsField() {
+			kind = "field " + v.Name()
+		} else {
+			kind = "package variable " + v.Name()
+		}
+	}
+	msg := fmt.Sprintf(
+		"call to %s inside a goroutine/parallel closure plainly writes %s (%s); route the write through sync/atomic, keep the state closure-local, or reduce after the join",
+		m.shortFuncName(fn), kind, m.relPos(best.Pos))
+	f := Finding{
+		Pos:      m.Loader.Fset().Position(site.Pos()),
+		Rule:     "escape-to-parallel",
+		Message:  msg,
+		CallPath: m.callPathStrings(site.Pos(), fn, best.Fn),
+	}
+	return f, true
+}
+
+// callPathStrings renders the chain from the concurrent call site to the
+// function containing the write: each element is "func (call site)".
+func (m *Module) callPathStrings(sitePos token.Pos, first, writer *types.Func) []string {
+	path := []string{fmt.Sprintf("%s (%s)", m.shortFuncName(first), m.relPos(sitePos))}
+	if first == writer {
+		return path
+	}
+	for _, e := range m.Graph.PathTo([]*types.Func{first}, writer) {
+		path = append(path, fmt.Sprintf("%s (%s)", m.shortFuncName(e.Callee), m.relPos(e.Pos)))
+	}
+	return path
+}
+
+// shortFuncName renders fn with module-path noise stripped:
+// "(*trace.Tracer).bump" instead of "(*pasgal/internal/trace.Tracer).bump".
+func (m *Module) shortFuncName(fn *types.Func) string {
+	name := fn.FullName()
+	mp := m.Loader.ModulePath
+	name = strings.ReplaceAll(name, mp+"/internal/", "")
+	name = strings.ReplaceAll(name, mp+"/", "")
+	name = strings.ReplaceAll(name, mp+".", "")
+	return name
+}
+
+// relPos renders a token.Pos as a module-relative "file:line".
+func (m *Module) relPos(pos token.Pos) string {
+	p := m.Loader.Fset().Position(pos)
+	file := p.Filename
+	if rel, err := filepath.Rel(m.Loader.ModuleRoot, file); err == nil && !filepath.IsAbs(rel) && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return fmt.Sprintf("%s:%d", file, p.Line)
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The facts layer gives every declared function a summary of the
+// concurrency-relevant effects of running it, computed from its own body
+// (the "direct" summary here) and then propagated bottom-up over the call
+// graph (summary.go), so rules can ask "does calling f — through any
+// chain of module functions — plainly write shared state?" without
+// re-walking any body.
+
+// WriteVia records how a plain write reaches shared memory, which decides
+// whether a call site must supply shared state for the write to be racy.
+type WriteVia uint8
+
+const (
+	// ViaPointer: the write dereferences a receiver or parameter — it only
+	// touches memory the caller handed in, so it is racy exactly when the
+	// caller passes shared (captured) state.
+	ViaPointer WriteVia = iota
+	// ViaGlobal: the write targets a package-level variable (or a field
+	// reached from one) — racy from any concurrent context, no argument
+	// needed.
+	ViaGlobal
+)
+
+// writeSite is one plain write to a shared object.
+type writeSite struct {
+	Pos token.Pos
+	Via WriteVia
+	Fn  *types.Func // function whose body contains the write
+}
+
+// Summary captures the direct facts of one function body. Nested function
+// literals are included: their effects happen under a call to the
+// declaration (a may-analysis does not care on which goroutine).
+type Summary struct {
+	Fn *types.Func
+	// PlainWrites maps shared objects (struct fields, package-level vars)
+	// to the first plain (non-atomic, non-element) write in the body.
+	// Writes whose root is a variable local to the body are excluded: they
+	// touch function-private memory.
+	PlainWrites map[types.Object]writeSite
+	// Atomics maps shared objects to the first sync/atomic function-form
+	// access (atomic.AddInt64(&x, ...) and friends) in the body.
+	Atomics map[types.Object]token.Pos
+	// ConcReads maps shared objects to the first plain read inside a
+	// goroutine or parallel closure in the body.
+	ConcReads map[types.Object]token.Pos
+	// Spawns reports whether the body launches parallelism (a go statement
+	// or a parallel.For/ForRange/Do/ForCancel/ForRangeCancel call).
+	Spawns bool
+}
+
+// sharedVar resolves obj to a *types.Var that denotes shared memory — a
+// struct field (shared across all instances, the engine's granularity) or
+// a package-level variable — or nil.
+func sharedVar(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}
+
+// rootIdent unwraps selector / index / star / paren chains to the base
+// identifier: x.f[i].g -> x. Returns nil for rootless expressions
+// (composite literals, call results).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := unparen(e).(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootVar resolves the base identifier of e to its variable object.
+func rootVar(pkg *Package, e ast.Expr) *types.Var {
+	id := rootIdent(e)
+	if id == nil || pkg.Info == nil {
+		return nil
+	}
+	if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// localTo reports whether v is declared inside fd's body — memory no
+// caller can see, so writes through it are not shared effects. Parameters
+// and receivers are declared in fd's signature, before Body.Pos(), so they
+// correctly do not count as local.
+func localTo(v *types.Var, fd *ast.FuncDecl) bool {
+	return fd.Body != nil && v.Pos() >= fd.Body.Pos() && v.Pos() <= fd.Body.End()
+}
+
+// exprType returns the type recorded for e, falling back to the object
+// type for bare identifiers. Nil when type information is missing.
+func exprType(pkg *Package, e ast.Expr) types.Type {
+	if pkg.Info == nil {
+		return nil
+	}
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// crossesShared reports whether the selector chain of a field write passes
+// through a pointer dereference or a slice/map index on the way from the
+// root variable to the written field. If it never does, the write mutates
+// the root variable's own storage; if the root is then a by-value
+// parameter or receiver, the write is function-private. Unknown prefix
+// types (tolerant checking near stubs) count as crossing — the
+// conservative direction for a may-analysis is to keep the write.
+func crossesShared(pkg *Package, target ast.Expr) bool {
+	e := unparen(target)
+	for {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		base := unparen(sel.X)
+		switch base.(type) {
+		case *ast.StarExpr, *ast.IndexExpr:
+			return true
+		}
+		t := exprType(pkg, base)
+		if t == nil {
+			return true
+		}
+		switch t.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map:
+			return true
+		}
+		e = base
+	}
+}
+
+// onceGuarded reports whether the write sits inside a function literal
+// passed directly to a value's Do method — the sync.Once pattern
+// (`once.Do(func() { ... })`): the runtime guarantees the body runs once
+// with a happens-before edge to every Do return, so its writes are
+// synchronized by construction. Matching is by method name on a non-package
+// receiver, which deliberately excludes parallel.Do (package-qualified).
+func onceGuarded(pkg *Package, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 1; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		call, ok := stack[i-1].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Do" || pkgOf(pkg, sel.X) != "" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if unparen(arg) == lit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildDirectSummary walks one function body and records its direct facts.
+func buildDirectSummary(pkg *Package, fn *types.Func, fd *ast.FuncDecl) *Summary {
+	s := &Summary{
+		Fn:          fn,
+		PlainWrites: map[types.Object]writeSite{},
+		Atomics:     map[types.Object]token.Pos{},
+		ConcReads:   map[types.Object]token.Pos{},
+	}
+	if pkg.Info == nil || fd.Body == nil {
+		return s
+	}
+
+	// lockPositions are the sites of mu.Lock()/mu.RLock() calls in the
+	// body: a plain write after one is following a declared lock
+	// discipline, which is the callee's synchronization contract — lock
+	// *correctness* is the race tier's job, not this engine's.
+	var lockPositions []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if (sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") && pkgOf(pkg, sel.X) == "" {
+				lockPositions = append(lockPositions, call.Pos())
+			}
+		}
+		return true
+	})
+	lockedBefore := func(pos token.Pos) bool {
+		for _, lp := range lockPositions {
+			if lp < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	recordWrite := func(stack []ast.Node, target ast.Expr) {
+		target = unparen(target)
+		// Element writes (a[i] = ...) are the sanctioned index-disjoint
+		// pattern; writes through an explicit deref (*p = ...) have no
+		// trackable object.
+		switch target.(type) {
+		case *ast.IndexExpr, *ast.StarExpr:
+			return
+		}
+		obj := sharedVar(accessKey(pkg, target))
+		if obj == nil {
+			return
+		}
+		root := rootVar(pkg, target)
+		if root == nil {
+			return
+		}
+		if lockedBefore(target.Pos()) || onceGuarded(pkg, stack) {
+			return
+		}
+		if !obj.IsField() {
+			// Package-level variable written directly.
+			if _, ok := s.PlainWrites[obj]; !ok {
+				s.PlainWrites[obj] = writeSite{Pos: target.Pos(), Via: ViaGlobal, Fn: fn}
+			}
+			return
+		}
+		via := ViaPointer
+		rootGlobal := sharedVar(root) != nil && !root.IsField()
+		if rootGlobal {
+			via = ViaGlobal // field reached from a package-level root
+		} else if localTo(root, fd) {
+			return // field of body-local state: function-private memory
+		}
+		if !rootGlobal && !crossesShared(pkg, target) {
+			// The selector chain never dereferences a pointer or indexes a
+			// slice/map, so the write lands in the root variable's own
+			// storage — and a non-pointer root that is not body-local is a
+			// value parameter or receiver: the callee's private copy,
+			// invisible to callers.
+			if _, isPtr := root.Type().Underlying().(*types.Pointer); !isPtr {
+				return
+			}
+		}
+		if old, ok := s.PlainWrites[obj]; !ok || (via == ViaGlobal && old.Via == ViaPointer) {
+			s.PlainWrites[obj] = writeSite{Pos: target.Pos(), Via: via, Fn: fn}
+		}
+	}
+
+	atomicArgs := map[ast.Node]bool{}
+	var concurrent map[*ast.FuncLit]bool
+	// Collect the concurrent literals of the whole file once; membership
+	// tests below only ever see literals inside fd.
+	for _, file := range pkg.Files {
+		if file.Pos() <= fd.Pos() && fd.Pos() <= file.End() {
+			concurrent = concurrentLits(pkg, file)
+			break
+		}
+	}
+
+	walkStack(fd.Body, func(stack []ast.Node) bool {
+		switch n := stack[len(stack)-1].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				recordWrite(stack, lhs)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(stack, n.X)
+		case *ast.GoStmt:
+			s.Spawns = true
+		case *ast.CallExpr:
+			if isParallelLaunch(pkg, n) {
+				s.Spawns = true
+			}
+			if target, ok := atomicCallTarget(pkg, n); ok {
+				atomicArgs[n.Args[0]] = true
+				if obj := sharedVar(accessKey(pkg, target)); obj != nil {
+					if _, seen := s.Atomics[obj]; !seen {
+						s.Atomics[obj] = target.Pos()
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if atomicArgs[stack[len(stack)-1]] {
+				return false
+			}
+			s.recordConcRead(pkg, stack, n, concurrent)
+		case *ast.Ident:
+			if len(stack) >= 2 {
+				if sel, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && sel.Sel == n {
+					return true // handled at the selector
+				}
+			}
+			if _, isDecl := pkg.Info.Defs[n]; isDecl {
+				return true
+			}
+			s.recordConcRead(pkg, stack, n, concurrent)
+		case *ast.UnaryExpr:
+			if atomicArgs[n] {
+				return false // the &target of an atomic op is not a plain access
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// recordConcRead records a plain read of a shared object inside a
+// goroutine/parallel closure.
+func (s *Summary) recordConcRead(pkg *Package, stack []ast.Node, e ast.Expr, concurrent map[*ast.FuncLit]bool) {
+	if classifyAccess(stack) != accessRead {
+		return // writes are recorded by the assignment pass
+	}
+	if !enclosingConcurrent(stack, concurrent) {
+		return
+	}
+	obj := sharedVar(accessKey(pkg, e))
+	if obj == nil {
+		return
+	}
+	if _, seen := s.ConcReads[obj]; !seen {
+		s.ConcReads[obj] = e.Pos()
+	}
+}

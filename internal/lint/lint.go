@@ -39,17 +39,50 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
-// Finding is one diagnostic produced by an analyzer.
+// Finding is one diagnostic produced by an analyzer. File/Line/Col are
+// the stable machine-readable position (File is module-root-relative, so
+// output is reproducible across checkouts); Pos keeps the absolute
+// position for human-facing text output. Function names the declaration
+// containing the finding; CallPath, set only on interprocedural findings,
+// walks from the reported site to the function that performs the racy
+// access, one "func (file:line)" hop per element.
 type Finding struct {
-	Pos     token.Position `json:"pos"`
-	Rule    string         `json:"rule"`
-	Message string         `json:"message"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Rule     string         `json:"rule"`
+	Message  string         `json:"message"`
+	Function string         `json:"function,omitempty"`
+	CallPath []string       `json:"callPath,omitempty"`
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+	if len(f.CallPath) > 0 {
+		s += "\n\tcall path: " + strings.Join(f.CallPath, " -> ")
+	}
+	return s
+}
+
+// sortFindings orders findings by position, then rule, for stable output.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
 }
 
 // Package is one loaded, type-checked package unit ready for analysis.
@@ -65,11 +98,15 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one vet rule.
+// Analyzer is one vet rule. Package-local rules set Run and see one
+// type-checked package at a time; interprocedural rules set RunModule and
+// see the whole module — call graph and propagated summaries included.
+// Exactly one of the two is non-nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(pkg *Package) []Finding
+	Name      string
+	Doc       string
+	Run       func(pkg *Package) []Finding
+	RunModule func(mod *Module) []Finding
 }
 
 // Analyzers returns the full rule suite in stable order.
@@ -80,7 +117,36 @@ func Analyzers() []*Analyzer {
 		ParallelCaptureAnalyzer(),
 		WaitGroupAnalyzer(),
 		CancelPollAnalyzer(),
+		SentinelErrorAnalyzer(),
+		EscapeToParallelAnalyzer(),
+		XPkgMixedAccessAnalyzer(),
 	}
+}
+
+// funcDisplayName renders a function declaration's name the way findings
+// report it: plain for functions, "(T).M" / "(*T).M" for methods.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return "(" + typeText(fd.Recv.List[0].Type) + ")." + fd.Name.Name
+}
+
+// typeText renders the syntactic forms receiver types take.
+func typeText(t ast.Expr) string {
+	switch t := unparen(t).(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeText(t.X)
+	case *ast.IndexExpr:
+		return typeText(t.X)
+	case *ast.IndexListExpr:
+		return typeText(t.X)
+	case *ast.SelectorExpr:
+		return typeText(t.X) + "." + t.Sel.Name
+	}
+	return "?"
 }
 
 // AnalyzerNames returns the names of all registered rules.
@@ -92,9 +158,11 @@ func AnalyzerNames() []string {
 	return names
 }
 
-// Analyze runs the selected analyzers (all of them when rules is empty)
-// over pkg and returns the surviving findings sorted by position, with
-// //pasgal:vet ignore= suppressions already applied.
+// Analyze runs the selected package-local analyzers (all of them when
+// rules is empty) over pkg and returns the surviving findings sorted by
+// position, with //pasgal:vet ignore= suppressions already applied.
+// Interprocedural rules need a whole module and only run through
+// Module.Analyze.
 func Analyze(pkg *Package, rules []string) []Finding {
 	enabled := map[string]bool{}
 	for _, r := range rules {
@@ -103,6 +171,9 @@ func Analyze(pkg *Package, rules []string) []Finding {
 	ig := collectIgnores(pkg)
 	var out []Finding
 	for _, a := range Analyzers() {
+		if a.Run == nil {
+			continue
+		}
 		if len(enabled) > 0 && !enabled[a.Name] {
 			continue
 		}
@@ -113,18 +184,6 @@ func Analyze(pkg *Package, rules []string) []Finding {
 			out = append(out, f)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Rule < b.Rule
-	})
+	sortFindings(out)
 	return out
 }

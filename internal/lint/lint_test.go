@@ -21,8 +21,8 @@ func TestFixtures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) < 4 {
-		t.Fatalf("expected at least 4 fixture packages, got %d", len(pkgs))
+	if len(pkgs) < 10 {
+		t.Fatalf("expected at least 10 fixture packages, got %d", len(pkgs))
 	}
 
 	want := map[string]bool{}
@@ -44,9 +44,13 @@ func TestFixtures(t *testing.T) {
 				}
 			}
 		}
-		for _, f := range Analyze(pkg, nil) {
-			got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
-		}
+	}
+	// Module-based analysis: the interprocedural rules need the call graph
+	// and summaries, and the package-local rules run through the same path
+	// in production (Module.Analyze), so the fixtures exercise exactly it.
+	mod := NewModule(loader, pkgs)
+	for _, f := range mod.Analyze(nil) {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Rule)] = true
 	}
 	if len(want) == 0 {
 		t.Fatal("no want markers found in fixtures")

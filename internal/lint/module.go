@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"pasgal/internal/parallel"
+)
+
+// Module is the interprocedural analysis unit: the packages matched by the
+// run's patterns plus every in-module dependency they pull in, a call
+// graph spanning all of them, and the propagated function summaries.
+// Findings are only reported inside the matched packages; facts flow in
+// from dependencies regardless.
+type Module struct {
+	Loader *Loader
+	// Pkgs are the analysis targets (pattern-matched), in path order.
+	Pkgs []*Package
+	// All is every loaded package, targets and dependencies, path order.
+	All []*Package
+	// Graph and Sums are the interprocedural substrate shared by rules.
+	Graph *CallGraph
+	Sums  *SummarySet
+	// Timings records the engine phases and per-package rule runtimes of
+	// the last Analyze call.
+	Timings []Timing
+}
+
+// Timing is one named duration from an analysis run: engine phases
+// ("load", "callgraph", "facts", "interprocedural") and one entry per
+// analyzed package.
+type Timing struct {
+	Name string
+	Dur  time.Duration
+}
+
+// LoadModule expands patterns, loads and type-checks the matched packages
+// (plus their in-module dependencies) and builds the interprocedural
+// substrate over everything loaded.
+func LoadModule(patterns []string, opts Options) (*Module, error) {
+	dir := opts.Dir
+	if dir == "" {
+		dir = "."
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader.IncludeTests = opts.IncludeTests
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	abs := make([]string, len(patterns))
+	for i, p := range patterns {
+		abs[i] = p
+		if p != "..." && !isAbs(p) {
+			abs[i] = dir + "/" + p
+		}
+	}
+	start := time.Now()
+	pkgs, err := loader.Load(abs)
+	if err != nil {
+		return nil, err
+	}
+	m := NewModule(loader, pkgs)
+	m.Timings = append([]Timing{{Name: "load", Dur: time.Since(start)}}, m.Timings...)
+	return m, nil
+}
+
+// NewModule builds the interprocedural substrate (call graph + summaries)
+// for the given target packages over everything their loader has loaded.
+func NewModule(loader *Loader, pkgs []*Package) *Module {
+	m := &Module{Loader: loader, Pkgs: pkgs, All: loader.Loaded()}
+	start := time.Now()
+	m.Graph = buildCallGraph(m.All)
+	m.Timings = append(m.Timings, Timing{Name: "callgraph", Dur: time.Since(start)})
+	start = time.Now()
+	m.Sums = buildSummaries(m.Graph)
+	m.Timings = append(m.Timings, Timing{Name: "facts", Dur: time.Since(start)})
+	return m
+}
+
+// Loaded returns every package the loader has parsed and type-checked —
+// targets and dependencies — sorted by import path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		if len(p.Files) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// isTarget reports whether pkg is one of the module's analysis targets.
+func (m *Module) isTarget(pkg *Package) bool {
+	for _, p := range m.Pkgs {
+		if p == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs the selected rules (all when rules is empty) over the
+// module: package-local rules over each target package — in parallel,
+// through the library's own runtime — and interprocedural rules once over
+// the whole module. Findings are sorted, deduplicated against the
+// //pasgal:vet ignore= allowlist, and annotated with their enclosing
+// function and module-relative file path.
+func (m *Module) Analyze(rules []string) []Finding {
+	enabled := map[string]bool{}
+	for _, r := range rules {
+		enabled[r] = true
+	}
+	on := func(a *Analyzer) bool { return len(enabled) == 0 || enabled[a.Name] }
+
+	// Package-local rules: one task per target package.
+	perPkg := make([][]Finding, len(m.Pkgs))
+	pkgDur := make([]time.Duration, len(m.Pkgs))
+	parallel.For(len(m.Pkgs), 1, func(i int) {
+		pkg := m.Pkgs[i]
+		start := time.Now()
+		var out []Finding
+		for _, a := range Analyzers() {
+			if a.Run == nil || !on(a) {
+				continue
+			}
+			out = append(out, a.Run(pkg)...)
+		}
+		perPkg[i] = out
+		pkgDur[i] = time.Since(start)
+	})
+	var findings []Finding
+	for _, fs := range perPkg {
+		findings = append(findings, fs...)
+	}
+
+	// Interprocedural rules: once, over the whole module.
+	start := time.Now()
+	for _, a := range Analyzers() {
+		if a.RunModule == nil || !on(a) {
+			continue
+		}
+		findings = append(findings, a.RunModule(m)...)
+	}
+	interDur := time.Since(start)
+
+	// Suppression: merge the allowlists of every loaded package, since an
+	// interprocedural finding may land in any of them.
+	ig := &ignoreSet{byLine: map[string]map[int]map[string]bool{}}
+	for _, pkg := range m.All {
+		ig.merge(collectIgnores(pkg))
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if !ig.suppressed(f) {
+			kept = append(kept, f)
+		}
+	}
+	findings = kept
+
+	m.annotate(findings)
+	sortFindings(findings)
+
+	for i, pkg := range m.Pkgs {
+		m.Timings = append(m.Timings, Timing{Name: pkg.Path, Dur: pkgDur[i]})
+	}
+	m.Timings = append(m.Timings, Timing{Name: "interprocedural", Dur: interDur})
+	return findings
+}
+
+// annotate fills each finding's module-relative file path and, when the
+// rule did not set it, the name of the enclosing function.
+func (m *Module) annotate(findings []Finding) {
+	for i := range findings {
+		f := &findings[i]
+		if rel, err := filepath.Rel(m.Loader.ModuleRoot, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			f.File = filepath.ToSlash(rel)
+		} else {
+			f.File = f.Pos.Filename
+		}
+		f.Line = f.Pos.Line
+		f.Col = f.Pos.Column
+		if f.Function == "" {
+			f.Function = m.enclosingFunc(f)
+		}
+	}
+}
+
+// enclosingFunc names the function declaration containing the finding.
+func (m *Module) enclosingFunc(f *Finding) string {
+	for _, pkg := range m.All {
+		for _, file := range pkg.Files {
+			pos := pkg.Fset.Position(file.Pos())
+			if pos.Filename != f.Pos.Filename {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				from := pkg.Fset.Position(fd.Pos())
+				to := pkg.Fset.Position(fd.End())
+				if f.Pos.Line >= from.Line && f.Pos.Line <= to.Line {
+					return funcDisplayName(fd)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// merge folds other's allowlist lines into ig.
+func (ig *ignoreSet) merge(other *ignoreSet) {
+	for file, lines := range other.byLine {
+		dst := ig.byLine[file]
+		if dst == nil {
+			ig.byLine[file] = lines
+			continue
+		}
+		for line, rules := range lines {
+			if dst[line] == nil {
+				dst[line] = rules
+				continue
+			}
+			for r := range rules {
+				dst[line][r] = true
+			}
+		}
+	}
+}

@@ -11,37 +11,31 @@ type Options struct {
 	Rules []string
 }
 
-// Run loads the packages matched by patterns (e.g. "./...") and returns all
-// findings, sorted, with allowlist suppressions applied.
+// Result is the outcome of a vet run: findings plus the engine's phase
+// and per-package timings.
+type Result struct {
+	Findings []Finding
+	Timings  []Timing
+}
+
+// Run loads the packages matched by patterns (e.g. "./...") into a module
+// and returns all findings, sorted, with allowlist suppressions applied.
 func Run(patterns []string, opts Options) ([]Finding, error) {
-	dir := opts.Dir
-	if dir == "" {
-		dir = "."
-	}
-	loader, err := NewLoader(dir)
+	res, err := RunResult(patterns, opts)
 	if err != nil {
 		return nil, err
 	}
-	loader.IncludeTests = opts.IncludeTests
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	abs := make([]string, len(patterns))
-	for i, p := range patterns {
-		abs[i] = p
-		if p != "..." && !isAbs(p) {
-			abs[i] = dir + "/" + p
-		}
-	}
-	pkgs, err := loader.Load(abs)
+	return res.Findings, nil
+}
+
+// RunResult is Run with the engine timings attached.
+func RunResult(patterns []string, opts Options) (*Result, error) {
+	mod, err := LoadModule(patterns, opts)
 	if err != nil {
 		return nil, err
 	}
-	var out []Finding
-	for _, pkg := range pkgs {
-		out = append(out, Analyze(pkg, opts.Rules)...)
-	}
-	return out, nil
+	findings := mod.Analyze(opts.Rules)
+	return &Result{Findings: findings, Timings: mod.Timings}, nil
 }
 
 func isAbs(p string) bool {

@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SentinelErrorAnalyzer reports ==/!= comparisons (and switch cases)
+// against sentinel error values: ErrCanceled, ErrDeadline, io.EOF, and
+// anything else following the ErrXxx / EOF naming convention. The
+// robustness contract (docs/ROBUSTNESS.md) wraps causes — a run canceled
+// with a custom cause returns an error that wraps ErrCanceled, so
+// `err == ErrCanceled` silently misses it. `errors.Is` unwraps and is the
+// only comparison the typed-error contract supports.
+//
+// Matching is name-based with a type veto: an operand named ErrXxx or EOF
+// counts only when it resolves to a variable of error type (or does not
+// resolve at all — stdlib sentinels like io.EOF live in placeholder
+// packages under the stub loader). Comparisons against nil are the
+// sanctioned "any error at all?" test and are never flagged.
+func SentinelErrorAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "sentinel-error-compare",
+		Doc:  "==/!= against a sentinel error (ErrCanceled, io.EOF, ...); use errors.Is",
+		Run:  runSentinelError,
+	}
+}
+
+func runSentinelError(pkg *Package) []Finding {
+	var out []Finding
+	report := func(pos token.Pos, name, op string) {
+		out = append(out, Finding{
+			Pos:  pkg.position(pos),
+			Rule: "sentinel-error-compare",
+			Message: fmt.Sprintf(
+				"%s compared with %s; wrapped causes make this miss — use errors.Is(err, %s)",
+				name, op, name),
+		})
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				x, y := unparen(n.X), unparen(n.Y)
+				if isNilIdent(x) || isNilIdent(y) {
+					return true
+				}
+				if name, ok := sentinelErrorName(pkg, x); ok {
+					report(n.Pos(), name, n.Op.String())
+				} else if name, ok := sentinelErrorName(pkg, y); ok {
+					report(n.Pos(), name, n.Op.String())
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrCanceled: ... } is the same
+				// comparison in disguise.
+				if n.Tag == nil || isNilIdent(unparen(n.Tag)) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name, ok := sentinelErrorName(pkg, unparen(v)); ok {
+							report(v.Pos(), name, "switch case")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// sentinelErrorName reports whether e denotes a sentinel error value by
+// the ErrXxx / EOF naming convention, returning its display name. A
+// resolved object must be a variable of error-ish type; unresolved names
+// (placeholder-package members like io.EOF) pass on syntax alone.
+func sentinelErrorName(pkg *Package, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	display := ""
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+		display = e.Name
+	case *ast.SelectorExpr:
+		id = e.Sel
+		if base, ok := unparen(e.X).(*ast.Ident); ok {
+			display = base.Name + "." + e.Sel.Name
+		} else {
+			return "", false // x.y.Err: a field chain, not a package sentinel
+		}
+		if pkg.Info != nil {
+			// Only package-qualified selectors count: comparing a struct
+			// field that happens to be named ErrSomething is out of scope.
+			if pkgOf(pkg, e.X) == "" {
+				return "", false
+			}
+		}
+	default:
+		return "", false
+	}
+	name := id.Name
+	if !isSentinelName(name) {
+		return "", false
+	}
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[id]; ok && obj != nil {
+			v, isVar := obj.(*types.Var)
+			if !isVar || !errorish(v.Type()) {
+				return "", false
+			}
+		}
+	}
+	return display, true
+}
+
+// isSentinelName matches the convention: EOF, or Err followed by an
+// upper-case letter (ErrCanceled, ErrDeadline, ErrNotExist, ...).
+func isSentinelName(name string) bool {
+	if name == "EOF" {
+		return true
+	}
+	if !strings.HasPrefix(name, "Err") || len(name) < 4 {
+		return false
+	}
+	c := name[3]
+	return c >= 'A' && c <= 'Z'
+}
+
+// errorish accepts the universe error type, any type implementing it, and
+// invalid/unknown types (tolerant checking leaves those on expressions
+// touching stubbed imports).
+func errorish(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return true
+	}
+	errType := types.Universe.Lookup("error").Type()
+	iface, ok := errType.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

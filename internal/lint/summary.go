@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+
+	"pasgal/internal/parallel"
+)
+
+// SummarySet holds the direct summary of every declared function plus the
+// bottom-up transitive closure of plain writes over the call graph. The
+// closure is computed once, on the condensation of the graph (Tarjan
+// strongly-connected components, processed in reverse topological order),
+// so mutual recursion converges in one pass.
+type SummarySet struct {
+	Direct map[*types.Func]*Summary
+
+	sccOf  map[*types.Func]int
+	sccs   [][]*types.Func
+	trans  []map[types.Object]writeSite // per SCC
+	spawns []bool                       // per SCC: any member (or callee) spawns
+}
+
+// buildSummaries computes direct summaries for every declared function —
+// in parallel, one task per function batch, dogfooding the library the
+// engine vets — then runs the bottom-up propagation sequentially (it is a
+// linear pass over the condensation).
+func buildSummaries(g *CallGraph) *SummarySet {
+	fns := make([]*types.Func, 0, len(g.Decls))
+	for fn := range g.Decls {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	sums := make([]*Summary, len(fns))
+	parallel.For(len(fns), 8, func(i int) {
+		fn := fns[i]
+		sums[i] = buildDirectSummary(g.DeclPkg[fn], fn, g.Decls[fn])
+	})
+
+	set := &SummarySet{Direct: make(map[*types.Func]*Summary, len(fns))}
+	for i, fn := range fns {
+		set.Direct[fn] = sums[i]
+	}
+	set.condense(g, fns)
+	set.propagate(g)
+	return set
+}
+
+// condense runs iterative Tarjan over the call graph restricted to
+// declared functions, filling sccOf and sccs in reverse topological order
+// (callees' components are assigned before their callers' — exactly the
+// order propagation wants).
+func (s *SummarySet) condense(g *CallGraph, fns []*types.Func) {
+	s.sccOf = make(map[*types.Func]int, len(fns))
+	index := map[*types.Func]int{}
+	lowlink := map[*types.Func]int{}
+	onStack := map[*types.Func]bool{}
+	var stack []*types.Func
+	next := 0
+
+	type frame struct {
+		fn   *types.Func
+		edge int
+	}
+	var visit func(root *types.Func)
+	visit = func(root *types.Func) {
+		frames := []frame{{fn: root}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			edges := g.Edges[f.fn]
+			advanced := false
+			for f.edge < len(edges) {
+				callee := edges[f.edge].Callee
+				f.edge++
+				if _, isDecl := g.Decls[callee]; !isDecl {
+					continue
+				}
+				if _, seen := index[callee]; !seen {
+					index[callee] = next
+					lowlink[callee] = next
+					next++
+					stack = append(stack, callee)
+					onStack[callee] = true
+					frames = append(frames, frame{fn: callee})
+					advanced = true
+					break
+				}
+				if onStack[callee] && index[callee] < lowlink[f.fn] {
+					lowlink[f.fn] = index[callee]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.fn is finished.
+			if lowlink[f.fn] == index[f.fn] {
+				var scc []*types.Func
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[m] = false
+					s.sccOf[m] = len(s.sccs)
+					scc = append(scc, m)
+					if m == f.fn {
+						break
+					}
+				}
+				s.sccs = append(s.sccs, scc)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				caller := &frames[len(frames)-1]
+				if lowlink[f.fn] < lowlink[caller.fn] {
+					lowlink[caller.fn] = lowlink[f.fn]
+				}
+			}
+		}
+	}
+	for _, fn := range fns {
+		if _, seen := index[fn]; !seen {
+			visit(fn)
+		}
+	}
+}
+
+// propagate fills the per-SCC transitive write sets. Tarjan emits SCCs in
+// reverse topological order of the condensation, so by the time a
+// component is processed every component it calls into is already final.
+func (s *SummarySet) propagate(g *CallGraph) {
+	s.trans = make([]map[types.Object]writeSite, len(s.sccs))
+	s.spawns = make([]bool, len(s.sccs))
+	for i, scc := range s.sccs {
+		acc := map[types.Object]writeSite{}
+		spawns := false
+		merge := func(m map[types.Object]writeSite) {
+			for obj, w := range m {
+				if old, ok := acc[obj]; !ok || (w.Via == ViaGlobal && old.Via == ViaPointer) {
+					acc[obj] = w
+				}
+			}
+		}
+		for _, fn := range scc {
+			sum := s.Direct[fn]
+			merge(sum.PlainWrites)
+			spawns = spawns || sum.Spawns
+			for _, e := range g.Edges[fn] {
+				j, ok := s.sccOf[e.Callee]
+				if !ok || j == i {
+					continue
+				}
+				merge(s.trans[j])
+				spawns = spawns || s.spawns[j]
+			}
+		}
+		s.trans[i] = acc
+		s.spawns[i] = spawns
+	}
+}
+
+// TransWrites returns every shared object that calling fn may plainly
+// write, through any chain of module functions, mapped to the site and
+// function of one such write. The map is shared — callers must not
+// mutate it.
+func (s *SummarySet) TransWrites(fn *types.Func) map[types.Object]writeSite {
+	i, ok := s.sccOf[fn]
+	if !ok {
+		return nil
+	}
+	return s.trans[i]
+}
+
+// TransSpawns reports whether calling fn may launch parallelism.
+func (s *SummarySet) TransSpawns(fn *types.Func) bool {
+	i, ok := s.sccOf[fn]
+	if !ok {
+		return false
+	}
+	return s.spawns[i]
+}

@@ -1,0 +1,27 @@
+// Package cg is a pure call-graph fixture: no rule flags anything here, it
+// exists so callgraph_test.go can assert the edge structure — direct
+// calls, interface-call resolution, and method values — on stable syntax.
+package cg
+
+// Runner is implemented by both A (pointer receiver) and B (value
+// receiver); an interface call must fan out to both.
+type Runner interface{ Run() }
+
+// A implements Runner with a pointer receiver.
+type A struct{ n int }
+
+func (a *A) Run() { a.n++ }
+
+// B implements Runner with a value receiver.
+type B struct{}
+
+func (B) Run() {}
+
+// Launch makes an interface call: every implementation is a may-callee.
+func Launch(r Runner) { r.Run() }
+
+// Handoff returns a method value; whoever receives it may invoke it.
+func Handoff(a *A) func() { return a.Run }
+
+// Chain reaches (*A).Run in two hops through the interface call.
+func Chain() { Launch(&A{}) }

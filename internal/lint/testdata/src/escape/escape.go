@@ -1,0 +1,88 @@
+// Package escape exercises the escape-to-parallel analyzer: a closure
+// handed to the fork-join runtime (or a go statement) calls a helper —
+// here and in package escapedep — whose transitive summary plainly writes
+// shared state the closure can reach. The intra-procedural parallel-capture
+// rule cannot see any of these: the closure bodies contain only calls.
+package escape
+
+import (
+	"pasgal/internal/lint/testdata/src/escapedep"
+	"pasgal/internal/parallel"
+)
+
+// acc is a shared accumulator whose method plainly writes a field.
+type acc struct{ n int64 }
+
+func (a *acc) bump(v int64) { a.n += v }
+
+func (a *acc) work() { a.n = 42 }
+
+// relay hides the cross-package write one hop deeper.
+func relay() { escapedep.Bump() }
+
+// badMethod hands the captured receiver to a helper that plainly writes a
+// field through it.
+func badMethod(xs []int64) int64 {
+	var a acc
+	parallel.For(len(xs), 0, func(i int) {
+		a.bump(xs[i]) // want:escape-to-parallel
+	})
+	return a.n
+}
+
+// badCrossPackage calls a helper in another package that bumps a
+// package-level variable — racy from any concurrent context, no captured
+// argument needed.
+func badCrossPackage(n int) {
+	parallel.For(n, 0, func(i int) {
+		escapedep.Bump() // want:escape-to-parallel
+	})
+}
+
+// badChained reaches the same write two hops away: closure -> relay ->
+// escapedep.Bump. Only transitive summaries see it.
+func badChained(n int) {
+	parallel.For(n, 0, func(i int) {
+		relay() // want:escape-to-parallel
+	})
+}
+
+// badGoNamed launches a named function with go; package-level writes are
+// flagged even without a closure.
+func badGoNamed() {
+	go escapedep.Bump() // want:escape-to-parallel
+}
+
+// goodLocalState passes state the closure created itself: the helper's
+// pointer write cannot reach caller-visible memory.
+func goodLocalState(n int) []int64 {
+	out := make([]int64, n)
+	parallel.For(n, 0, func(i int) {
+		var local acc
+		local.bump(int64(i)) // ok: receiver is closure-local
+		out[i] = local.n
+	})
+	return out
+}
+
+// stat's value receiver mutates its own copy — not a shared write.
+type stat struct{ n int64 }
+
+func (s stat) observe() stat { s.n++; return s }
+
+// goodValueReceiver calls a value-receiver helper: the write lands in the
+// callee's private copy.
+func goodValueReceiver(xs []stat) {
+	parallel.For(len(xs), 0, func(i int) {
+		xs[i] = xs[i].observe() // ok: value receiver writes a private copy
+	})
+}
+
+// goodHandoff hands each privately-owned receiver's method to Do — the
+// sanctioned ownership-transfer pattern; pointer-routed writes are not
+// flagged for non-literal arms.
+func goodHandoff() int64 {
+	l, r := &acc{}, &acc{}
+	parallel.Do(l.work, r.work)
+	return l.n + r.n
+}

@@ -1,0 +1,11 @@
+// Package escapedep is the cross-package half of the escape fixtures: its
+// helpers write shared state on behalf of closures in package escape, so
+// the escape-to-parallel analyzer only catches them by propagating write
+// summaries across the import edge.
+package escapedep
+
+// Total is bumped plainly — racy from any concurrent context.
+var Total int64
+
+// Bump plainly increments the package counter.
+func Bump() { Total++ }

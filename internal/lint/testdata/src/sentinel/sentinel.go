@@ -1,0 +1,58 @@
+// Package sentinel exercises the sentinel-error-compare analyzer: sentinel
+// errors must be tested with errors.Is, never ==/!= or switch equality,
+// because the typed-error contract wraps causes.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrTooBig is a package sentinel following the ErrXxx convention.
+var ErrTooBig = errors.New("sentinel: too big")
+
+// bad compares sentinels directly; wrapped causes slip through.
+func bad(err error) string {
+	if err == io.EOF { // want:sentinel-error-compare
+		return "eof"
+	}
+	if err != ErrTooBig { // want:sentinel-error-compare
+		return "other"
+	}
+	return ""
+}
+
+// badSwitch is the same comparison in disguise.
+func badSwitch(err error) string {
+	switch err {
+	case io.EOF: // want:sentinel-error-compare
+		return "eof"
+	case ErrTooBig: // want:sentinel-error-compare
+		return "big"
+	}
+	return ""
+}
+
+// good uses errors.Is, nil tests, and names the type veto rejects.
+func good(err error) string {
+	if errors.Is(err, io.EOF) { // ok: unwrapping comparison
+		return "eof"
+	}
+	if err == nil { // ok: nil test is the "any error at all?" check
+		return "none"
+	}
+	const ErrName = "x"
+	if fmt.Sprint(err) == ErrName { // ok: Err-named constant of string type
+		return "named"
+	}
+	return ""
+}
+
+// result carries an error field that happens to follow the convention.
+type result struct{ ErrFirst error }
+
+// goodField compares against a struct field, not a package sentinel.
+func goodField(r result, err error) bool {
+	return err == r.ErrFirst // ok: field access, not a sentinel
+}

@@ -1,0 +1,27 @@
+// Package xa exercises the xpkg-mixed-access analyzer: it touches xb.Stats
+// plainly while xb maintains the same field through sync/atomic — a split
+// neither package's intra-package pass can see.
+package xa
+
+import (
+	"pasgal/internal/lint/testdata/src/xb"
+)
+
+// badReset plainly writes the field xb increments atomically.
+func badReset(s *xb.Stats) {
+	s.N = 0 // want:xpkg-mixed-access
+}
+
+// badPeek reads the field plainly inside a goroutine.
+func badPeek(s *xb.Stats, done chan struct{}) {
+	go func() {
+		_ = s.N // want:xpkg-mixed-access
+		close(done)
+	}()
+}
+
+// goodAtomic stays inside xb's accessors.
+func goodAtomic(s *xb.Stats) int64 {
+	xb.Inc(s)
+	return xb.Load(s)
+}

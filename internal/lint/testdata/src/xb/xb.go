@@ -1,0 +1,15 @@
+// Package xb owns an atomically-maintained counter type: every mutation in
+// this package goes through sync/atomic. The xpkg-mixed-access fixtures in
+// package xa break the discipline from the other side of the import edge.
+package xb
+
+import "sync/atomic"
+
+// Stats is shared between goroutines; N must only be touched atomically.
+type Stats struct{ N int64 }
+
+// Inc is the sanctioned mutation.
+func Inc(s *Stats) { atomic.AddInt64(&s.N, 1) }
+
+// Load is the sanctioned read.
+func Load(s *Stats) int64 { return atomic.LoadInt64(&s.N) }

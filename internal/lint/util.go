@@ -144,9 +144,11 @@ func concurrentLits(pkg *Package, file *ast.File) map[*ast.FuncLit]bool {
 }
 
 // parallelLaunchFuncs are the internal/parallel entry points that execute
-// their function-literal arguments on other goroutines.
+// their function-literal arguments on other goroutines. The cancellable
+// variants run their bodies on exactly the same workers.
 var parallelLaunchFuncs = map[string]bool{
 	"For": true, "ForRange": true, "Do": true,
+	"ForCancel": true, "ForRangeCancel": true,
 }
 
 // isParallelLaunch reports whether call invokes one of the fork-join

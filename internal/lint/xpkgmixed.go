@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// XPkgMixedAccessAnalyzer is mixed-access lifted across package
+// boundaries: a field or package-level variable accessed through
+// sync/atomic in one package and plainly in another. The per-package rule
+// cannot see this split — a field stored atomically in internal/trace and
+// written plainly in internal/core is invisible to both packages'
+// intra-package passes — but the facts layer records every function's
+// atomic targets and plain writes module-wide, and object identity is
+// shared across the whole load, so the pairing is a join over summaries.
+//
+// The reporting policy mirrors the local rule: plain writes are always
+// flagged, plain reads only inside goroutine/parallel closures. Objects
+// with an atomic site in the *same* package as the plain access are left
+// to the local rule (one finding per bug, not two). Plain writes whose
+// root is local to the writing function (a fresh instance that never
+// escaped) are not in the summaries and so never flagged — the
+// cross-package rule is about shared instances by construction.
+func XPkgMixedAccessAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "xpkg-mixed-access",
+		Doc:       "variable accessed via sync/atomic in one package and plainly in another",
+		RunModule: runXPkgMixedAccess,
+	}
+}
+
+func runXPkgMixedAccess(m *Module) []Finding {
+	// Join key: the shared object. Value: the packages that access it
+	// atomically, with one representative site each.
+	type atomicSite struct {
+		pos     token.Pos
+		pkgPath string
+	}
+	atomics := map[types.Object]map[string]token.Pos{}
+
+	fns := make([]*types.Func, 0, len(m.Sums.Direct))
+	for fn := range m.Sums.Direct {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+
+	for _, fn := range fns {
+		sum := m.Sums.Direct[fn]
+		pkg := m.Graph.DeclPkg[fn]
+		for obj, pos := range sum.Atomics {
+			sites := atomics[obj]
+			if sites == nil {
+				sites = map[string]token.Pos{}
+				atomics[obj] = sites
+			}
+			if old, ok := sites[pkg.Path]; !ok || pos < old {
+				sites[pkg.Path] = pos
+			}
+		}
+	}
+	if len(atomics) == 0 {
+		return nil
+	}
+
+	// firstForeign picks the representative atomic site for an access from
+	// accessPkg: deterministic (smallest path), and nil when the only
+	// atomic sites are in accessPkg itself (the local rule's case).
+	firstForeign := func(obj types.Object, accessPkg string) (atomicSite, bool) {
+		sites := atomics[obj]
+		if sites == nil {
+			return atomicSite{}, false
+		}
+		if _, local := sites[accessPkg]; local {
+			return atomicSite{}, false
+		}
+		paths := make([]string, 0, len(sites))
+		for p := range sites {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		return atomicSite{pos: sites[paths[0]], pkgPath: paths[0]}, true
+	}
+
+	var out []Finding
+	for _, fn := range fns {
+		pkg := m.Graph.DeclPkg[fn]
+		if !m.isTarget(pkg) {
+			continue
+		}
+		sum := m.Sums.Direct[fn]
+		for obj, w := range sum.PlainWrites {
+			site, ok := firstForeign(obj, pkg.Path)
+			if !ok {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      m.Loader.Fset().Position(w.Pos),
+				Rule:     "xpkg-mixed-access",
+				Function: m.shortFuncName(fn),
+				Message: fmt.Sprintf(
+					"%s is accessed atomically in %s (%s) but plainly written here; the packages race through the shared object",
+					obj.Name(), site.pkgPath, m.relPos(site.pos)),
+			})
+		}
+		for obj, pos := range sum.ConcReads {
+			site, ok := firstForeign(obj, pkg.Path)
+			if !ok {
+				continue
+			}
+			out = append(out, Finding{
+				Pos:      m.Loader.Fset().Position(pos),
+				Rule:     "xpkg-mixed-access",
+				Function: m.shortFuncName(fn),
+				Message: fmt.Sprintf(
+					"%s is accessed atomically in %s (%s) but plainly read here inside a goroutine/parallel closure",
+					obj.Name(), site.pkgPath, m.relPos(site.pos)),
+			})
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@
 #   check.sh -short        formatting, vet, build, and short-mode tests only
 #   PASGAL_SKIP_RACE=1     stop before the race tier (it dominates, ~30s)
 #   PASGAL_SKIP_BENCH=1    skip the bench regression gate
+#   PASGAL_SKIP_VET=1      skip the pasgal-vet concurrency checker
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,8 +46,16 @@ if [ "$short" = 1 ]; then
 fi
 go test ./...
 
-echo '== pasgal-vet'
-go run ./cmd/pasgal-vet ./...
+if [ "${PASGAL_SKIP_VET:-0}" = 1 ]; then
+    echo '== pasgal-vet skipped (PASGAL_SKIP_VET=1)'
+else
+    echo '== pasgal-vet'
+    # Whole-module interprocedural pass. The root package, internal/, cmd/,
+    # and examples/ are named explicitly so a pattern regression cannot
+    # silently drop one; -time prints the engine-phase and per-package
+    # breakdown so a slow rule is visible immediately.
+    go run ./cmd/pasgal-vet -time . ./internal/... ./cmd/... ./examples/...
+fi
 
 if [ "${PASGAL_SKIP_BENCH:-0}" = 1 ]; then
     echo '== bench regression gate skipped (PASGAL_SKIP_BENCH=1)'

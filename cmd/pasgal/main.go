@@ -23,13 +23,14 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "bfs", "algorithm: bfs|scc|bcc|sssp|kcore|ptp|cc|reach")
+	algo := flag.String("algo", "bfs", "algorithm: bfs|batch|scc|bcc|sssp|kcore|ptp|cc|reach")
 	path := flag.String("graph", "", "graph file (.adj, .bin, or edge list)")
 	workload := flag.String("workload", "", "registry workload name (alternative to -graph)")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (with -workload)")
 	directed := flag.Bool("directed", true, "treat file input as directed")
 	src := flag.Int("src", -1, "source vertex (-1 = max-degree vertex)")
 	dst := flag.Int("dst", 0, "destination vertex (ptp)")
+	batchN := flag.Int("batch", 64, "number of batched sources (batch)")
 	tau := flag.Int("tau", 0, "VGC budget (0 = default)")
 	policy := flag.String("policy", "rho", "SSSP policy: rho|delta|bf")
 	weightMax := flag.Uint("wmax", 1<<16, "max random weight if the graph is unweighted (sssp)")
@@ -100,6 +101,45 @@ func main() {
 				if dist[v] != want[v] {
 					fmt.Fprintf(os.Stderr, "VERIFY FAILED: dist[%d] = %d, want %d\n", v, dist[v], want[v])
 					os.Exit(1)
+				}
+			}
+			fmt.Println("verified against sequential queue BFS")
+		}
+	case "batch":
+		if *batchN <= 0 {
+			fmt.Fprintln(os.Stderr, "pasgal: -batch must be positive")
+			os.Exit(2)
+		}
+		// Deterministic source spread: the requested source first, then a
+		// fixed stride over the vertex space so lanes hit distinct regions.
+		srcs := make([]uint32, *batchN)
+		srcs[0] = source
+		for i := 1; i < len(srcs); i++ {
+			srcs[i] = uint32((uint64(source) + uint64(i)*2654435761) % uint64(g.N))
+		}
+		rows, met, err := pasgal.BatchedBFS(g, srcs, opt)
+		abortOn(err, met, time.Since(start))
+		elapsed := time.Since(start)
+		reached := 0
+		for _, row := range rows {
+			for _, d := range row {
+				if d != pasgal.InfDist {
+					reached++
+				}
+			}
+		}
+		fmt.Printf("batch: %d BFS queries, %d (vertex, source) pairs reached, %.0f queries/sec\n",
+			len(srcs), reached, float64(len(srcs))/elapsed.Seconds())
+		report(met, elapsed)
+		if *verify {
+			for i, s := range srcs {
+				want := pasgal.SequentialBFS(g, s)
+				for v := range want {
+					if rows[i][v] != want[v] {
+						fmt.Fprintf(os.Stderr, "VERIFY FAILED: lane %d dist[%d] = %d, want %d\n",
+							i, v, rows[i][v], want[v])
+						os.Exit(1)
+					}
 				}
 			}
 			fmt.Println("verified against sequential queue BFS")

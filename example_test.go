@@ -93,6 +93,19 @@ func ExampleReachable() {
 	// Output: [false false false true true true true true]
 }
 
+func ExampleBatchedBFS() {
+	// One engine call answers three BFS queries, sharing each edge scan
+	// across the batch; row i is exactly BFS(g, sources[i]).
+	rows, _, _ := pasgal.BatchedBFS(exampleGraph(), []uint32{0, 3, 6}, pasgal.Options{})
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+	// [4294967295 4294967295 4294967295 0 1 2 3 4]
+	// [4294967295 4294967295 4294967295 4294967295 4294967295 4294967295 0 1]
+}
+
 func ExampleGenerateGrid() {
 	g := pasgal.GenerateGrid(3, 4, false, 1)
 	fmt.Println(g.N, "vertices,", g.UndirectedM(), "edges")

@@ -8,6 +8,7 @@ import (
 	"pasgal/internal/core"
 	"pasgal/internal/gen"
 	"pasgal/internal/graph"
+	"pasgal/internal/msbfs"
 	"pasgal/internal/seq"
 )
 
@@ -259,6 +260,108 @@ func TestDifferentialSSSP(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// batchWidths are the lane-boundary batch sizes the MS-BFS engine must
+// get right: one lane, a partial group, exactly one group, one lane past
+// it, and two lanes past two groups.
+var batchWidths = []int{1, 3, 64, 65, 130}
+
+// batchSources picks b sources on g with a deliberate duplicate (the
+// engine must give duplicated sources identical independent rows).
+func batchSources(g *graph.Graph, b int) []uint32 {
+	srcs := make([]uint32, b)
+	for i := range srcs {
+		srcs[i] = uint32((i * 41) % g.N)
+	}
+	if b >= 3 {
+		srcs[b-1] = srcs[0]
+		srcs[b/2] = srcs[0]
+	}
+	return srcs
+}
+
+// TestDifferentialBatchedBFS cross-checks the batched MS-BFS engine
+// lane-by-lane against the sequential queue oracle over the full shape
+// matrix, at every lane-boundary batch width, in both push-only and
+// pull-favoring routings.
+func TestDifferentialBatchedBFS(t *testing.T) {
+	opts := map[string]core.Options{
+		"default":    {},
+		"push-only":  {DisableDirectionOpt: true},
+		"pull-eager": {DenseFrac: 0.01},
+	}
+	for _, sh := range diffShapes(0xBA7C) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			oracle := map[uint32][]uint32{}
+			for _, b := range batchWidths {
+				srcs := batchSources(sh.g, b)
+				for oname, opt := range opts {
+					rows, _, err := msbfs.Run(sh.g, srcs, opt)
+					if err != nil {
+						t.Fatalf("B=%d %s: %v", b, oname, err)
+					}
+					for i, s := range srcs {
+						want, ok := oracle[s]
+						if !ok {
+							want = seq.BFS(sh.g, s)
+							oracle[s] = want
+						}
+						for v := range want {
+							if rows[i][v] != want[v] {
+								t.Fatalf("B=%d %s lane %d (src %d): dist[%d] = %d, oracle %d",
+									b, oname, i, s, v, rows[i][v], want[v])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBatchedReachable does the same sweep for the boolean
+// reachability variant, which shares the engine but not the sink.
+func TestDifferentialBatchedReachable(t *testing.T) {
+	for _, sh := range diffShapes(0x2EAC) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, b := range batchWidths {
+				srcs := batchSources(sh.g, b)
+				rows, _, err := msbfs.RunReachable(sh.g, srcs, core.Options{})
+				if err != nil {
+					t.Fatalf("B=%d: %v", b, err)
+				}
+				for i, s := range srcs {
+					want := seq.BFS(sh.g, s)
+					for v := range want {
+						if rows[i][v] != (want[v] != graph.InfDist) {
+							t.Fatalf("B=%d lane %d (src %d): reach[%d] = %v, oracle %v",
+								b, i, s, v, rows[i][v], want[v] != graph.InfDist)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialBatchedRejectsBadSources pins the validation contract on
+// every shape: one out-of-range source anywhere in the batch fails the
+// whole call with a descriptive error and no rows.
+func TestDifferentialBatchedRejectsBadSources(t *testing.T) {
+	for _, sh := range diffShapes(0xBAD) {
+		bad := uint32(sh.g.N) // first out-of-range id
+		for _, b := range batchWidths {
+			srcs := batchSources(sh.g, b)
+			srcs[b-1] = bad
+			if rows, _, err := msbfs.Run(sh.g, srcs, core.Options{}); err == nil || rows != nil {
+				t.Fatalf("%s B=%d: out-of-range source accepted (rows=%v err=%v)",
+					sh.name, b, rows != nil, err)
+			}
+		}
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"pasgal/internal/gen"
 	"pasgal/internal/graph"
 	"pasgal/internal/ldd"
+	"pasgal/internal/msbfs"
 	"pasgal/internal/parallel"
 	"pasgal/internal/seq"
 	"pasgal/internal/trace"
@@ -350,6 +351,80 @@ func FrontierGrowth(c Config) {
 }
 
 func bench0Source(g *graph.Graph) uint32 { return PickSource(g) }
+
+// QueriesImpls names the batched-query implementations: the MS-BFS lane
+// engine, a loop of single-source parallel BFS runs, and a loop of
+// sequential queue BFS runs (the sequential baseline, "*" suffixed).
+var QueriesImpls = []string{"MSBFS", "LoopBFS", "SeqLoop*"}
+
+// QueryBatches are the batch widths of the queries experiment: a single
+// query (the engine's overhead floor), one full lane group, and eight
+// groups.
+var QueryBatches = []int{1, 64, 512}
+
+// queriesSpecs returns the two query-serving workloads: a uniform-degree
+// ER graph and a power-law RMAT graph, each with ~2^20 edges at scale 1.
+func queriesSpecs() []Spec {
+	return []Spec{
+		{"UNI", "Synthetic", true, "uniform ER, 2^20 edges", func(s float64) *graph.Graph {
+			m := sc(1<<20, s)
+			return gen.ER(m/8, m, true, 601)
+		}},
+		{"PL", "Social", true, "power-law RMAT, 2^20 edges", func(s float64) *graph.Graph {
+			return gen.SocialRMAT(rmatScale(sc(1<<16, s)), 16, true, 602)
+		}},
+	}
+}
+
+// QuerySources picks b batched-BFS sources on g: the max-degree vertex
+// first, then a fixed multiplicative stride over the vertex space, so
+// lanes start in distinct regions but the set is deterministic.
+func QuerySources(g *graph.Graph, b int) []uint32 {
+	srcs := make([]uint32, b)
+	srcs[0] = PickSource(g)
+	for i := 1; i < b; i++ {
+		srcs[i] = uint32((uint64(srcs[0]) + uint64(i)*2654435761) % uint64(g.N))
+	}
+	return srcs
+}
+
+// TableQueries measures batched BFS query throughput: B concurrent
+// single-source queries served by one MS-BFS run vs a loop of
+// single-source runs. This is the experiment behind the MS-BFS engine's
+// existence — shared edge scans must beat repeated traversals on every
+// graph class once B fills a lane group.
+func TableQueries(c Config) []Result {
+	fmt.Fprintf(c.Out, "\n== Batched BFS query throughput (MS-BFS vs looped single-source) ==\n")
+	rows := [][]string{{"Graph", "B", "MSBFS", "LoopBFS", "SeqLoop*", "MSBFS q/s", "vs loop"}}
+	var results []Result
+	opt := c.options()
+	for _, s := range queriesSpecs() {
+		g := c.build(s)
+		for _, b := range QueryBatches {
+			srcs := QuerySources(g, b)
+			res := newResult(fmt.Sprintf("%s-B%d", s.Name, b), s.Category, g)
+			res.Times["MSBFS"] = timed(c.Reps, func() { _, _, _ = msbfs.Run(g, srcs, opt) })
+			res.Times["LoopBFS"] = timed(c.Reps, func() {
+				for _, src := range srcs {
+					_, _, _ = core.BFS(g, src, opt)
+				}
+			})
+			res.Times["SeqLoop*"] = timed(c.Reps, func() {
+				for _, src := range srcs {
+					seq.BFS(g, src)
+				}
+			})
+			rows = append(rows, []string{s.Name, fmt.Sprintf("%d", b),
+				fmtTime(res.Times["MSBFS"]), fmtTime(res.Times["LoopBFS"]),
+				fmtTime(res.Times["SeqLoop*"]),
+				fmt.Sprintf("%.0f", float64(b)/res.Times["MSBFS"]),
+				fmt.Sprintf("%.2fx", res.Times["LoopBFS"]/res.Times["MSBFS"])})
+			results = append(results, res)
+		}
+	}
+	printAligned(c.Out, rows)
+	return results
+}
 
 // Connectivity contrasts the BFS-free union–find connectivity FAST-BCC is
 // built on with the LDD-contraction connectivity a GBBS-style system uses,

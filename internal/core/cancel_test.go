@@ -257,7 +257,11 @@ func TestCancelMidRun(t *testing.T) {
 					break
 				}
 			}
-			if !foundEvent {
+			// If the watcher was starved long enough for the run to fill
+			// the event ring before the cancel landed, the KindCancel
+			// event is among the dropped tail; the counter above already
+			// proved the cancel was recorded.
+			if !foundEvent && tr.Dropped() == 0 {
 				t.Fatal("no KindCancel event in the trace")
 			}
 		})

@@ -171,6 +171,13 @@ func (o Options) denseCut(n int) int64 {
 	return cut
 }
 
+// DenseCut returns the frontier size at which a traversal over an n-vertex
+// graph switches to a bottom-up (pull) round, or math.MaxInt64 when
+// direction optimization cannot apply. It is the exported form of the
+// heuristic BFS uses internally, so batched engines built outside this
+// package (internal/msbfs) share the exact same switch point.
+func (o Options) DenseCut(n int) int64 { return o.denseCut(n) }
+
 func (o Options) trimRounds() int {
 	if o.TrimRounds < 0 {
 		return 0

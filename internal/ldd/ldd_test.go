@@ -144,3 +144,56 @@ func TestDecomposeBadBetaPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestDirectedGraphPanics: both entry points refuse directed graphs — the
+// exponential-shift argument only bounds diameter on symmetric adjacency.
+func TestDirectedGraphPanics(t *testing.T) {
+	dg := gen.Chain(10, true)
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"Decompose", func() { Decompose(dg, 0.2, 1) }},
+		{"Components", func() { Components(dg, 0.2, 1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("directed graph accepted")
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestDecomposeDeterministicPerSeed pins the (graph, beta, seed) ->
+// labeling contract across a shape table: the same inputs must reproduce
+// the same clustering (the bench harness and the contraction levels both
+// rely on it), while different seeds are allowed to differ.
+func TestDecomposeDeterministicPerSeed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		beta float64
+	}{
+		{"grid", gen.Grid2D(25, 25, false, 4), 0.2},
+		{"chain", gen.Chain(3000, false), 0.1},
+		{"star", gen.Star(500), 0.5},
+		{"er", gen.ER(800, 2400, false, 6), 0.3},
+		{"singleton", gen.Chain(1, false), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, roundsA := Decompose(tc.g, tc.beta, 42)
+			b, roundsB := Decompose(tc.g, tc.beta, 42)
+			if roundsA != roundsB {
+				t.Fatalf("rounds %d vs %d across identical runs", roundsA, roundsB)
+			}
+			for v := range a {
+				if a[v] != b[v] {
+					t.Fatalf("label[%d] = %d vs %d across identical runs", v, a[v], b[v])
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,290 @@
+package msbfs
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/trace"
+)
+
+// cancelCase wraps one batched entry point for the cancellation
+// conformance sweep, mirroring internal/core's suite: the contract is
+// "typed error, Metrics so far, never a result".
+type cancelCase struct {
+	name string
+	run  func(t *testing.T, opt core.Options) (*core.Metrics, error)
+}
+
+// cancelCases enumerates every batched entry point. The 65-lane batches
+// span two groups, so cancellation is exercised at both the group and the
+// round boundary.
+func cancelCases(g *graph.Graph) []cancelCase {
+	srcs := pickSources(g, 65)
+	pairs := make([][2]uint32, 65)
+	for i := range pairs {
+		pairs[i] = [2]uint32{srcs[i], uint32(g.N - 1)}
+	}
+	return []cancelCase{
+		{"Run", func(t *testing.T, opt core.Options) (*core.Metrics, error) {
+			rows, met, err := Run(g, srcs, opt)
+			if err != nil && rows != nil {
+				t.Error("Run returned rows alongside its error")
+			}
+			return met, err
+		}},
+		{"RunReachable", func(t *testing.T, opt core.Options) (*core.Metrics, error) {
+			rows, met, err := RunReachable(g, srcs, opt)
+			if err != nil && rows != nil {
+				t.Error("RunReachable returned rows alongside its error")
+			}
+			return met, err
+		}},
+		{"RunPointToPoint", func(t *testing.T, opt core.Options) (*core.Metrics, error) {
+			dists, met, err := RunPointToPoint(g, pairs, opt)
+			if err != nil && dists != nil {
+				t.Error("RunPointToPoint returned distances alongside its error")
+			}
+			return met, err
+		}},
+	}
+}
+
+// TestCancelPreCanceled: an already-canceled context fails every batched
+// entry point with ErrCanceled, non-nil Metrics, and no rows.
+func TestCancelPreCanceled(t *testing.T) {
+	g := gen.Chain(2000, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range cancelCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			met, err := tc.run(t, core.Options{Ctx: ctx})
+			if !errors.Is(err, core.ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if errors.Is(err, core.ErrDeadline) {
+				t.Fatalf("err = %v claims a deadline on a plain cancel", err)
+			}
+			if met == nil {
+				t.Fatal("nil Metrics alongside the cancellation error")
+			}
+		})
+	}
+}
+
+// TestCancelDeadlineExpired: an expired deadline maps to ErrDeadline, not
+// ErrCanceled, at every batched entry point.
+func TestCancelDeadlineExpired(t *testing.T) {
+	g := gen.Chain(2000, true)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	for _, tc := range cancelCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			met, err := tc.run(t, core.Options{Ctx: ctx})
+			if !errors.Is(err, core.ErrDeadline) {
+				t.Fatalf("err = %v, want ErrDeadline", err)
+			}
+			if met == nil {
+				t.Fatal("nil Metrics alongside the deadline error")
+			}
+		})
+	}
+}
+
+// TestCancelCustomCause: a context.WithCancelCause cause is wrapped into
+// the returned error together with the typed sentinel.
+func TestCancelCustomCause(t *testing.T) {
+	g := gen.Chain(2000, true)
+	because := errors.New("operator pulled the plug")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(because)
+	_, _, err := Run(g, []uint32{0, 1}, core.Options{Ctx: ctx})
+	if !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, because) {
+		t.Fatalf("err = %v does not wrap the cancellation cause", err)
+	}
+}
+
+// TestCancelNilCtxCompletes: the zero Options still mean "run to
+// completion, nil error" — cancellation is strictly opt-in.
+func TestCancelNilCtxCompletes(t *testing.T) {
+	g := gen.Chain(500, true)
+	for _, tc := range cancelCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.run(t, core.Options{}); err != nil {
+				t.Fatalf("unexpected error without a Ctx: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelMidRun cancels each batched entry point while it is
+// demonstrably in flight: a watcher goroutine waits for the tracer to
+// record enough rounds, then cancels. On a 200k-vertex chain every lane
+// has vastly more work left at that point, so the run must come back with
+// the typed error and a cancel trace event rather than rows.
+func TestCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mid-run cancellation sweep; skipped with -short")
+	}
+	g := gen.Chain(200_000, true)
+	for _, tc := range cancelCases(g) {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := trace.New()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan struct{})
+			go func() {
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if tr.CounterValue(trace.CtrRounds) >= 16 {
+						cancel()
+						return
+					}
+					runtime.Gosched()
+				}
+			}()
+			met, err := tc.run(t, core.Options{Ctx: ctx, Tau: 1, Tracer: tr})
+			close(done)
+			if !errors.Is(err, core.ErrCanceled) {
+				t.Fatalf("err = %v, want ErrCanceled", err)
+			}
+			if met == nil {
+				t.Fatal("nil Metrics alongside the cancellation error")
+			}
+			if c := tr.CounterValue(trace.CtrCancels); c < 1 {
+				t.Fatalf("CtrCancels = %d, want >= 1", c)
+			}
+			foundEvent := false
+			for _, ev := range tr.Events() {
+				if ev.Kind == trace.KindCancel {
+					foundEvent = true
+					break
+				}
+			}
+			// If the watcher was starved long enough for the run to fill
+			// the event ring before the cancel landed, the KindCancel
+			// event is among the dropped tail; the counter above already
+			// proved the cancel was recorded.
+			if !foundEvent && tr.Dropped() == 0 {
+				t.Fatal("no KindCancel event in the trace")
+			}
+		})
+	}
+}
+
+// TestCancelEmitsOneTraceEvent: group-boundary polls after the
+// cancellation must not duplicate the cancel trace event.
+func TestCancelEmitsOneTraceEvent(t *testing.T) {
+	g := gen.Chain(2000, true)
+	tr := trace.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs := pickSources(g, 130) // three groups, three boundary polls
+	if _, _, err := Run(g, srcs, core.Options{Ctx: ctx, Tracer: tr}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if c := tr.CounterValue(trace.CtrCancels); c != 1 {
+		t.Fatalf("CtrCancels = %d after one canceled run, want exactly 1", c)
+	}
+}
+
+// TestCancelNoGoroutineLeak: canceled batched runs leave no watcher
+// goroutines behind; the goroutine count settles back to its pre-run
+// baseline.
+func TestCancelNoGoroutineLeak(t *testing.T) {
+	g := gen.Chain(50_000, true)
+	srcs := pickSources(g, 65)
+	// Warm up the worker pool so its persistent goroutines are part of the
+	// baseline.
+	if _, _, err := Run(g, srcs, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go cancel()
+		_, _, err := Run(g, srcs, core.Options{Ctx: ctx, Tau: 1})
+		if err != nil && !errors.Is(err, core.ErrCanceled) {
+			t.Fatalf("run %d: unexpected error kind: %v", i, err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if now := runtime.NumGoroutine(); now <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: %d now vs %d before the canceled runs",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStressCancelMidRun hammers the batched cancellation path for the
+// -race tier: concurrent multi-group runs, each canceled at an arbitrary
+// point. Every run must end in nil or ErrCanceled — never a partial
+// result, a panic, or a hang.
+func TestStressCancelMidRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	g := gen.Chain(20_000, true)
+	srcs := pickSources(g, 65)
+	want, _, err := Run(g, srcs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 16
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		i := i
+		go func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() {
+				time.Sleep(time.Duration(i%8) * 200 * time.Microsecond)
+				cancel()
+			}()
+			rows, _, err := Run(g, srcs, core.Options{Ctx: ctx, Tau: 1})
+			switch {
+			case err == nil:
+				for l := range want {
+					for v := range want[l] {
+						if rows[l][v] != want[l][v] {
+							errs <- errors.New("completed run returned wrong distances")
+							return
+						}
+					}
+				}
+				errs <- nil
+			case errors.Is(err, core.ErrCanceled):
+				if rows != nil {
+					errs <- errors.New("canceled run returned rows")
+					return
+				}
+				errs <- nil
+			default:
+				errs <- err
+			}
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package msbfs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("msbfs: coalescer closed")
+
+// DefaultMaxWait is the Coalescer's default flush latency bound.
+const DefaultMaxWait = 2 * time.Millisecond
+
+// CoalescerOptions tunes a Coalescer. The zero value selects defaults.
+type CoalescerOptions struct {
+	// MaxBatch flushes a batch as soon as this many requests are queued;
+	// <= 0 selects LaneWidth (64), one full lane group. Values above 64
+	// are allowed — the batch just spans multiple groups.
+	MaxBatch int
+
+	// MaxWait bounds how long a queued request waits for lane-mates before
+	// a timer flushes a partial batch; <= 0 selects DefaultMaxWait.
+	MaxWait time.Duration
+
+	// Opt is threaded into every batch run. Opt.Ctx applies to the batch
+	// as a whole; per-request deadlines go through Submit's ctx (which
+	// only abandons the wait — the batch itself keeps running for the
+	// lane-mates).
+	Opt core.Options
+}
+
+// Coalescer is the batching front door for single-source callers: it
+// queues concurrent BFS requests against one graph and flushes them as
+// lane groups through Run, so independent callers share edge scans
+// without coordinating. It is the admission path a serving daemon would
+// put in front of the engine.
+//
+// A batch flushes when it reaches MaxBatch requests or when the oldest
+// queued request has waited MaxWait, whichever comes first. The flush
+// runs on the goroutine that completed the batch (or the timer goroutine
+// for partial batches); lane-mates block in Submit until their row is
+// ready.
+type Coalescer struct {
+	g    *graph.Graph
+	opts CoalescerOptions
+
+	mu      sync.Mutex
+	queue   []request
+	timer   *time.Timer
+	timerOn bool
+	closed  bool
+
+	// inflight tracks running flushes so Close can wait them out.
+	inflight sync.WaitGroup
+
+	statMu  sync.Mutex
+	queries int64
+	batches int64
+}
+
+type request struct {
+	src  uint32
+	done chan result
+}
+
+type result struct {
+	dist []uint32
+	err  error
+}
+
+// NewCoalescer returns a Coalescer serving BFS queries against g.
+func NewCoalescer(g *graph.Graph, opts CoalescerOptions) *Coalescer {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = LaneWidth
+	}
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = DefaultMaxWait
+	}
+	return &Coalescer{g: g, opts: opts}
+}
+
+// Submit queues one BFS source and blocks until its distance row is ready
+// (hop distances from src; graph.InfDist marks unreachable vertices). A
+// done ctx abandons the wait with ctx's cause; the batch itself still
+// completes for the other lanes. Safe for concurrent use.
+func (c *Coalescer) Submit(ctx context.Context, src uint32) ([]uint32, error) {
+	if int(src) >= c.g.N {
+		return nil, fmt.Errorf("msbfs: source %d out of range [0, %d)", src, c.g.N)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	done := make(chan result, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.queue = append(c.queue, request{src: src, done: done})
+	var batch []request
+	if len(c.queue) >= c.opts.MaxBatch {
+		batch = c.takeLocked()
+	} else if !c.timerOn {
+		c.timerOn = true
+		if c.timer == nil {
+			c.timer = time.AfterFunc(c.opts.MaxWait, c.flushTimer)
+		} else {
+			c.timer.Reset(c.opts.MaxWait)
+		}
+	}
+	c.mu.Unlock()
+	if batch != nil {
+		// The request that filled the batch runs it: no handoff latency,
+		// and back-pressure lands on the caller generating the load.
+		c.runBatch(batch)
+	}
+	select {
+	case r := <-done:
+		return r.dist, r.err
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+// Close flushes any queued requests, waits for in-flight batches, and
+// fails all future Submits with ErrClosed.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	if batch != nil {
+		c.runBatch(batch)
+	}
+	c.inflight.Wait()
+}
+
+// Stats reports how many queries were accepted and how many batch runs
+// served them; queries/batches is the achieved scan-sharing factor.
+func (c *Coalescer) Stats() (queries, batches int64) {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.queries, c.batches
+}
+
+// takeLocked claims the queued requests (nil if none) and disarms the
+// pending timer. Caller holds c.mu and must runBatch any non-nil return.
+func (c *Coalescer) takeLocked() []request {
+	if c.timerOn {
+		c.timer.Stop() // best effort; a fired flushTimer finds an empty queue
+		c.timerOn = false
+	}
+	if len(c.queue) == 0 {
+		return nil
+	}
+	batch := c.queue
+	c.queue = nil
+	c.inflight.Add(1)
+	return batch
+}
+
+func (c *Coalescer) flushTimer() {
+	c.mu.Lock()
+	c.timerOn = false
+	batch := c.takeLocked()
+	c.mu.Unlock()
+	if batch != nil {
+		c.runBatch(batch)
+	}
+}
+
+func (c *Coalescer) runBatch(batch []request) {
+	defer c.inflight.Done()
+	srcs := make([]uint32, len(batch))
+	for i, r := range batch {
+		srcs[i] = r.src
+	}
+	rows, _, err := Run(c.g, srcs, c.opts.Opt)
+	c.statMu.Lock()
+	c.queries += int64(len(batch))
+	c.batches++
+	c.statMu.Unlock()
+	for i, r := range batch {
+		if err != nil {
+			r.done <- result{err: err}
+		} else {
+			r.done <- result{dist: rows[i]}
+		}
+	}
+}

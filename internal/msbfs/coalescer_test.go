@@ -1,0 +1,270 @@
+package msbfs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/seq"
+)
+
+func TestCoalescerSingleQuery(t *testing.T) {
+	g := gen.Chain(500, true)
+	c := NewCoalescer(g, CoalescerOptions{MaxWait: time.Millisecond})
+	defer c.Close()
+	dist, err := c.Submit(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.BFS(g, 3)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+// TestCoalescerBatchesConcurrentQueries pins the whole point of the
+// Coalescer: many concurrent submitters share far fewer engine runs, and
+// every one still gets its own correct row.
+func TestCoalescerBatchesConcurrentQueries(t *testing.T) {
+	g := gen.ER(800, 4000, true, 33)
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 16, MaxWait: 50 * time.Millisecond})
+	defer c.Close()
+	const queries = 64
+	var wg sync.WaitGroup
+	errs := make([]error, queries)
+	dists := make([][]uint32, queries)
+	for i := 0; i < queries; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dists[i], errs[i] = c.Submit(context.Background(), uint32(i*11%g.N))
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < queries; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		want := seq.BFS(g, uint32(i*11%g.N))
+		for v := range want {
+			if dists[i][v] != want[v] {
+				t.Fatalf("query %d: dist[%d] = %d, want %d", i, v, dists[i][v], want[v])
+			}
+		}
+	}
+	q, b := c.Stats()
+	if q != queries {
+		t.Fatalf("Stats queries = %d, want %d", q, queries)
+	}
+	if b < 1 || b > queries {
+		t.Fatalf("Stats batches = %d out of range [1, %d]", b, queries)
+	}
+}
+
+// TestCoalescerTimerFlush: a lone request must not wait for lane-mates
+// that never come — the MaxWait timer flushes it.
+func TestCoalescerTimerFlush(t *testing.T) {
+	g := gen.Chain(100, false)
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 64, MaxWait: 2 * time.Millisecond})
+	defer c.Close()
+	start := time.Now()
+	dist, err := c.Submit(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[99] != 99 {
+		t.Fatalf("dist[99] = %d, want 99", dist[99])
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("single query took %v; timer flush did not fire", waited)
+	}
+	if _, b := c.Stats(); b != 1 {
+		t.Fatalf("batches = %d, want 1", b)
+	}
+}
+
+func TestCoalescerValidatesSource(t *testing.T) {
+	g := gen.Chain(10, false)
+	c := NewCoalescer(g, CoalescerOptions{})
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), 10); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	// The bad submit must not have left a queued request behind.
+	if q, _ := c.Stats(); q != 0 {
+		t.Fatalf("queries = %d after a rejected submit, want 0", q)
+	}
+}
+
+// TestCoalescerSubmitCtxAbandon: a caller whose ctx dies while waiting
+// gets the ctx cause; the coalescer itself stays usable.
+func TestCoalescerSubmitCtxAbandon(t *testing.T) {
+	g := gen.Chain(100, false)
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 64, MaxWait: time.Hour})
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Submit(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A later submit on a live ctx still works (the abandoned request
+	// flushes with this batch or the hour timer; MaxBatch 1 forces it now).
+	c2 := NewCoalescer(g, CoalescerOptions{MaxBatch: 1})
+	defer c2.Close()
+	if _, err := c2.Submit(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoalescerBatchCtxCancel: a canceled Opt.Ctx fails the whole batch
+// with the engine's typed error, delivered to every submitter.
+func TestCoalescerBatchCtxCancel(t *testing.T) {
+	g := gen.Chain(100, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 1, Opt: core.Options{Ctx: ctx}})
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), 0); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("err = %v, want core.ErrCanceled", err)
+	}
+}
+
+// TestCoalescerClose: Close flushes queued work, then fails future
+// submits with ErrClosed.
+func TestCoalescerClose(t *testing.T) {
+	g := gen.Chain(100, false)
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 64, MaxWait: time.Hour})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var dist []uint32
+	var err error
+	go func() {
+		defer wg.Done()
+		dist, err = c.Submit(context.Background(), 1)
+	}()
+	// Wait until the request is queued, then Close must flush it.
+	for {
+		time.Sleep(time.Millisecond)
+		c.mu.Lock()
+		queued := len(c.queue)
+		c.mu.Unlock()
+		if queued == 1 {
+			break
+		}
+	}
+	c.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("queued request failed on Close: %v", err)
+	}
+	if dist[1] != 0 {
+		t.Fatalf("dist[1] = %d, want 0", dist[1])
+	}
+	if _, err := c.Submit(context.Background(), 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v after Close, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+// TestStressCoalescer drives the coalescer from many goroutines at small
+// MaxBatch/MaxWait for the -race tier: submit path, timer path, and
+// stats must all be clean under contention.
+func TestStressCoalescer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	g := gen.SocialRMAT(8, 8, true, 77)
+	c := NewCoalescer(g, CoalescerOptions{MaxBatch: 8, MaxWait: 100 * time.Microsecond})
+	defer c.Close()
+	want := make(map[uint32][]uint32)
+	for s := 0; s < 16; s++ {
+		want[uint32(s)] = seq.BFS(g, uint32(s))
+	}
+	const goroutines = 12
+	const perG = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := 0; q < perG; q++ {
+				s := uint32((w*perG + q) % 16)
+				dist, err := c.Submit(context.Background(), s)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for v := range want[s] {
+					if dist[v] != want[s][v] {
+						errs <- errors.New("wrong distance row under stress")
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < goroutines; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, b := c.Stats()
+	if q != goroutines*perG {
+		t.Fatalf("queries = %d, want %d", q, goroutines*perG)
+	}
+	if b < 1 {
+		t.Fatal("no batches recorded")
+	}
+	t.Logf("coalescing factor: %d queries / %d batches = %.1fx", q, b, float64(q)/float64(b))
+}
+
+// TestStressBatchedRuns runs concurrent independent multi-group batches
+// on a shared graph for the -race tier: the engine's state is per-call,
+// so runs must not interfere.
+func TestStressBatchedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	g := gen.ER(2000, 8000, true, 55)
+	srcs := pickSources(g, 65)
+	want, _, err := Run(g, srcs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 8
+	errs := make(chan error, runs)
+	for i := 0; i < runs; i++ {
+		go func() {
+			rows, _, err := Run(g, srcs, core.Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for l := range want {
+				for v := range want[l] {
+					if rows[l][v] != want[l][v] {
+						errs <- errors.New("concurrent batched runs interfered")
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < runs; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package msbfs
+
+import (
+	"testing"
+
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+// fuzzGraph decodes a fuzz payload into a graph and a source batch.
+// Layout: n is clamped to [1, 256]; edgeData is consumed two bytes per
+// edge (u, v taken mod n); srcData one byte per source (mod n), capped at
+// 130 lanes so runs stay within three lane groups. Every byte string is a
+// valid input — the engine has no parse-failure escape hatch to hide in.
+func fuzzGraph(n uint16, directed bool, edgeData, srcData []byte) (*graph.Graph, []uint32) {
+	nv := int(n)%256 + 1
+	var edges []graph.Edge
+	for i := 0; i+1 < len(edgeData) && i < 4096; i += 2 {
+		edges = append(edges, graph.Edge{
+			U: uint32(int(edgeData[i]) % nv),
+			V: uint32(int(edgeData[i+1]) % nv),
+		})
+	}
+	g := graph.FromEdges(nv, edges, directed, graph.BuildOptions{})
+	if len(srcData) > 130 {
+		srcData = srcData[:130]
+	}
+	srcs := make([]uint32, len(srcData))
+	for i, b := range srcData {
+		srcs[i] = uint32(int(b) % nv)
+	}
+	return g, srcs
+}
+
+// FuzzMSBFS fuzzes the batched engine against the sequential queue oracle:
+// random edge lists, random source batches (duplicates arise naturally),
+// both routing extremes, distances and reachability. The seed corpus pins
+// the lane-boundary batch sizes (1, 63/64/65, 128/129/130) and the empty
+// batch, plus the 8-vertex digraph that exposed the push-loop atomic
+// intrinsic miscompile.
+func FuzzMSBFS(f *testing.F) {
+	laneSrcs := func(b int) []byte {
+		s := make([]byte, b)
+		for i := range s {
+			s[i] = byte(i * 37)
+		}
+		return s
+	}
+	chain := func(n int) []byte {
+		e := make([]byte, 0, 2*n)
+		for i := 0; i+1 < n; i++ {
+			e = append(e, byte(i), byte(i+1))
+		}
+		return e
+	}
+	// Lane-boundary widths on a 64-vertex chain, directed and undirected.
+	for _, b := range []int{1, 3, 63, 64, 65, 128, 129, 130} {
+		f.Add(uint16(63), true, chain(64), laneSrcs(b))
+		f.Add(uint16(63), false, chain(64), laneSrcs(b))
+	}
+	// Empty batch, empty graph, single vertex.
+	f.Add(uint16(63), true, chain(64), []byte{})
+	f.Add(uint16(0), true, []byte{}, []byte{0})
+	// The intrinsic-miscompile repro (see TestPushIntrinsicRegression).
+	f.Add(uint16(7), true,
+		[]byte{4, 0, 0, 6, 2, 4, 7, 0, 6, 3, 1, 0},
+		[]byte{4, 2, 3, 2, 4, 7, 3, 0, 5, 5, 1, 0, 5, 4, 0})
+
+	f.Fuzz(func(t *testing.T, n uint16, directed bool, edgeData, srcData []byte) {
+		g, srcs := fuzzGraph(n, directed, edgeData, srcData)
+		oracle := map[uint32][]uint32{}
+		dist := func(s uint32) []uint32 {
+			d, ok := oracle[s]
+			if !ok {
+				d = seq.BFS(g, s)
+				oracle[s] = d
+			}
+			return d
+		}
+		for _, opt := range []core.Options{{}, {DisableDirectionOpt: true}, {DenseFrac: 0.01}} {
+			rows, met, err := Run(g, srcs, opt)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(rows) != len(srcs) || met == nil {
+				t.Fatalf("Run: %d rows for %d sources, met=%v", len(rows), len(srcs), met)
+			}
+			for i, s := range srcs {
+				want := dist(s)
+				for v := range want {
+					if rows[i][v] != want[v] {
+						t.Fatalf("lane %d (src %d) opt=%+v: dist[%d] = %d, oracle %d",
+							i, s, opt, v, rows[i][v], want[v])
+					}
+				}
+			}
+		}
+		reach, _, err := RunReachable(g, srcs, core.Options{})
+		if err != nil {
+			t.Fatalf("RunReachable: %v", err)
+		}
+		for i, s := range srcs {
+			want := dist(s)
+			for v := range want {
+				if reach[i][v] != (want[v] != graph.InfDist) {
+					t.Fatalf("lane %d (src %d): reach[%d] = %v, oracle dist %d",
+						i, s, v, reach[i][v], want[v])
+				}
+			}
+		}
+	})
+}

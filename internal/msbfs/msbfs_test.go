@@ -1,0 +1,273 @@
+package msbfs
+
+import (
+	"testing"
+
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+	"pasgal/internal/trace"
+)
+
+// testShapes is the package-local shape matrix: small enough for oracle
+// sweeps, varied enough to exercise push, pull, cycles, disconnection, and
+// directed asymmetry. The big cross-shape sweep lives in internal/bench.
+func testShapes() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"chain-directed":   gen.Chain(300, true),
+		"chain-undirected": gen.Chain(300, false),
+		"cycle":            gen.Cycle(257, true),
+		"star":             gen.Star(200),
+		"tree":             gen.CompleteBinaryTree(255),
+		"er-sparse":        gen.ER(400, 800, true, 7),
+		"er-dense":         gen.ER(150, 3000, false, 8), // dense => pull rounds
+		"rmat":             gen.SocialRMAT(8, 8, true, 9),
+		"grid":             gen.Grid2D(17, 19, false, 12),
+		"islands":          gen.ER(300, 260, false, 10), // likely disconnected
+		"single-vertex":    gen.Chain(1, false),
+	}
+}
+
+// batchSizes are the lane-boundary widths the engine must get right: a
+// single lane, a partial group, a full group, one lane past it, and two
+// lanes past two groups.
+var batchSizes = []int{1, 3, 64, 65, 130}
+
+// pickSources returns b deterministic source ids on g, deliberately
+// including duplicates once b exceeds a handful.
+func pickSources(g *graph.Graph, b int) []uint32 {
+	srcs := make([]uint32, b)
+	for i := range srcs {
+		srcs[i] = uint32((i * 37) % g.N)
+	}
+	if b > 4 {
+		srcs[b-1] = srcs[0] // explicit duplicate across the batch
+	}
+	return srcs
+}
+
+func TestRunMatchesSequentialOracle(t *testing.T) {
+	for name, g := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			for _, b := range batchSizes {
+				srcs := pickSources(g, b)
+				rows, met, err := Run(g, srcs, core.Options{})
+				if err != nil {
+					t.Fatalf("B=%d: %v", b, err)
+				}
+				if len(rows) != b {
+					t.Fatalf("B=%d: got %d rows", b, len(rows))
+				}
+				for i, s := range srcs {
+					want := seq.BFS(g, s)
+					for v := range want {
+						if rows[i][v] != want[v] {
+							t.Fatalf("B=%d lane %d (src %d): dist[%d] = %d, want %d",
+								b, i, s, v, rows[i][v], want[v])
+						}
+					}
+				}
+				if met == nil {
+					t.Fatalf("B=%d: nil Metrics", b)
+				}
+			}
+		})
+	}
+}
+
+func TestRunReachableMatchesOracle(t *testing.T) {
+	for name, g := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			for _, b := range batchSizes {
+				srcs := pickSources(g, b)
+				rows, _, err := RunReachable(g, srcs, core.Options{})
+				if err != nil {
+					t.Fatalf("B=%d: %v", b, err)
+				}
+				for i, s := range srcs {
+					want := seq.BFS(g, s)
+					for v := range want {
+						if rows[i][v] != (want[v] != graph.InfDist) {
+							t.Fatalf("B=%d lane %d (src %d): reach[%d] = %v, want %v",
+								b, i, s, v, rows[i][v], want[v] != graph.InfDist)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunPointToPointMatchesOracle(t *testing.T) {
+	for name, g := range testShapes() {
+		t.Run(name, func(t *testing.T) {
+			for _, b := range batchSizes {
+				pairs := make([][2]uint32, b)
+				for i := range pairs {
+					pairs[i] = [2]uint32{
+						uint32((i * 37) % g.N),
+						uint32((i*53 + 11) % g.N),
+					}
+				}
+				if b > 2 {
+					pairs[1][1] = pairs[1][0] // src == dst lane: distance 0
+				}
+				dists, _, err := RunPointToPoint(g, pairs, core.Options{})
+				if err != nil {
+					t.Fatalf("B=%d: %v", b, err)
+				}
+				for i, p := range pairs {
+					want := seq.BFS(g, p[0])[p[1]]
+					if dists[i] != want {
+						t.Fatalf("B=%d pair %d (%d->%d): dist = %d, want %d",
+							b, i, p[0], p[1], dists[i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRunDirectionOptEquivalence pins that the pull route is a pure
+// optimization: forcing all-push (DisableDirectionOpt) and favoring pull
+// (tiny DenseFrac) must produce identical rows.
+func TestRunDirectionOptEquivalence(t *testing.T) {
+	g := gen.SocialRMAT(9, 8, true, 21)
+	srcs := pickSources(g, 65)
+	push, _, err := Run(g, srcs, core.Options{DisableDirectionOpt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, met, err := Run(g, srcs, core.Options{DenseFrac: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.BottomUp == 0 {
+		t.Fatal("DenseFrac=1e-9 run took no bottom-up rounds; pull route untested")
+	}
+	for i := range push {
+		for v := range push[i] {
+			if push[i][v] != pull[i][v] {
+				t.Fatalf("lane %d vertex %d: push %d != pull %d", i, v, push[i][v], pull[i][v])
+			}
+		}
+	}
+}
+
+func TestRunSourceValidation(t *testing.T) {
+	g := gen.Chain(10, false)
+	if _, _, err := Run(g, []uint32{0, 10}, core.Options{}); err == nil {
+		t.Fatal("out-of-range source accepted by Run")
+	}
+	if _, _, err := RunReachable(g, []uint32{99}, core.Options{}); err == nil {
+		t.Fatal("out-of-range source accepted by RunReachable")
+	}
+	if _, _, err := RunPointToPoint(g, [][2]uint32{{0, 10}}, core.Options{}); err == nil {
+		t.Fatal("out-of-range destination accepted by RunPointToPoint")
+	}
+	if _, _, err := RunPointToPoint(g, [][2]uint32{{10, 0}}, core.Options{}); err == nil {
+		t.Fatal("out-of-range source accepted by RunPointToPoint")
+	}
+}
+
+func TestRunEmptyBatch(t *testing.T) {
+	g := gen.Chain(10, false)
+	rows, met, err := Run(g, nil, core.Options{})
+	if err != nil || len(rows) != 0 || met == nil {
+		t.Fatalf("empty batch: rows=%v met=%v err=%v", rows, met, err)
+	}
+	reach, _, err := RunReachable(g, []uint32{}, core.Options{})
+	if err != nil || len(reach) != 0 {
+		t.Fatalf("empty reachable batch: rows=%v err=%v", reach, err)
+	}
+	ptp, _, err := RunPointToPoint(g, nil, core.Options{})
+	if err != nil || len(ptp) != 0 {
+		t.Fatalf("empty ptp batch: dists=%v err=%v", ptp, err)
+	}
+}
+
+// TestRunTraceAccounting pins the observability contract: one phase per
+// lane group, round events labeled "msbfs" matching Metrics.Rounds, and a
+// non-zero CtrLaneScans on any graph with edges.
+func TestRunTraceAccounting(t *testing.T) {
+	g := gen.ER(500, 2000, false, 11)
+	tr := trace.New()
+	srcs := pickSources(g, 130) // three groups: 64 + 64 + 2
+	_, met, err := Run(g, srcs, core.Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Phases != 3 {
+		t.Fatalf("Phases = %d for a 130-source batch, want 3 groups", met.Phases)
+	}
+	if got := tr.CounterValue(trace.CtrPhases); got != met.Phases {
+		t.Fatalf("CtrPhases = %d, Metrics.Phases = %d", got, met.Phases)
+	}
+	if got := tr.CounterValue(trace.CtrRounds); got != met.Rounds {
+		t.Fatalf("CtrRounds = %d, Metrics.Rounds = %d", got, met.Rounds)
+	}
+	if scans := tr.CounterValue(trace.CtrLaneScans); scans == 0 {
+		t.Fatal("CtrLaneScans = 0 on a graph with edges")
+	}
+	if met.EdgesVisited == 0 {
+		t.Fatal("EdgesVisited = 0 on a graph with edges")
+	}
+	for _, ev := range tr.EventsFor("msbfs") {
+		if ev.Kind == trace.KindRound && ev.B <= 0 {
+			t.Fatalf("round event with non-positive frontier: %+v", ev)
+		}
+	}
+}
+
+// TestPushIntrinsicRegression pins the exact shape that exposed a
+// miscompile of the atomic.Uint64.Or-with-result intrinsic inside the
+// push loop on go1.24.0/amd64: an 8-vertex digraph, a 15-source batch
+// with duplicates, all-push routing. Before the engine switched to a
+// Load/CAS loop, lanes 7+ silently lost every vertex past their source
+// (only at full optimization — -N or -l masked it). Keep this test even
+// after toolchain upgrades; it is nearly free.
+func TestPushIntrinsicRegression(t *testing.T) {
+	edges := []graph.Edge{
+		{U: 4, V: 0}, {U: 0, V: 6}, {U: 2, V: 4},
+		{U: 7, V: 0}, {U: 6, V: 3}, {U: 1, V: 0},
+	}
+	g := graph.FromEdges(8, edges, true, graph.BuildOptions{})
+	srcs := []uint32{4, 2, 3, 2, 4, 7, 3, 0, 5, 5, 1, 0, 5, 4, 0}
+	for _, opt := range []core.Options{{DisableDirectionOpt: true}, {}} {
+		rows, _, err := Run(g, srcs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range srcs {
+			want := seq.BFS(g, s)
+			for v := range want {
+				if rows[i][v] != want[v] {
+					t.Fatalf("lane %d (src %d): dist[%d] = %d, want %d (DisableDirectionOpt=%v)",
+						i, s, v, rows[i][v], want[v], opt.DisableDirectionOpt)
+				}
+			}
+		}
+	}
+}
+
+// TestRunSelfLoopsAndMultiEdges feeds the engine a raw (unmerged) graph.
+func TestRunSelfLoopsAndMultiEdges(t *testing.T) {
+	edges := []graph.Edge{
+		{U: 0, V: 0}, {U: 0, V: 1}, {U: 0, V: 1}, {U: 1, V: 2},
+		{U: 2, V: 2}, {U: 2, V: 3}, {U: 3, V: 1}, {U: 3, V: 1},
+	}
+	g := graph.FromEdges(5, edges, true, graph.BuildOptions{KeepSelfLoops: true, KeepDuplicates: true})
+	rows, _, err := Run(g, []uint32{0, 4, 0}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range []uint32{0, 4, 0} {
+		want := seq.BFS(g, s)
+		for v := range want {
+			if rows[i][v] != want[v] {
+				t.Fatalf("lane %d: dist[%d] = %d, want %d", i, v, rows[i][v], want[v])
+			}
+		}
+	}
+}

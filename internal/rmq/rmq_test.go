@@ -99,3 +99,73 @@ func TestRMQPanicsOutOfRange(t *testing.T) {
 		}()
 	}
 }
+
+// TestRMQStructuredTable sweeps adversarial value patterns that random
+// fills never produce — sorted runs, plateaus of duplicates, sawtooth
+// block boundaries — at the query extremes (point, prefix, suffix, full
+// range) for both the min and max structures.
+func TestRMQStructuredTable(t *testing.T) {
+	patterns := []struct {
+		name string
+		gen  func(n int) []uint32
+	}{
+		{"ascending", func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(i)
+			}
+			return v
+		}},
+		{"descending", func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(n - i)
+			}
+			return v
+		}},
+		{"constant", func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = 7
+			}
+			return v
+		}},
+		{"sawtooth", func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				v[i] = uint32(i % 13)
+			}
+			return v
+		}},
+		{"extremes", func(n int) []uint32 {
+			v := make([]uint32, n)
+			for i := range v {
+				if i%2 == 0 {
+					v[i] = 0
+				} else {
+					v[i] = ^uint32(0)
+				}
+			}
+			return v
+		}},
+	}
+	for _, p := range patterns {
+		for _, n := range []int{1, 2, 33, 64, 129} {
+			vals := p.gen(n)
+			mn, mx := NewMin(vals), NewMax(vals)
+			queries := [][2]int{
+				{0, 0}, {n - 1, n - 1}, {0, n - 1},
+				{0, n / 2}, {n / 2, n - 1},
+			}
+			for _, q := range queries {
+				lo, hi := q[0], q[1]
+				if got, want := mn.Query(lo, hi), bruteMin(vals, lo, hi); got != want {
+					t.Fatalf("%s n=%d min[%d,%d] = %d, want %d", p.name, n, lo, hi, got, want)
+				}
+				if got, want := mx.Query(lo, hi), bruteMax(vals, lo, hi); got != want {
+					t.Fatalf("%s n=%d max[%d,%d] = %d, want %d", p.name, n, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}

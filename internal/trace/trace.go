@@ -40,6 +40,7 @@ const (
 	CtrParks                      // idle pool workers that blocked
 	CtrWakes                      // wakeups issued to parked workers
 	CtrCancels                    // runs stopped by cancellation or deadline
+	CtrLaneScans                  // MS-BFS edge scans (each advances up to 64 lanes)
 	numCounters
 )
 
@@ -47,7 +48,7 @@ const (
 var counterNames = [numCounters]string{
 	"rounds", "bottom_up", "phases", "bag_resizes", "bag_retries",
 	"loops", "forks", "inline_loops", "steals", "parks", "wakes",
-	"cancels",
+	"cancels", "lane_scans",
 }
 
 // Name returns the counter's snake_case name as used in the sinks.
@@ -186,6 +187,18 @@ func (t *Tracer) Cancel(algo string, rounds int64) {
 	}
 	t.counters[CtrCancels].Add(1)
 	t.emit(Event{Kind: KindCancel, Algo: algo, A: rounds})
+}
+
+// LaneScans adds n edge scans performed by the batched multi-source (MS-BFS)
+// lane engine. Each scan is one adjacency-list visit that advances up to 64
+// traversals at once, so CtrLaneScans/CtrRounds read against a looped
+// single-source run's EdgesVisited shows the batch's scan sharing (counter
+// only; lane scans are far too frequent for per-event recording).
+func (t *Tracer) LaneScans(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.counters[CtrLaneScans].Add(n)
 }
 
 // BagResize records a hash bag advancing to chunk level `level` of `slots`

@@ -30,6 +30,7 @@ import (
 	"pasgal/internal/conn"
 	"pasgal/internal/core"
 	"pasgal/internal/graph"
+	"pasgal/internal/msbfs"
 	"pasgal/internal/parallel"
 	"pasgal/internal/seq"
 )
@@ -165,6 +166,47 @@ func KCore(g *Graph, opt Options) ([]uint32, int, *Metrics, error) {
 // policy == nil selects ρ-stepping defaults.
 func PointToPoint(g *Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics, error) {
 	return core.PointToPoint(g, src, dst, policy, opt)
+}
+
+// BatchedBFS runs one BFS per source simultaneously through the batched
+// multi-source (MS-BFS) lane engine and returns one hop-distance row per
+// source (InfDist marks unreachable vertices) — the same rows a loop over
+// BFS would produce, but sharing each edge scan across up to 64 sources.
+// This is the high-throughput query path; see docs/BATCHED.md. Duplicate
+// sources are allowed; an out-of-range source id is an error.
+func BatchedBFS(g *Graph, sources []uint32, opt Options) ([][]uint32, *Metrics, error) {
+	return msbfs.Run(g, sources, opt)
+}
+
+// BatchedReachable runs one reachability search per source through the
+// MS-BFS lane engine: row i marks every vertex reachable from sources[i].
+// Unlike Reachable (which unions its sources into one search), each source
+// gets its own row.
+func BatchedReachable(g *Graph, sources []uint32, opt Options) ([][]bool, *Metrics, error) {
+	return msbfs.RunReachable(g, sources, opt)
+}
+
+// BatchedPointToPoint answers a batch of (src, dst) hop-distance queries
+// through the MS-BFS lane engine: result i is the edge count of a shortest
+// path for pairs[i] (InfDist when unreachable). A lane stops spreading
+// once its destination settles, and each 64-lane group stops as soon as
+// every lane is done.
+func BatchedPointToPoint(g *Graph, pairs [][2]uint32, opt Options) ([]uint32, *Metrics, error) {
+	return msbfs.RunPointToPoint(g, pairs, opt)
+}
+
+// Coalescer batches concurrent single-source BFS requests against one
+// graph into shared MS-BFS lane groups; see msbfs.Coalescer.
+type Coalescer = msbfs.Coalescer
+
+// CoalescerOptions tunes a Coalescer (flush batch size and latency bound).
+type CoalescerOptions = msbfs.CoalescerOptions
+
+// NewCoalescer returns a batching front door for BFS queries against g.
+// Submit queues one source and blocks until its distance row is ready;
+// requests arriving within the flush window share edge scans.
+func NewCoalescer(g *Graph, opts CoalescerOptions) *Coalescer {
+	return msbfs.NewCoalescer(g, opts)
 }
 
 // SequentialKCore is the Matula–Beck bucket algorithm, the sequential

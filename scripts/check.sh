@@ -8,6 +8,7 @@
 #   PASGAL_SKIP_RACE=1     stop before the race tier (it dominates, ~30s)
 #   PASGAL_SKIP_BENCH=1    skip the bench regression gate
 #   PASGAL_SKIP_VET=1      skip the pasgal-vet concurrency checker
+#   PASGAL_SKIP_FUZZ=1     skip the 30s fuzz smoke
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -44,7 +45,40 @@ if [ "$short" = 1 ]; then
     echo 'short checks passed'
     exit 0
 fi
-go test ./...
+covtmp=$(mktemp /tmp/pasgal-cover.XXXXXX.txt)
+tmpjson=$(mktemp /tmp/pasgal-bench.XXXXXX.json)
+trap 'rm -f "$covtmp" "$tmpjson"' EXIT
+go test -cover ./... | tee "$covtmp"
+
+echo '== coverage ratchet'
+# Per-package statement coverage must not drop below the committed
+# baseline (scripts/coverage-baseline.txt). Baselines sit a couple of
+# points under the measured value so concurrency-dependent paths (steal
+# slots, timer flushes) can flap without false alarms; raise them when a
+# package's coverage genuinely improves.
+awk '
+    NR == FNR { base[$1] = $2; next }
+    /coverage:/ {
+        pct = ""
+        for (i = 1; i <= NF; i++)
+            if ($i == "coverage:") pct = substr($(i+1), 1, length($(i+1)) - 1)
+        if (pct == "") next
+        seen[$2] = 1
+        if ($2 in base && pct + 0 < base[$2] + 0) {
+            printf "coverage regression: %s at %s%% (baseline %s%%)\n", $2, pct, base[$2]
+            bad = 1
+        }
+    }
+    END {
+        for (p in base)
+            if (!(p in seen)) {
+                printf "coverage ratchet: baseline package %s reported no coverage\n", p
+                bad = 1
+            }
+        if (!bad) print "coverage ratchet ok"
+        exit bad
+    }
+' scripts/coverage-baseline.txt "$covtmp"
 
 if [ "${PASGAL_SKIP_VET:-0}" = 1 ]; then
     echo '== pasgal-vet skipped (PASGAL_SKIP_VET=1)'
@@ -66,11 +100,19 @@ else
     # is deliberately huge (20x): the gate exists to exercise the
     # -json/-compare pipeline end to end and to catch order-of-magnitude
     # blowups, not small drift.
-    tmpjson=$(mktemp /tmp/pasgal-bench.XXXXXX.json)
-    trap 'rm -f "$tmpjson"' EXIT
-    go run ./cmd/pasgal-bench -exp bfs,build -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -exp bfs,build,queries -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
     go run ./cmd/pasgal-bench -compare -threshold 20 \
         scripts/bench-baseline.json "$tmpjson"
+fi
+
+if [ "${PASGAL_SKIP_FUZZ:-0}" = 1 ]; then
+    echo '== fuzz smoke skipped (PASGAL_SKIP_FUZZ=1)'
+else
+    echo '== fuzz smoke (30s)'
+    # Thirty seconds of FuzzMSBFS against the sequential oracle: enough to
+    # churn through tens of thousands of random graph/batch inputs on top
+    # of the committed lane-boundary seed corpus.
+    go test -run '^$' -fuzz FuzzMSBFS -fuzztime 30s ./internal/msbfs
 fi
 
 if [ "${PASGAL_SKIP_RACE:-0}" = 1 ]; then
@@ -80,7 +122,8 @@ fi
 
 echo '== race stress tier'
 go test -race -run Stress -count=3 \
-    ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core
+    ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core \
+    ./internal/msbfs
 # The scheduler conformance suite under -race: one pass over every
 # primitive x worker-count x grain x size cell catches ordering bugs the
 # stress loops' fixed shapes miss.
@@ -90,6 +133,6 @@ go test -race -run 'Conformance|PanicPropagation' -count=1 ./internal/parallel
 # fire/drain hand-off is exactly the kind of publication race -race sees
 # and plain runs miss.
 go test -race -run 'Cancel' -count=1 \
-    ./internal/parallel ./internal/core ./internal/baseline
+    ./internal/parallel ./internal/core ./internal/baseline ./internal/msbfs
 
 echo 'all checks passed'

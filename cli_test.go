@@ -1,11 +1,14 @@
 package pasgal
 
 import (
+	"bufio"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -15,7 +18,8 @@ func buildTools(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
 	for _, tool := range []string{"pasgal", "pasgal-gen", "pasgal-stats",
-		"pasgal-bench", "pasgal-convert", "pasgal-vet"} {
+		"pasgal-bench", "pasgal-convert", "pasgal-vet", "pasgal-serve",
+		"pasgal-loadgen"} {
 		out := filepath.Join(dir, tool)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
 		cmd.Env = os.Environ()
@@ -319,5 +323,94 @@ func TestCLIVetJSON(t *testing.T) {
 	}
 	if s, _ := path[1].(string); !strings.Contains(s, "escapedep.Bump") {
 		t.Errorf("hop 1 = %v, want the cross-package writer", path[1])
+	}
+}
+
+// TestCLIServeEndToEnd exercises the serving binaries as a pair: boot
+// pasgal-serve on an ephemeral port, drive it with pasgal-loadgen (JSON
+// report), query it directly, then SIGTERM and watch the graceful drain.
+func TestCLIServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+
+	srv := exec.Command(filepath.Join(bins, "pasgal-serve"),
+		"-listen", "127.0.0.1:0", "-workload", "TW", "-scale", "0.1")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = srv.Stdout
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Process.Kill(); srv.Wait() })
+
+	// The daemon prints its bound address once the listener is up.
+	var addr string
+	var bootLog strings.Builder
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		bootLog.WriteString(line + "\n")
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			addr = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line from pasgal-serve:\n%s", bootLog.String())
+	}
+
+	report := filepath.Join(work, "load.json")
+	out := run(t, filepath.Join(bins, "pasgal-loadgen"),
+		"-url", "http://"+addr, "-clients", "4", "-requests", "40",
+		"-seed", "1", "-json", report)
+	if !strings.Contains(out, "queries/sec") || !strings.Contains(out, "0 errors") {
+		t.Fatalf("loadgen output: %s", out)
+	}
+	var rep struct {
+		Requests int     `json:"requests"`
+		Errors   int     `json:"errors"`
+		QPS      float64 `json:"qps"`
+		P99      float64 `json:"p99"`
+	}
+	if err := json.Unmarshal(mustRead(t, report), &rep); err != nil {
+		t.Fatalf("load report: %v", err)
+	}
+	if rep.Requests != 40 || rep.Errors != 0 || rep.QPS <= 0 || rep.P99 <= 0 {
+		t.Fatalf("implausible load report: %+v", rep)
+	}
+
+	// One direct query round-trip, as a client without the harness.
+	resp, err := http.Get("http://" + addr + "/query/bfs?graph=TW&src=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bfs struct {
+		Reached int `json:"reached"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&bfs)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || bfs.Reached <= 0 {
+		t.Fatalf("direct query: status %d err %v reached %d",
+			resp.StatusCode, err, bfs.Reached)
+	}
+
+	// Graceful drain on SIGTERM: process exits 0 and says goodbye.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	drained := bootLog.String()
+	for sc.Scan() {
+		drained += sc.Text() + "\n"
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("pasgal-serve exit after SIGTERM: %v\n%s", err, drained)
+	}
+	if !strings.Contains(drained, "draining") || !strings.Contains(drained, "bye") {
+		t.Fatalf("drain messages missing:\n%s", drained)
 	}
 }

@@ -1,0 +1,149 @@
+// pasgal-serve is the long-running graph query daemon: it loads graphs
+// into memory once at startup and answers concurrent bfs / sssp / scc /
+// kcore / reachable / p2p queries over HTTP/JSON until told to stop.
+//
+// Usage:
+//
+//	pasgal-serve -workload TW -listen :8080
+//	pasgal-serve -workload TW,NA -scale 0.5 -max-concurrent 4
+//	pasgal-serve -graph road.adj -cache 1024 -max-timeout 10s
+//
+// Queries:
+//
+//	curl 'localhost:8080/query/bfs?graph=TW&src=3'
+//	curl 'localhost:8080/query/p2p?graph=TW&src=3&dst=9&timeout=50ms'
+//	curl 'localhost:8080/metrics'
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting, new
+// queries get 503, in-flight queries finish (or hit their deadline), and
+// the process exits 0. See docs/SERVING.md for the full API contract.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"pasgal"
+	"pasgal/internal/bench"
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+	"pasgal/internal/serve"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	workload := flag.String("workload", "", "comma-separated registry workload names to serve")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier (with -workload)")
+	path := flag.String("graph", "", "graph file to serve (.adj, .bin, or edge list)")
+	directed := flag.Bool("directed", true, "treat file input as directed")
+	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+	maxConc := flag.Int("max-concurrent", 0, "admission bound on concurrent computations (0 = worker count)")
+	cacheEntries := flag.Int("cache", serve.DefaultCacheEntries, "result cache entries (negative disables)")
+	maxTimeout := flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on per-query ?timeout= and the implicit deadline")
+	coalesceWait := flag.Duration("coalesce-wait", 0, "coalescer flush latency bound (0 = library default)")
+	coalesce := flag.Bool("coalesce", true, "group-commit single-source bfs/reachable into shared MS-BFS runs")
+	tau := flag.Int("tau", 0, "VGC budget for served queries (0 = default)")
+	flag.Parse()
+
+	if *workers > 0 {
+		pasgal.SetWorkers(*workers)
+	}
+
+	graphs := make(map[string]*graph.Graph)
+	if *workload != "" {
+		for _, name := range strings.Split(*workload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			spec := bench.LookupSpec(name)
+			if spec == nil {
+				fmt.Fprintf(os.Stderr, "pasgal-serve: unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			fmt.Printf("pasgal-serve: building workload %s (scale %g)...\n", name, *scale)
+			graphs[name] = spec.Build(*scale)
+		}
+	}
+	if *path != "" {
+		g, err := pasgal.LoadGraph(*path, *directed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+			os.Exit(1)
+		}
+		name := strings.TrimSuffix(filepath.Base(*path), filepath.Ext(*path))
+		graphs[name] = g
+	}
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "pasgal-serve: need -workload and/or -graph")
+		os.Exit(2)
+	}
+	for name, g := range graphs {
+		fmt.Printf("pasgal-serve: serving %q: %v\n", name, g)
+	}
+
+	srv, err := serve.New(graphs, serve.Config{
+		MaxConcurrent:   *maxConc,
+		CacheEntries:    *cacheEntries,
+		MaxTimeout:      *maxTimeout,
+		CoalesceWait:    *coalesceWait,
+		DisableCoalesce: !*coalesce,
+		Opt:             core.Options{Tau: *tau},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so -listen :0 picks a
+	// free port and the actual bound address is printed for the client.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("pasgal-serve: listening on %s (%d workers, admission %s)\n",
+		ln.Addr(), pasgal.Workers(), admDesc(*maxConc))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process as usual
+
+	// Drain: stop accepting, let in-flight requests finish (bounded by
+	// their own deadlines plus a shutdown grace period), then release the
+	// server's coalescers and counters.
+	fmt.Println("pasgal-serve: draining...")
+	shCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "pasgal-serve: shutdown: %v\n", err)
+	}
+	srv.Close()
+	fmt.Println("pasgal-serve: bye")
+}
+
+func admDesc(maxConc int) string {
+	if maxConc > 0 {
+		return fmt.Sprintf("%d", maxConc)
+	}
+	return fmt.Sprintf("%d (worker-bound)", pasgal.Workers())
+}

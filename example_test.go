@@ -1,9 +1,13 @@
 package pasgal_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 
 	"pasgal"
+	"pasgal/internal/serve"
 )
 
 // A small deterministic graph used by the examples: two directed cycles
@@ -126,4 +130,33 @@ func ExampleOptions() {
 	_, without, _ := pasgal.BFS(chain, 0, pasgal.Options{Tau: 1, DisableDirectionOpt: true})
 	fmt.Println(withVGC.Rounds < without.Rounds/10)
 	// Output: true
+}
+
+// ExampleServe boots the query daemon's handler over the example graph
+// and asks it for a BFS summary — the same HTTP surface pasgal-serve
+// exposes as a long-running process.
+func ExampleServe() {
+	srv, err := serve.New(map[string]*pasgal.Graph{"demo": exampleGraph()},
+		serve.Config{})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/query/bfs?graph=demo&src=0&summary=1")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Reached int    `json:"reached"`
+		Ecc     uint32 `json:"ecc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		panic(err)
+	}
+	fmt.Printf("reached %d vertices, eccentricity %d\n", out.Reached, out.Ecc)
+	// Output: reached 8 vertices, eccentricity 7
 }

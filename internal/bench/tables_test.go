@@ -116,3 +116,31 @@ func TestPaperShapeClaims(t *testing.T) {
 		}
 	}
 }
+
+// TestTableServeSmoke runs the serving-throughput experiment at a tiny
+// scale: all three cells must produce timings, the coalesced cell must
+// actually batch, and the rows must land in the compare-gate record.
+func TestTableServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots an httptest daemon per workload")
+	}
+	var buf strings.Builder
+	results := TableServe(Config{Scale: 0.02, Reps: 1, Out: &buf})
+	if len(results) != 2 {
+		t.Fatalf("TableServe returned %d results, want 2 (UNI + PL)", len(results))
+	}
+	for _, res := range results {
+		for _, impl := range ServeImpls {
+			if res.Times[impl] <= 0 {
+				t.Fatalf("%s: no timing for %s cell:\n%s", res.Graph, impl, buf.String())
+			}
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "coalesced BFS serves") {
+		t.Fatalf("missing coalescing ratio line:\n%s", out)
+	}
+	if !strings.Contains(out, "Serving throughput") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+}

@@ -85,6 +85,11 @@ func runAtomicCopy(pkg *Package) []Finding {
 		if _, isLit := e.(*ast.CompositeLit); isLit {
 			return false
 		}
+		// Type expressions — the T in new(T) or a conversion — name the
+		// type without evaluating a value, so nothing is copied.
+		if tv, ok := pkg.Info.Types[e]; ok && !tv.IsValue() {
+			return false
+		}
 		return isAtomicValue(typeOf(e))
 	}
 	for _, file := range pkg.Files {

@@ -53,6 +53,14 @@ func goodParam(v *atomic.Int64) {
 	v.Add(1)
 }
 
+// goodNew allocates an atomic with new: the argument is a type
+// expression, not a value — nothing is copied.
+func goodNew() int64 {
+	a := new(atomic.Int64)
+	a.Add(2)
+	return a.Load()
+}
+
 // goodIndex iterates a slice of atomics by index, never copying.
 func goodIndex(xs []atomic.Uint32) uint32 {
 	var sum uint32

@@ -33,6 +33,16 @@ type CoalescerOptions struct {
 	// only abandons the wait — the batch itself keeps running for the
 	// lane-mates).
 	Opt core.Options
+
+	// Gate, when non-nil, brackets every batch run: it is called right
+	// before the engine run and must return the matching release
+	// function, which runs right after. A serving daemon uses it to
+	// charge one scheduler admission slot per flushed batch rather than
+	// one per queued query — the whole point of coalescing under
+	// admission control. The gate takes no context and may block: a
+	// flushed batch must run for its lane-mates regardless of any one
+	// submitter's cancellation.
+	Gate func() (release func())
 }
 
 // Coalescer is the batching front door for single-source callers: it
@@ -41,11 +51,17 @@ type CoalescerOptions struct {
 // without coordinating. It is the admission path a serving daemon would
 // put in front of the engine.
 //
-// A batch flushes when it reaches MaxBatch requests or when the oldest
-// queued request has waited MaxWait, whichever comes first. The flush
-// runs on the goroutine that completed the batch (or the timer goroutine
-// for partial batches); lane-mates block in Submit until their row is
-// ready.
+// Batching is group-commit: while the engine is idle, a batch flushes
+// when it reaches MaxBatch requests or when the oldest queued request has
+// waited MaxWait, whichever comes first. While a batch run is in flight,
+// arrivals are NOT time-sliced into further small batches — they
+// accumulate, and the finishing run drains the whole accumulated queue as
+// its successor (spanning multiple lane groups if more than MaxBatch
+// piled up). Under sustained concurrent load this drives the achieved
+// batch width toward the client concurrency instead of toward
+// arrival-rate x MaxWait. The flush runs on the goroutine that completed
+// the batch (or the timer goroutine for partial batches); lane-mates
+// block in Submit until their row is ready.
 type Coalescer struct {
 	g    *graph.Graph
 	opts CoalescerOptions
@@ -54,6 +70,7 @@ type Coalescer struct {
 	queue   []request
 	timer   *time.Timer
 	timerOn bool
+	running int // batch runs in flight; arrivals accumulate while > 0
 	closed  bool
 
 	// inflight tracks running flushes so Close can wait them out.
@@ -104,9 +121,14 @@ func (c *Coalescer) Submit(ctx context.Context, src uint32) ([]uint32, error) {
 	}
 	c.queue = append(c.queue, request{src: src, done: done})
 	var batch []request
-	if len(c.queue) >= c.opts.MaxBatch {
+	switch {
+	case c.running > 0:
+		// Group-commit: a batch is running; the request rides the queue
+		// and the finishing run drains it. No timer needed — the drain
+		// is triggered by completion, not by time.
+	case len(c.queue) >= c.opts.MaxBatch:
 		batch = c.takeLocked()
-	} else if !c.timerOn {
+	case !c.timerOn:
 		c.timerOn = true
 		if c.timer == nil {
 			c.timer = time.AfterFunc(c.opts.MaxWait, c.flushTimer)
@@ -153,8 +175,9 @@ func (c *Coalescer) Stats() (queries, batches int64) {
 	return c.queries, c.batches
 }
 
-// takeLocked claims the queued requests (nil if none) and disarms the
-// pending timer. Caller holds c.mu and must runBatch any non-nil return.
+// takeLocked claims the queued requests (nil if none), disarms the
+// pending timer, and marks a run in flight. Caller holds c.mu and must
+// runBatch any non-nil return.
 func (c *Coalescer) takeLocked() []request {
 	if c.timerOn {
 		c.timer.Stop() // best effort; a fired flushTimer finds an empty queue
@@ -165,6 +188,7 @@ func (c *Coalescer) takeLocked() []request {
 	}
 	batch := c.queue
 	c.queue = nil
+	c.running++
 	c.inflight.Add(1)
 	return batch
 }
@@ -172,18 +196,43 @@ func (c *Coalescer) takeLocked() []request {
 func (c *Coalescer) flushTimer() {
 	c.mu.Lock()
 	c.timerOn = false
-	batch := c.takeLocked()
+	var batch []request
+	// While a run is in flight its completion drains the queue; flushing
+	// here would time-slice the accumulating group.
+	if c.running == 0 {
+		batch = c.takeLocked()
+	}
 	c.mu.Unlock()
 	if batch != nil {
 		c.runBatch(batch)
 	}
 }
 
+// runBatch runs batch and then, group-commit style, any requests that
+// accumulated while it was running — as one successor batch each round,
+// until the queue drains.
 func (c *Coalescer) runBatch(batch []request) {
+	for batch != nil {
+		c.runOne(batch)
+		c.mu.Lock()
+		c.running--
+		batch = nil
+		if !c.closed {
+			batch = c.takeLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Coalescer) runOne(batch []request) {
 	defer c.inflight.Done()
 	srcs := make([]uint32, len(batch))
 	for i, r := range batch {
 		srcs[i] = r.src
+	}
+	if c.opts.Gate != nil {
+		release := c.opts.Gate()
+		defer release()
 	}
 	rows, _, err := Run(c.g, srcs, c.opts.Opt)
 	c.statMu.Lock()

@@ -268,3 +268,69 @@ func TestStressBatchedRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestCoalescerGate: the Gate hook brackets every batch run exactly once
+// (acquire before the engine runs, release after), so a daemon charging
+// one admission slot per flushed batch sees balanced accounting and a
+// concurrency level bounded by the number of concurrent batches — not
+// the number of queued queries.
+func TestCoalescerGate(t *testing.T) {
+	g := gen.Chain(300, true)
+	var mu sync.Mutex
+	var acquires, releases, inGate int
+	maxInGate := 0
+	c := NewCoalescer(g, CoalescerOptions{
+		MaxBatch: 4,
+		MaxWait:  time.Millisecond,
+		Gate: func() func() {
+			mu.Lock()
+			acquires++
+			inGate++
+			if inGate > maxInGate {
+				maxInGate = inGate
+			}
+			mu.Unlock()
+			return func() {
+				mu.Lock()
+				releases++
+				inGate--
+				mu.Unlock()
+			}
+		},
+	})
+	const queries = 16
+	var wg sync.WaitGroup
+	for i := 0; i < queries; i++ {
+		src := uint32(i % 7)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dist, err := c.Submit(context.Background(), src)
+			if err != nil {
+				t.Errorf("Submit(%d): %v", src, err)
+				return
+			}
+			want := seq.BFS(g, src)
+			for v := range want {
+				if dist[v] != want[v] {
+					t.Errorf("src %d: dist[%d] = %d, want %d", src, v, dist[v], want[v])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	c.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if acquires == 0 || acquires != releases {
+		t.Fatalf("gate accounting unbalanced: %d acquires, %d releases", acquires, releases)
+	}
+	if acquires > queries {
+		t.Fatalf("gate entered %d times for %d queries: batches did not coalesce", acquires, queries)
+	}
+	_, batches := c.Stats()
+	if int64(acquires) != batches {
+		t.Fatalf("gate entered %d times but %d batches ran", acquires, batches)
+	}
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/seq"
+)
+
+// TestStressServeMixedTraffic is the end-to-end serving conformance
+// gate (and rides the -race stress tier): many concurrent clients fire
+// a mixed algorithm workload, every 200 body must match the sequential
+// oracle, and afterwards the admission high-water mark must respect the
+// configured bound while the counters balance.
+func TestStressServeMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving stress sweep; skipped with -short")
+	}
+	g := gen.SocialRMAT(10, 8, true, 31)
+	const maxConc = 2
+	s, hs := newTestServer(t, map[string]*graph.Graph{"g": g}, Config{MaxConcurrent: maxConc})
+
+	// Oracles, precomputed for the source space the clients draw from.
+	const numSrc = 16
+	bfsWant := make([][]uint32, numSrc)
+	for i := range bfsWant {
+		bfsWant[i] = seq.BFS(g, uint32(i))
+	}
+	wg := oracleWeighted(g)
+	dijWant := make([][]uint64, numSrc)
+	for i := range dijWant {
+		dijWant[i] = seq.Dijkstra(wg, uint32(i))
+	}
+	sccLabels, sccCount := seq.TarjanSCC(g)
+	coreWant, degWant := seq.KCore(g.Symmetrized())
+
+	const clients = 16
+	const perClient = 12
+	var wgrp sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		c := c
+		wgrp.Add(1)
+		go func() {
+			defer wgrp.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 1337))
+			for i := 0; i < perClient; i++ {
+				src := rng.Intn(numSrc)
+				var err error
+				switch rng.Intn(6) {
+				case 0, 1: // bfs rides the coalescer: weight it up
+					err = checkBFS(hs.URL, src, bfsWant[src])
+				case 2:
+					err = checkSSSP(hs.URL, src, dijWant[src])
+				case 3:
+					err = checkReachable(hs.URL, src, bfsWant[src])
+				case 4:
+					err = checkSCC(hs.URL, sccLabels, sccCount)
+				case 5:
+					err = checkKCore(hs.URL, coreWant, degWant)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", c, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wgrp.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if p := s.adm.peak.Load(); p > maxConc {
+		t.Fatalf("admission peak %d exceeded the bound %d", p, maxConc)
+	}
+	if in := s.adm.inflight.Load(); in != 0 {
+		t.Fatalf("inflight = %d after the storm", in)
+	}
+	if f := s.failures.Load(); f != 0 {
+		t.Fatalf("%d queries failed during clean mixed traffic", f)
+	}
+	if total := s.queries.Load(); total != clients*perClient {
+		t.Fatalf("query counter %d, want %d", total, clients*perClient)
+	}
+}
+
+func fetchOK(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %.120s", resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func checkBFS(base string, src int, want []uint32) error {
+	var br BFSResponse
+	if err := fetchOK(fmt.Sprintf("%s/query/bfs?graph=g&src=%d", base, src), &br); err != nil {
+		return fmt.Errorf("bfs: %w", err)
+	}
+	for v := range want {
+		if br.Dist[v] != want[v] {
+			return fmt.Errorf("bfs src %d: dist[%d] = %d, oracle %d", src, v, br.Dist[v], want[v])
+		}
+	}
+	return nil
+}
+
+func checkSSSP(base string, src int, want []uint64) error {
+	var sr SSSPResponse
+	if err := fetchOK(fmt.Sprintf("%s/query/sssp?graph=g&src=%d", base, src), &sr); err != nil {
+		return fmt.Errorf("sssp: %w", err)
+	}
+	for v := range want {
+		if sr.Dist[v] != want[v] {
+			return fmt.Errorf("sssp src %d: dist[%d] = %d, oracle %d", src, v, sr.Dist[v], want[v])
+		}
+	}
+	return nil
+}
+
+func checkReachable(base string, src int, bfsWant []uint32) error {
+	var rr ReachableResponse
+	if err := fetchOK(fmt.Sprintf("%s/query/reachable?graph=g&src=%d", base, src), &rr); err != nil {
+		return fmt.Errorf("reachable: %w", err)
+	}
+	for v := range bfsWant {
+		if rr.Reachable[v] != (bfsWant[v] != graph.InfDist) {
+			return fmt.Errorf("reachable src %d: vertex %d disagrees with the bfs oracle", src, v)
+		}
+	}
+	return nil
+}
+
+func checkSCC(base string, wantLabels []uint32, wantCount int) error {
+	var cr SCCResponse
+	if err := fetchOK(base+"/query/scc?graph=g", &cr); err != nil {
+		return fmt.Errorf("scc: %w", err)
+	}
+	if cr.Components != wantCount {
+		return fmt.Errorf("scc: %d components, oracle %d", cr.Components, wantCount)
+	}
+	if !samePartition(cr.Labels, wantLabels) {
+		return fmt.Errorf("scc: labels do not partition like the oracle")
+	}
+	return nil
+}
+
+func checkKCore(base string, want []uint32, wantDeg int) error {
+	var kr KCoreResponse
+	if err := fetchOK(base+"/query/kcore?graph=g", &kr); err != nil {
+		return fmt.Errorf("kcore: %w", err)
+	}
+	if kr.Degeneracy != wantDeg {
+		return fmt.Errorf("kcore: degeneracy %d, oracle %d", kr.Degeneracy, wantDeg)
+	}
+	for v := range want {
+		if kr.Core[v] != want[v] {
+			return fmt.Errorf("kcore: core[%d] = %d, oracle %d", v, kr.Core[v], want[v])
+		}
+	}
+	return nil
+}
+
+// TestStressServeCacheChurn hammers one small cache from many goroutines
+// with overlapping key sets: the bound must hold and every response must
+// stay correct whether it came from the cache or a fresh run.
+func TestStressServeCacheChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache churn sweep; skipped with -short")
+	}
+	g := gen.ER(200, 800, true, 23)
+	s, hs := newTestServer(t, map[string]*graph.Graph{"g": g}, Config{CacheEntries: 8})
+	const numSrc = 24
+	want := make([][]uint32, numSrc)
+	for i := range want {
+		want[i] = seq.BFS(g, uint32(i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) * 7))
+			for i := 0; i < 40; i++ {
+				src := rng.Intn(numSrc)
+				if err := checkBFS(hs.URL, src, want[src]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if c := s.cache.len(); c > 8 {
+		t.Fatalf("cache holds %d entries, bound is 8", c)
+	}
+}

@@ -100,7 +100,7 @@ else
     # is deliberately huge (20x): the gate exists to exercise the
     # -json/-compare pipeline end to end and to catch order-of-magnitude
     # blowups, not small drift.
-    go run ./cmd/pasgal-bench -exp bfs,build,queries -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -exp bfs,build,queries,serve -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
     go run ./cmd/pasgal-bench -compare -threshold 20 \
         scripts/bench-baseline.json "$tmpjson"
 fi
@@ -123,7 +123,7 @@ fi
 echo '== race stress tier'
 go test -race -run Stress -count=3 \
     ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core \
-    ./internal/msbfs
+    ./internal/msbfs ./internal/serve
 # The scheduler conformance suite under -race: one pass over every
 # primitive x worker-count x grain x size cell catches ordering bugs the
 # stress loops' fixed shapes miss.
@@ -133,6 +133,7 @@ go test -race -run 'Conformance|PanicPropagation' -count=1 ./internal/parallel
 # fire/drain hand-off is exactly the kind of publication race -race sees
 # and plain runs miss.
 go test -race -run 'Cancel' -count=1 \
-    ./internal/parallel ./internal/core ./internal/baseline ./internal/msbfs
+    ./internal/parallel ./internal/core ./internal/baseline ./internal/msbfs \
+    ./internal/serve
 
 echo 'all checks passed'

@@ -42,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|build|queries|serve|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
+	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|build|queries|serve|compress|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
@@ -124,7 +124,7 @@ func main() {
 		"bfs": bench.BFSImpls, "scc": bench.SCCImpls,
 		"bcc": bench.BCCImpls, "sssp": bench.SSSPImpls,
 		"build": bench.BuildImpls, "queries": bench.QueriesImpls,
-		"serve": bench.ServeImpls,
+		"serve": bench.ServeImpls, "compress": bench.CompressImpls,
 	}
 	collect := func(name string, results []bench.Result) {
 		if *jsonOut != "" {
@@ -161,6 +161,8 @@ func main() {
 			collect(name, bench.TableQueries(cfg))
 		case "serve":
 			collect(name, bench.TableServe(cfg))
+		case "compress":
+			collect(name, bench.TableCompress(cfg))
 		case "fig1":
 			bench.Fig1(cfg)
 		case "fig1-model":
@@ -194,7 +196,7 @@ func main() {
 	interrupted := false
 	if *exp == "all" {
 		for _, name := range []string{"tab1", "bfs", "scc", "bcc", "sssp",
-			"build", "queries", "serve", "fig1", "fig1-model", "conn", "frontier", "mem",
+			"build", "queries", "serve", "compress", "fig1", "fig1-model", "conn", "frontier", "mem",
 			"abl-tau", "abl-tau-scc", "abl-bag", "abl-dir", "abl-sssp"} {
 			if ctx.Err() != nil {
 				interrupted = true

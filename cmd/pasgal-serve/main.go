@@ -7,6 +7,7 @@
 //	pasgal-serve -workload TW -listen :8080
 //	pasgal-serve -workload TW,NA -scale 0.5 -max-concurrent 4
 //	pasgal-serve -graph road.adj -cache 1024 -max-timeout 10s
+//	pasgal-serve -graph social.pz -mmap
 //
 // Queries:
 //
@@ -44,8 +45,9 @@ func main() {
 	listen := flag.String("listen", ":8080", "listen address")
 	workload := flag.String("workload", "", "comma-separated registry workload names to serve")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (with -workload)")
-	path := flag.String("graph", "", "graph file to serve (.adj, .bin, or edge list)")
+	path := flag.String("graph", "", "graph file to serve (.adj, .bin, .pz, or edge list)")
 	directed := flag.Bool("directed", true, "treat file input as directed")
+	mmap := flag.Bool("mmap", false, "memory-map a .pz graph instead of reading it (O(page-in) startup; arc data faults in on demand)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
 	maxConc := flag.Int("max-concurrent", 0, "admission bound on concurrent computations (0 = worker count)")
 	cacheEntries := flag.Int("cache", serve.DefaultCacheEntries, "result cache entries (negative disables)")
@@ -59,7 +61,8 @@ func main() {
 		pasgal.SetWorkers(*workers)
 	}
 
-	graphs := make(map[string]*graph.Graph)
+	graphs := make(map[string]graph.Adjacency)
+	var closers []func() error
 	if *workload != "" {
 		for _, name := range strings.Split(*workload, ",") {
 			name = strings.TrimSpace(name)
@@ -76,13 +79,45 @@ func main() {
 		}
 	}
 	if *path != "" {
-		g, err := pasgal.LoadGraph(*path, *directed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
-			os.Exit(1)
-		}
 		name := strings.TrimSuffix(filepath.Base(*path), filepath.Ext(*path))
-		graphs[name] = g
+		start := time.Now()
+		switch {
+		case *mmap:
+			// Memory-mapped startup: only the header and offset table are
+			// touched before serving begins; compressed arc bytes page in
+			// lazily as queries scan them.
+			if !strings.HasSuffix(*path, ".pz") {
+				fmt.Fprintln(os.Stderr, "pasgal-serve: -mmap requires a .pz graph file")
+				os.Exit(2)
+			}
+			c, closer, err := pasgal.MapCompressed(*path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+				os.Exit(1)
+			}
+			closers = append(closers, closer)
+			graphs[name] = c
+			fmt.Printf("pasgal-serve: mapped %s in %v (%.2f bytes/edge; arc data pages in on demand)\n",
+				*path, time.Since(start).Round(time.Microsecond), c.BytesPerArc())
+		case strings.HasSuffix(*path, ".pz"):
+			// Without -mmap the whole file is read, checksummed, and
+			// validated, but still served compressed.
+			c, err := pasgal.LoadCompressed(*path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+				os.Exit(1)
+			}
+			graphs[name] = c
+			fmt.Printf("pasgal-serve: loaded %s in %v (verified, %.2f bytes/edge)\n",
+				*path, time.Since(start).Round(time.Millisecond), c.BytesPerArc())
+		default:
+			g, err := pasgal.LoadGraph(*path, *directed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)
+				os.Exit(1)
+			}
+			graphs[name] = g
+		}
 	}
 	if len(graphs) == 0 {
 		fmt.Fprintln(os.Stderr, "pasgal-serve: need -workload and/or -graph")
@@ -92,7 +127,7 @@ func main() {
 		fmt.Printf("pasgal-serve: serving %q: %v\n", name, g)
 	}
 
-	srv, err := serve.New(graphs, serve.Config{
+	srv, err := serve.NewAdj(graphs, serve.Config{
 		MaxConcurrent:   *maxConc,
 		CacheEntries:    *cacheEntries,
 		MaxTimeout:      *maxTimeout,
@@ -138,6 +173,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pasgal-serve: shutdown: %v\n", err)
 	}
 	srv.Close()
+	for _, closer := range closers {
+		if err := closer(); err != nil {
+			fmt.Fprintf(os.Stderr, "pasgal-serve: unmap: %v\n", err)
+		}
+	}
 	fmt.Println("pasgal-serve: bye")
 }
 

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+
+	"pasgal/internal/core"
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// CompressImpls names the measured cells in the compression experiment:
+// BFS on the plain CSR, the compressed graph, and the degree-relabeled
+// compressed graph, each at 1 and 8 workers. The p1/p8 pair exposes
+// whether decode overhead is hidden by memory latency once scans go
+// parallel, which is the claim the compressed representation rides on.
+var CompressImpls = []string{"CSR-p1", "CSR-p8", "PZ-p1", "PZ-p8", "PZR-p1", "PZR-p8"}
+
+// compressWorkers is the p1/p8 sweep for the scan-overhead columns.
+var compressWorkers = [2]int{1, 8}
+
+// csrBytesPerArc is the plain in-memory CSR footprint per arc: 8-byte
+// offsets plus 4-byte targets (plus 4-byte weights), the same accounting
+// Compressed.BytesPerArc uses (its restart array is charged there too).
+func csrBytesPerArc(g *graph.Graph) float64 {
+	m := len(g.Edges)
+	if m == 0 {
+		return 0
+	}
+	bytes := 8*(g.N+1) + 4*m
+	if g.Weighted() {
+		bytes += 4 * m
+	}
+	return float64(bytes) / float64(m)
+}
+
+// TableCompress measures the compressed representation against the plain
+// CSR on the uniform and power-law query graphs: bytes per edge (with and
+// without degree relabeling) and the BFS scan overhead at 1 and 8 workers.
+// The check.sh compare gate diffs the six time cells per graph.
+func TableCompress(c Config) []Result {
+	fmt.Fprintf(c.Out, "\n== Compression: bytes/edge and BFS scan overhead (p1/p8) ==\n")
+	rows := [][]string{{"Graph", "CSR B/e", "PZ B/e", "PZR B/e", "ratio",
+		"CSR-p1", "PZ-p1", "CSR-p8", "PZ-p8", "PZR-p8", "ovh-p8"}}
+	var results []Result
+	opt := c.options()
+	for _, s := range queriesSpecs() {
+		g := c.build(s)
+		comp := graph.Compress(g)
+		rg, perm := graph.RelabelByDegree(g)
+		rcomp := graph.Compress(rg)
+		src := PickSource(g)
+		rsrc := perm[src]
+
+		res := newResult(s.Name, s.Category, g)
+		csrBe, pzBe, pzrBe := csrBytesPerArc(g), comp.BytesPerArc(), rcomp.BytesPerArc()
+		res.Extra["CSR B/e"] = fmt.Sprintf("%.2f", csrBe)
+		res.Extra["PZ B/e"] = fmt.Sprintf("%.2f", pzBe)
+		res.Extra["PZR B/e"] = fmt.Sprintf("%.2f", pzrBe)
+
+		// Warm every representation outside the timed region so lazy
+		// transpose construction (the pull direction) doesn't pollute the
+		// first timing cell.
+		_, _, _ = core.BFS(g, src, opt)
+		_, _, _ = core.BFS(comp, src, opt)
+		_, _, _ = core.BFS(rcomp, rsrc, opt)
+
+		for _, p := range compressWorkers {
+			old := parallel.SetWorkers(p)
+			res.Times[fmt.Sprintf("CSR-p%d", p)] = timed(c.Reps, func() { _, _, _ = core.BFS(g, src, opt) })
+			res.Times[fmt.Sprintf("PZ-p%d", p)] = timed(c.Reps, func() { _, _, _ = core.BFS(comp, src, opt) })
+			res.Times[fmt.Sprintf("PZR-p%d", p)] = timed(c.Reps, func() { _, _, _ = core.BFS(rcomp, rsrc, opt) })
+			parallel.SetWorkers(old)
+		}
+
+		rows = append(rows, []string{s.Name,
+			fmt.Sprintf("%.2f", csrBe), fmt.Sprintf("%.2f", pzBe), fmt.Sprintf("%.2f", pzrBe),
+			fmt.Sprintf("%.0f%%", 100*pzrBe/csrBe),
+			fmtTime(res.Times["CSR-p1"]), fmtTime(res.Times["PZ-p1"]),
+			fmtTime(res.Times["CSR-p8"]), fmtTime(res.Times["PZ-p8"]), fmtTime(res.Times["PZR-p8"]),
+			fmt.Sprintf("%.2fx", res.Times["PZ-p8"]/res.Times["CSR-p8"])})
+		results = append(results, res)
+	}
+	printAligned(c.Out, rows)
+	return results
+}

@@ -1,0 +1,276 @@
+package bench
+
+import (
+	"testing"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+	"pasgal/internal/msbfs"
+	"pasgal/internal/seq"
+)
+
+// The compressed-representation differential suite: every algorithm with
+// a compressed adjacency-scan specialization runs over the full shape
+// matrix against its plain-CSR twin (which the per-algorithm suites
+// already pin against the sequential oracles). The compressed graph is
+// built from the same plain graph, so any disagreement is a decode or
+// scan-specialization bug, not a generator artifact.
+
+// compressedShapes pairs every differential shape with its compressed
+// form plus a degree-relabeled + compressed variant (the layout
+// pasgal-convert -relabel produces), with the permutation needed to map
+// results back.
+type compressedShape struct {
+	diffShape
+	c *graph.Compressed
+
+	rg   *graph.Graph      // degree-relabeled plain graph
+	rc   *graph.Compressed // its compressed form
+	perm []uint32          // old id -> new id under the relabeling
+}
+
+func compressedShapes(seed uint64) []compressedShape {
+	shapes := diffShapes(seed)
+	out := make([]compressedShape, 0, len(shapes))
+	for _, sh := range shapes {
+		rg, perm := graph.RelabelByDegree(sh.g)
+		out = append(out, compressedShape{
+			diffShape: sh,
+			c:         graph.Compress(sh.g),
+			rg:        rg,
+			rc:        graph.Compress(rg),
+			perm:      perm,
+		})
+	}
+	return out
+}
+
+// TestCompressedLossless pins the foundation the rest of the suite rests
+// on: compress → decompress is the identity over every shape, and every
+// compressed graph passes full validation.
+func TestCompressedLossless(t *testing.T) {
+	for _, sh := range compressedShapes(0xC0DE) {
+		for name, c := range map[string]*graph.Compressed{"plain": sh.c, "relabeled": sh.rc} {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", sh.name, name, err)
+			}
+		}
+		d := sh.c.Decompress()
+		if d.N != sh.g.N || d.M() != sh.g.M() || d.Directed != sh.g.Directed {
+			t.Fatalf("%s: decompressed header differs", sh.name)
+		}
+		for v := 0; v < d.N; v++ {
+			for e := d.Offsets[v]; e < d.Offsets[v+1]; e++ {
+				if d.Edges[e] != sh.g.Edges[e] {
+					t.Fatalf("%s: edge %d differs after round-trip", sh.name, e)
+				}
+			}
+		}
+	}
+}
+
+// TestCompressedDifferentialBFS cross-checks compressed BFS — in the
+// default, push-only, and pull-favoring routings, so both the bulk-decode
+// push scan and the cursor pull scan execute — against the sequential
+// oracle from multiple sources, on both the direct and the relabeled
+// compressed layouts.
+func TestCompressedDifferentialBFS(t *testing.T) {
+	opts := map[string]core.Options{
+		"default":    {},
+		"push-only":  {DisableDirectionOpt: true},
+		"pull-eager": {DenseFrac: 0.01},
+	}
+	for _, sh := range compressedShapes(0xC1FF) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, src := range diffSources(sh.g) {
+				want := seq.BFS(sh.g, src)
+				for oname, opt := range opts {
+					got, _, err := core.BFS(sh.c, src, opt)
+					if err != nil {
+						t.Fatalf("%s src=%d: %v", oname, src, err)
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("%s src=%d: dist[%d] = %d, oracle %d",
+								oname, src, v, got[v], want[v])
+						}
+					}
+				}
+				// Relabeled layout: distances commute with the permutation.
+				rgot, _, err := core.BFS(sh.rc, sh.perm[src], core.Options{})
+				if err != nil {
+					t.Fatalf("relabeled src=%d: %v", src, err)
+				}
+				for v := range want {
+					if rgot[sh.perm[v]] != want[v] {
+						t.Fatalf("relabeled src=%d: dist[perm[%d]] = %d, oracle %d",
+							src, v, rgot[sh.perm[v]], want[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedDifferentialReachable covers the multi-source boolean
+// engine on compressed graphs, including a duplicated source.
+func TestCompressedDifferentialReachable(t *testing.T) {
+	for _, sh := range compressedShapes(0xC2EA) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			srcs := diffSources(sh.g)
+			srcs = append(srcs, srcs[0]) // duplicate
+			got, _, err := core.Reachable(sh.c, srcs, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]bool, sh.g.N)
+			for _, s := range srcs {
+				for v, d := range seq.BFS(sh.g, s) {
+					want[v] = want[v] || d != graph.InfDist
+				}
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("reach[%d] = %v, oracle %v", v, got[v], want[v])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedDifferentialSSSP cross-checks weighted compressed graphs
+// (the only place the interleaved weight decoding executes under a
+// frontier algorithm) against Dijkstra, for both stepping policies and
+// point-to-point queries.
+func TestCompressedDifferentialSSSP(t *testing.T) {
+	for _, sh := range diffShapes(0xC555) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			wg := gen.AddUniformWeights(sh.g, 1, 1000, 0xAB)
+			wc := graph.Compress(wg)
+			if !wc.HasWeights() {
+				t.Fatal("compressed weighted graph lost its weights")
+			}
+			for _, src := range diffSources(wg) {
+				want := seq.Dijkstra(wg, src)
+				for pname, policy := range map[string]core.StepPolicy{
+					"rho":   core.RhoStepping{},
+					"delta": core.DeltaStepping{Delta: 512},
+				} {
+					got, _, err := core.SSSP(wc, src, policy, core.Options{})
+					if err != nil {
+						t.Fatalf("%s src=%d: %v", pname, src, err)
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("%s src=%d: dist[%d] = %d, oracle %d",
+								pname, src, v, got[v], want[v])
+						}
+					}
+				}
+				dst := uint32(wg.N-1) - src%uint32(wg.N)
+				d, _, err := core.PointToPoint(wc, src, dst, nil, core.Options{})
+				if err != nil {
+					t.Fatalf("p2p %d->%d: %v", src, dst, err)
+				}
+				if d != want[dst] {
+					t.Fatalf("p2p %d->%d: dist %d, oracle %d", src, dst, d, want[dst])
+				}
+			}
+		})
+	}
+}
+
+// TestCompressedDifferentialConnectivity cross-checks Components and
+// SpanningForest between representations on every undirected shape: same
+// partition, same forest size, forest edges valid.
+func TestCompressedDifferentialConnectivity(t *testing.T) {
+	for _, sh := range compressedShapes(0xC0CC) {
+		if sh.g.Directed {
+			continue
+		}
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			wantL, wantN := conn.Components(sh.g)
+			gotL, gotN := conn.Components(sh.c)
+			if gotN != wantN {
+				t.Fatalf("components: %d, plain %d", gotN, wantN)
+			}
+			if !partitionsMatch(gotL, wantL) {
+				t.Fatal("component partition differs between representations")
+			}
+			wantF, _, _ := conn.SpanningForest(sh.g)
+			gotF, fl, fn := conn.SpanningForest(sh.c)
+			if len(gotF) != len(wantF) || fn != wantN {
+				t.Fatalf("forest: %d edges / %d comps, plain %d / %d",
+					len(gotF), fn, len(wantF), wantN)
+			}
+			uf := conn.NewUnionFind(sh.g.N)
+			for _, e := range gotF {
+				if !uf.Union(e.U, e.V) {
+					t.Fatalf("forest edge (%d,%d) closes a cycle", e.U, e.V)
+				}
+			}
+			if !partitionsMatch(fl, wantL) {
+				t.Fatal("forest labels differ from component labels")
+			}
+		})
+	}
+}
+
+// TestCompressedDifferentialBatchedBFS runs the MS-BFS engine on
+// compressed graphs at every lane-boundary batch width in both routings,
+// lane-by-lane against the oracle.
+func TestCompressedDifferentialBatchedBFS(t *testing.T) {
+	opts := map[string]core.Options{
+		"default":   {},
+		"push-only": {DisableDirectionOpt: true},
+	}
+	for _, sh := range compressedShapes(0xCBA7) {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			oracle := map[uint32][]uint32{}
+			for _, b := range batchWidths {
+				srcs := batchSources(sh.g, b)
+				for oname, opt := range opts {
+					rows, _, err := msbfs.Run(sh.c, srcs, opt)
+					if err != nil {
+						t.Fatalf("B=%d %s: %v", b, oname, err)
+					}
+					for i, s := range srcs {
+						want, ok := oracle[s]
+						if !ok {
+							want = seq.BFS(sh.g, s)
+							oracle[s] = want
+						}
+						for v := range want {
+							if rows[i][v] != want[v] {
+								t.Fatalf("B=%d %s lane %d (src %d): dist[%d] = %d, oracle %d",
+									b, oname, i, s, v, rows[i][v], want[v])
+							}
+						}
+					}
+				}
+			}
+			// The boolean variant shares the engine; one width suffices.
+			srcs := batchSources(sh.g, 65)
+			rows, _, err := msbfs.RunReachable(sh.c, srcs, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, s := range srcs {
+				want := oracle[s]
+				for v := range want {
+					if rows[i][v] != (want[v] != graph.InfDist) {
+						t.Fatalf("reachable lane %d (src %d): reach[%d] = %v, oracle %v",
+							i, s, v, rows[i][v], want[v] != graph.InfDist)
+					}
+				}
+			}
+		})
+	}
+}

@@ -144,3 +144,38 @@ func TestTableServeSmoke(t *testing.T) {
 		t.Fatalf("missing table header:\n%s", out)
 	}
 }
+
+// TestTableCompressSmoke runs the compression experiment at a tiny
+// scale: every time cell must fill (the compare gate diffs them), and
+// the size columns must report a real reduction over plain CSR.
+func TestTableCompressSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compresses + relabels both query graphs")
+	}
+	var buf strings.Builder
+	results := TableCompress(Config{Scale: 0.02, Reps: 1, Out: &buf})
+	if len(results) != 2 {
+		t.Fatalf("TableCompress returned %d results, want 2 (UNI + PL)", len(results))
+	}
+	for _, res := range results {
+		for _, impl := range CompressImpls {
+			if res.Times[impl] <= 0 {
+				t.Fatalf("%s: no timing for %s cell:\n%s", res.Graph, impl, buf.String())
+			}
+		}
+		for _, key := range []string{"CSR B/e", "PZ B/e", "PZR B/e"} {
+			if res.Extra[key] == "" {
+				t.Fatalf("%s: missing size column %s", res.Graph, key)
+			}
+		}
+		if res.Extra["PZ B/e"] >= res.Extra["CSR B/e"] {
+			// Numeric width is equal here (both %.2f with one integer
+			// digit at this scale), so the string compare is a real one.
+			t.Fatalf("%s: compression did not shrink: PZ %s vs CSR %s",
+				res.Graph, res.Extra["PZ B/e"], res.Extra["CSR B/e"])
+		}
+	}
+	if !strings.Contains(buf.String(), "bytes/edge and BFS scan overhead") {
+		t.Fatalf("missing table header:\n%s", buf.String())
+	}
+}

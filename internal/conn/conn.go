@@ -76,54 +76,79 @@ func (uf *UnionFind) Connected(a, b uint32) bool {
 	}
 }
 
+// forEachForwardEdge applies visit to every undirected edge {u, v} with
+// u < v, fully in parallel. It is the shared edge-scan of Components and
+// SpanningForest, specialized per graph representation: the plain loop
+// indexes the CSR arrays directly, the compressed loop walks an
+// allocation-free decode cursor (see graph.ArcCursor).
+func forEachForwardEdge(a graph.Adjacency, visit func(u, v uint32)) {
+	switch g := a.(type) {
+	case *graph.Graph:
+		parallel.For(g.N, 64, func(ui int) {
+			u := uint32(ui)
+			for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
+				v := g.Edges[e]
+				if u < v { // each undirected edge once
+					visit(u, v)
+				}
+			}
+		})
+	case *graph.Compressed:
+		parallel.For(g.NumVertices(), 64, func(ui int) {
+			u := uint32(ui)
+			it := g.Arcs(u)
+			for {
+				v, ok := it.Next()
+				if !ok {
+					break
+				}
+				if u < v {
+					visit(u, v)
+				}
+			}
+		})
+	}
+}
+
 // Components returns, for every vertex of g, the minimum vertex id of its
 // connected component (a canonical labeling) together with the component
 // count. Edges are processed fully in parallel; no BFS, no rounds — the
-// point of the FAST-BCC design.
-func Components(g *graph.Graph) ([]uint32, int) {
-	if g.Directed {
+// point of the FAST-BCC design. Both graph representations are accepted.
+func Components(a graph.Adjacency) ([]uint32, int) {
+	if a.IsDirected() {
 		panic("conn: Components requires an undirected graph")
 	}
-	uf := NewUnionFind(g.N)
-	parallel.For(g.N, 64, func(ui int) {
-		u := uint32(ui)
-		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
-			v := g.Edges[e]
-			if u < v { // each undirected edge once
-				uf.Union(u, v)
-			}
-		}
-	})
-	labels := make([]uint32, g.N)
-	parallel.For(g.N, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
+	n := a.NumVertices()
+	uf := NewUnionFind(n)
+	forEachForwardEdge(a, func(u, v uint32) { uf.Union(u, v) })
+	labels := make([]uint32, n)
+	parallel.For(n, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
 	// Roots are minima because unions always link larger roots under
 	// smaller ones.
-	count := parallel.Count(g.N, func(i int) bool { return labels[i] == uint32(i) })
+	count := parallel.Count(n, func(i int) bool { return labels[i] == uint32(i) })
 	return labels, count
 }
 
 // SpanningForest returns a spanning forest of g as a list of tree edges
 // (n - #components of them) plus the component labeling. Which forest is
-// produced depends on the parallel schedule; all are valid.
-func SpanningForest(g *graph.Graph) ([]graph.Edge, []uint32, int) {
-	if g.Directed {
+// produced depends on the parallel schedule; all are valid. Both graph
+// representations are accepted.
+func SpanningForest(a graph.Adjacency) ([]graph.Edge, []uint32, int) {
+	if a.IsDirected() {
 		panic("conn: SpanningForest requires an undirected graph")
 	}
-	uf := NewUnionFind(g.N)
-	treeEdges := make([]graph.Edge, g.N) // at most n-1 used
+	n := a.NumVertices()
+	uf := NewUnionFind(n)
+	treeEdges := make([]graph.Edge, n) // at most n-1 used
 	var cursor atomic.Int64
-	parallel.For(g.N, 64, func(ui int) {
-		u := uint32(ui)
-		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
-			v := g.Edges[e]
-			if u < v && uf.Union(u, v) {
-				at := cursor.Add(1) - 1
-				treeEdges[at] = graph.Edge{U: u, V: v}
-			}
+	forEachForwardEdge(a, func(u, v uint32) {
+		if uf.Union(u, v) {
+			at := cursor.Add(1) - 1
+			treeEdges[at] = graph.Edge{U: u, V: v}
 		}
 	})
-	labels := make([]uint32, g.N)
-	parallel.For(g.N, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
-	count := parallel.Count(g.N, func(i int) bool { return labels[i] == uint32(i) })
+	labels := make([]uint32, n)
+	parallel.For(n, 0, func(i int) { labels[i] = uf.Find(uint32(i)) })
+	count := parallel.Count(n, func(i int) bool { return labels[i] == uint32(i) })
 	return treeEdges[:cursor.Load()], labels, count
 }

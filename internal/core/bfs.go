@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 
@@ -27,15 +28,21 @@ import (
 // search may install a distance that a later relaxation improves) — that is
 // the extra work VGC knowingly trades for fewer synchronizations.
 //
+// BFS accepts either graph representation. Plain CSR runs the historical
+// loops untouched; the compressed form runs specialized decode-on-scan
+// loops (bulk-decode per local search going top-down, a streaming cursor
+// with early exit going bottom-up). See graph.Adjacency for why this is a
+// type switch and not a virtualized inner loop.
+//
 // A non-nil opt.Ctx makes the run cancellable: on cancellation BFS returns
 // (nil, partial Metrics, ErrCanceled/ErrDeadline).
-func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
+func BFS(a graph.Adjacency, src uint32, opt Options) ([]uint32, *Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "bfs")
 	cl := NewCanceler(opt, met)
 	defer cl.Close()
-	n := g.N
+	n := a.NumVertices()
 	dist := make([]atomic.Uint32, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(graph.InfDist) })
 	out := make([]uint32, n)
@@ -47,15 +54,62 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 	// distance (cur + window - 1, window <= tau) can advance tau+1 more
 	// hops, so 2*tau + 4 distance buckets always suffice.
 	nBags := 2*tau + 4
-	fr := newFrontierSet(n, nBags, opt.DisableHashBag, opt.Tracer)
-	in := g.Transpose() // in-neighbors; == g for undirected graphs
+	st := &bfsState{
+		n:        n,
+		tau:      tau,
+		nBags:    nBags,
+		denseCut: opt.denseCut(n),
+		dist:     dist,
+		fr:       newFrontierSet(n, nBags, opt.DisableHashBag, opt.Tracer),
+		met:      met,
+		cl:       cl,
+	}
+	// Per-representation scan specializations: the driver calls these once
+	// per round, so the indirect call is amortized over a whole frontier
+	// and each closure keeps its monomorphic inner loop.
+	var pull func(cur int)
+	var push func(f []uint32, bucketOf []int)
+	switch g := a.(type) {
+	case *graph.Graph:
+		pull, push = bfsPlainScans(g, st)
+	case *graph.Compressed:
+		pull, push = bfsCompressedScans(g, st)
+	}
 
 	dist[src].Store(0)
-	fr.insert(0, src)
-	var pending atomic.Int64
-	pending.Store(1)
-	denseCut := opt.denseCut(n)
+	st.fr.insert(0, src)
+	st.pending.Store(1)
+	if err := bfsDrive(st, pull, push); err != nil {
+		return nil, met, err
+	}
+	// Final check before materializing: a cancellation during the last
+	// round can empty the pending count without completing the work, so
+	// only a clean Poll here lets the result be claimed complete.
+	if err := cl.Poll(); err != nil {
+		return nil, met, err
+	}
+	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
+	return out, met, nil
+}
 
+// bfsState bundles the frontier machinery shared by the driver and the
+// per-representation scans.
+type bfsState struct {
+	n        int
+	tau      int
+	nBags    int
+	denseCut int64
+	dist     []atomic.Uint32
+	fr       *frontierSet
+	pending  atomic.Int64
+	met      *Metrics
+	cl       *Canceler
+}
+
+// bfsDrive runs the round loop: frontier extraction, the adaptive
+// distance window, and the direction switch. It is representation-free;
+// all graph access happens inside the pull/push closures.
+func bfsDrive(st *bfsState, pull func(cur int), push func(f []uint32, bucketOf []int)) error {
 	// The adaptive distance window realizes the paper's "multiple
 	// frontiers" device: when frontiers are small (the large-diameter
 	// regime) one round extracts a widening window of distance buckets and
@@ -67,17 +121,18 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 	// search's tau+1-hop advance must stay within the bucket ring, so the
 	// window never grows past tau+2 (unchecked doubling could reach 2tau-2
 	// for non-power-of-two tau and wrap the ring).
-	maxWindow := tau + 2
+	maxWindow := st.tau + 2
 	const windowGrowCut = 2048
 
+	fr := st.fr
 	cur := 0
-	for pending.Load() > 0 {
+	for st.pending.Load() > 0 {
 		// Round boundary: a canceled round may have drained chunks without
 		// inserting their discoveries, so the pending count (and the bucket
 		// ring invariant below) no longer mean anything — stop before
 		// touching them.
-		if err := cl.Poll(); err != nil {
-			return nil, met, err
+		if err := st.cl.Poll(); err != nil {
+			return err
 		}
 		// Advance to the first non-empty bucket; all pending distances lie
 		// in [cur+1, cur+nBags) whenever bucket cur is empty, so the scan
@@ -89,68 +144,35 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 		var f []uint32
 		var bucketOf []int // parallel: the distance each entry came from
 		grabbed := 0
-		for d := cur; d < cur+window && grabbed < nBags-tau-1; d++ {
+		for d := cur; d < cur+window && grabbed < st.nBags-st.tau-1; d++ {
 			if fr.len(d) == 0 {
 				continue
 			}
 			part := fr.extract(d)
-			pending.Add(-(int64(len(part)) + fr.dupDebt()))
+			st.pending.Add(-(int64(len(part)) + fr.dupDebt()))
 			f = append(f, part...)
 			for range part {
 				bucketOf = append(bucketOf, d)
 			}
 			grabbed++
 		}
-		met.Round(len(f))
+		st.met.Round(len(f))
 		if int64(len(f)) < windowGrowCut && window < maxWindow {
 			window = min(2*window, maxWindow)
 		} else if window > 1 {
 			window /= 2
 		}
 
-		if int64(len(f)) >= denseCut {
+		if int64(len(f)) >= st.denseCut {
 			// Bottom-up: instead of expanding the (dense) frontier, every
 			// improvable vertex scans its own in-neighbors and write-mins
 			// the best candidate distance. This covers every relaxation
 			// the frontier's out-edges would have performed, including
 			// repairs of distances a local search over-estimated, so the
 			// extracted entries need no further processing.
-			met.AddBottomUp()
+			st.met.AddBottomUp()
 			window = 1 // dense regime: back to level-at-a-time
-			target := uint32(cur + 1)
-			// A pull can chain: v may read an in-neighbor distance stored
-			// earlier in this same scan, advancing many hops in one round.
-			// Unbounded chains would insert past the bucket ring, where the
-			// entry lands in a wrong-distance bucket and is dropped as stale
-			// on extraction. Cap the advance at the ring's edge; a vertex
-			// past the cap is re-relaxed when its capped in-neighbor's
-			// bucket is processed, so nothing is lost.
-			maxIns := uint32(cur + nBags - 1)
-			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
-				var local int64
-				for vi := lo; vi < hi; vi++ {
-					v := uint32(vi)
-					best := dist[v].Load()
-					if best <= target {
-						continue
-					}
-					for _, u := range in.Neighbors(v) {
-						local++
-						if du := dist[u].Load(); du != graph.InfDist && du+1 < best {
-							best = du + 1
-							if best <= target {
-								break // cannot get closer than cur+1
-							}
-						}
-					}
-					if best < dist[v].Load() && best <= maxIns {
-						dist[v].Store(best) // sole writer of v this round
-						fr.insert(int(best), v)
-						pending.Add(1)
-					}
-				}
-				met.AddEdges(local)
-			})
+			pull(cur)
 			continue
 		}
 
@@ -159,7 +181,61 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 		// final and redundant re-relaxation is rare (a LIFO local search
 		// would chase depth-first chains of inflated distances and repair
 		// them over and over).
-		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+		push(f, bucketOf)
+	}
+	return nil
+}
+
+// bfsPlainScans builds the plain-CSR round bodies — the historical inner
+// loops, verbatim.
+func bfsPlainScans(g *graph.Graph, st *bfsState) (pull func(cur int), push func(f []uint32, bucketOf []int)) {
+	var in *graph.Graph
+	if st.denseCut != math.MaxInt64 {
+		// in-neighbors; == g for undirected graphs. Only built when a
+		// bottom-up round can actually happen — with direction
+		// optimization off, a directed graph never pays for its
+		// transpose.
+		in = g.Transpose()
+	}
+	dist, fr := st.dist, st.fr
+	pull = func(cur int) {
+		target := uint32(cur + 1)
+		// A pull can chain: v may read an in-neighbor distance stored
+		// earlier in this same scan, advancing many hops in one round.
+		// Unbounded chains would insert past the bucket ring, where the
+		// entry lands in a wrong-distance bucket and is dropped as stale
+		// on extraction. Cap the advance at the ring's edge; a vertex
+		// past the cap is re-relaxed when its capped in-neighbor's
+		// bucket is processed, so nothing is lost.
+		maxIns := uint32(cur + st.nBags - 1)
+		parallel.ForRangeCancel(st.cl.Token(), st.n, 0, func(lo, hi int) {
+			var local int64
+			for vi := lo; vi < hi; vi++ {
+				v := uint32(vi)
+				best := dist[v].Load()
+				if best <= target {
+					continue
+				}
+				for _, u := range in.Neighbors(v) {
+					local++
+					if du := dist[u].Load(); du != graph.InfDist && du+1 < best {
+						best = du + 1
+						if best <= target {
+							break // cannot get closer than cur+1
+						}
+					}
+				}
+				if best < dist[v].Load() && best <= maxIns {
+					dist[v].Store(best) // sole writer of v this round
+					fr.insert(int(best), v)
+					st.pending.Add(1)
+				}
+			}
+			st.met.AddEdges(local)
+		})
+	}
+	push = func(f []uint32, bucketOf []int) {
+		parallel.ForRangeCancel(st.cl.Token(), len(f), 1, func(lo, hi int) {
 			queue := make([]uint32, 0, 64)
 			var edgeCount int64
 			for i := lo; i < hi; i++ {
@@ -168,7 +244,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 					continue // stale: improved and handled elsewhere
 				}
 				queue = append(queue[:0], v)
-				budget := tau
+				budget := st.tau
 				for head := 0; head < len(queue); head++ {
 					u := queue[head]
 					du := dist[u].Load()
@@ -185,7 +261,7 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 									queue = append(queue, w)
 								} else {
 									fr.insert(int(nd), w)
-									pending.Add(1)
+									st.pending.Add(1)
 								}
 								break
 							}
@@ -198,24 +274,122 @@ func BFS(g *graph.Graph, src uint32, opt Options) ([]uint32, *Metrics, error) {
 						for _, w := range queue[head+1:] {
 							d := dist[w].Load()
 							fr.insert(int(d), w)
-							pending.Add(1)
+							st.pending.Add(1)
 						}
 						queue = queue[:head+1]
 					}
 				}
 			}
-			met.AddEdges(edgeCount)
+			st.met.AddEdges(edgeCount)
 		})
 	}
+	return pull, push
+}
 
-	// Final check before materializing: a cancellation during the last
-	// round can empty the pending count without completing the work, so
-	// only a clean Poll here lets the result be claimed complete.
-	if err := cl.Poll(); err != nil {
-		return nil, met, err
+// bfsCompressedScans builds the decode-on-scan round bodies for the
+// compressed representation. Top-down bulk-decodes each local-search
+// vertex into a per-task scratch buffer (the whole list will be
+// relaxed, so one tight decode then the plain relax loop wins);
+// bottom-up streams through a cursor because the scan usually abandons
+// a list at the first useful in-neighbor, and decoding the rest would
+// be pure waste.
+func bfsCompressedScans(g *graph.Compressed, st *bfsState) (pull func(cur int), push func(f []uint32, bucketOf []int)) {
+	var in *graph.Compressed
+	if st.denseCut != math.MaxInt64 {
+		// Built by decompress→transpose→recompress on first use; with
+		// direction optimization off an mmap-backed graph stays
+		// page-in only.
+		in = g.Transpose()
 	}
-	parallel.For(n, 0, func(i int) { out[i] = dist[i].Load() })
-	return out, met, nil
+	dist, fr := st.dist, st.fr
+	pull = func(cur int) {
+		target := uint32(cur + 1)
+		maxIns := uint32(cur + st.nBags - 1)
+		parallel.ForRangeCancel(st.cl.Token(), st.n, 0, func(lo, hi int) {
+			var local int64
+			nbuf := make([]uint32, 0, 256)
+			for vi := lo; vi < hi; vi++ {
+				v := uint32(vi)
+				best := dist[v].Load()
+				if best <= target {
+					continue
+				}
+				// Bulk-decode, then scan the flat slice with early exit.
+				// The streaming cursor pays a call per arc; the bulk
+				// decode pays for arcs past the exit point — and wins,
+				// because an improvable vertex that finds a parent
+				// immediately decodes a short prefix anyway (decode cost
+				// ~ list bytes), while one that finds none scans the
+				// whole list either way.
+				nbuf = in.AppendNeighbors(v, nbuf[:0])
+				for _, u := range nbuf {
+					local++
+					if du := dist[u].Load(); du != graph.InfDist && du+1 < best {
+						best = du + 1
+						if best <= target {
+							break
+						}
+					}
+				}
+				if best < dist[v].Load() && best <= maxIns {
+					dist[v].Store(best)
+					fr.insert(int(best), v)
+					st.pending.Add(1)
+				}
+			}
+			st.met.AddEdges(local)
+		})
+	}
+	push = func(f []uint32, bucketOf []int) {
+		parallel.ForRangeCancel(st.cl.Token(), len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			nbuf := make([]uint32, 0, 256)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if dist[v].Load() != uint32(bucketOf[i]) {
+					continue
+				}
+				queue = append(queue[:0], v)
+				budget := st.tau
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					du := dist[u].Load()
+					nd := du + 1
+					nbuf = g.AppendNeighbors(u, nbuf[:0])
+					for _, w := range nbuf {
+						edgeCount++
+						for {
+							old := dist[w].Load()
+							if nd >= old {
+								break
+							}
+							if dist[w].CompareAndSwap(old, nd) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									fr.insert(int(nd), w)
+									st.pending.Add(1)
+								}
+								break
+							}
+						}
+					}
+					budget -= len(nbuf) // == DegreeOf(u), already decoded
+					if budget <= 0 && head+1 < len(queue) {
+						for _, w := range queue[head+1:] {
+							d := dist[w].Load()
+							fr.insert(int(d), w)
+							st.pending.Add(1)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			st.met.AddEdges(edgeCount)
+		})
+	}
+	return pull, push
 }
 
 // frontierSet is the rotating set of distance-indexed frontiers: hash bags

@@ -19,10 +19,14 @@ import (
 //
 // Returns InfWeight if dst is unreachable from src.
 //
+// Both graph representations are accepted (the compressed one must carry
+// weights); like SSSP, only the frontier processor's adjacency scan is
+// specialized per representation.
+//
 // A non-nil opt.Ctx makes the run cancellable: on cancellation it returns
 // (InfWeight, partial Metrics, ErrCanceled/ErrDeadline).
-func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics, error) {
-	if !g.Weighted() {
+func PointToPoint(a graph.Adjacency, src, dst uint32, policy StepPolicy, opt Options) (uint64, *Metrics, error) {
+	if !a.HasWeights() {
 		panic("core: PointToPoint requires a weighted graph")
 	}
 	if policy == nil {
@@ -33,7 +37,7 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	met := NewMetrics(opt, "ptp")
 	cl := NewCanceler(opt, met)
 	defer cl.Close()
-	n := g.N
+	n := a.NumVertices()
 	if n == 0 {
 		return InfWeight, met, cl.Poll()
 	}
@@ -54,76 +58,153 @@ func PointToPoint(g *graph.Graph, src, dst uint32, policy StepPolicy, opt Option
 	var best atomic.Uint64 // best known distance to dst
 	best.Store(InfWeight)
 
-	processFrontier := func(f []uint32) {
-		met.Round(len(f))
-		localBudget := tau
-		if theta == InfWeight {
-			localBudget = 0
-		}
-		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
-			queue := make([]uint32, 0, 64)
-			var edgeCount int64
-			for i := lo; i < hi; i++ {
-				v := f[i]
-				dv := dist[v].Load()
-				if dv >= best.Load() {
-					continue // cannot extend a better path to dst
-				}
-				if dv > theta {
-					far.Insert(v)
-					continue
-				}
-				queue = append(queue[:0], v)
-				budget := localBudget
-				for head := 0; head < len(queue); head++ {
-					u := queue[head]
-					du := dist[u].Load()
-					if du >= best.Load() {
+	var processFrontier func(f []uint32)
+	switch g := a.(type) {
+	case *graph.Graph:
+		processFrontier = func(f []uint32) {
+			met.Round(len(f))
+			localBudget := tau
+			if theta == InfWeight {
+				localBudget = 0
+			}
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					v := f[i]
+					dv := dist[v].Load()
+					if dv >= best.Load() {
+						continue // cannot extend a better path to dst
+					}
+					if dv > theta {
+						far.Insert(v)
 						continue
 					}
-					wts := g.NeighborWeights(u)
-					for j, w := range g.Neighbors(u) {
-						edgeCount++
-						nd := du + uint64(wts[j])
-						if nd >= best.Load() {
-							continue // pruned
+					queue = append(queue[:0], v)
+					budget := localBudget
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						du := dist[u].Load()
+						if du >= best.Load() {
+							continue
 						}
-						for {
-							old := dist[w].Load()
-							if nd >= old {
-								break
+						wts := g.NeighborWeights(u)
+						for j, w := range g.Neighbors(u) {
+							edgeCount++
+							nd := du + uint64(wts[j])
+							if nd >= best.Load() {
+								continue // pruned
 							}
-							if dist[w].CompareAndSwap(old, nd) {
-								if w == dst {
-									// Track the new best dst distance.
-									for {
-										b := best.Load()
-										if nd >= b || best.CompareAndSwap(b, nd) {
-											break
-										}
-									}
-								} else if nd <= theta && budget > 0 {
-									queue = append(queue, w)
-								} else if nd <= theta {
-									near.Insert(w)
-								} else {
-									far.Insert(w)
+							for {
+								old := dist[w].Load()
+								if nd >= old {
+									break
 								}
-								break
+								if dist[w].CompareAndSwap(old, nd) {
+									if w == dst {
+										// Track the new best dst distance.
+										for {
+											b := best.Load()
+											if nd >= b || best.CompareAndSwap(b, nd) {
+												break
+											}
+										}
+									} else if nd <= theta && budget > 0 {
+										queue = append(queue, w)
+									} else if nd <= theta {
+										near.Insert(w)
+									} else {
+										far.Insert(w)
+									}
+									break
+								}
 							}
 						}
-					}
-					budget -= g.Degree(u)
-					if budget <= 0 && head+1 < len(queue) {
-						for _, w := range queue[head+1:] {
-							near.Insert(w)
+						budget -= g.Degree(u)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								near.Insert(w)
+							}
+							queue = queue[:head+1]
 						}
-						queue = queue[:head+1]
 					}
 				}
+				met.AddEdges(edgeCount)
+			})
+		}
+	case *graph.Compressed:
+		processFrontier = func(f []uint32) {
+			met.Round(len(f))
+			localBudget := tau
+			if theta == InfWeight {
+				localBudget = 0
 			}
-			met.AddEdges(edgeCount)
-		})
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				nbuf := make([]uint32, 0, 256)
+				wbuf := make([]uint32, 0, 256)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					v := f[i]
+					dv := dist[v].Load()
+					if dv >= best.Load() {
+						continue
+					}
+					if dv > theta {
+						far.Insert(v)
+						continue
+					}
+					queue = append(queue[:0], v)
+					budget := localBudget
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						du := dist[u].Load()
+						if du >= best.Load() {
+							continue
+						}
+						nbuf, wbuf = g.AppendArcs(u, nbuf[:0], wbuf[:0])
+						for j, w := range nbuf {
+							edgeCount++
+							nd := du + uint64(wbuf[j])
+							if nd >= best.Load() {
+								continue
+							}
+							for {
+								old := dist[w].Load()
+								if nd >= old {
+									break
+								}
+								if dist[w].CompareAndSwap(old, nd) {
+									if w == dst {
+										for {
+											b := best.Load()
+											if nd >= b || best.CompareAndSwap(b, nd) {
+												break
+											}
+										}
+									} else if nd <= theta && budget > 0 {
+										queue = append(queue, w)
+									} else if nd <= theta {
+										near.Insert(w)
+									} else {
+										far.Insert(w)
+									}
+									break
+								}
+							}
+						}
+						budget -= len(nbuf)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								near.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
 	}
 
 	for {

@@ -13,15 +13,19 @@ import (
 // order, so the VGC local search visits vertices in arbitrary multi-hop
 // order, each vertex claimed exactly once by a CAS.
 //
+// Both graph representations are accepted; the compressed form
+// bulk-decodes each local-search vertex into task-local scratch (see
+// graph.Adjacency).
+//
 // A non-nil opt.Ctx makes the run cancellable: on cancellation it returns
 // (nil, partial Metrics, ErrCanceled/ErrDeadline).
-func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics, error) {
+func Reachable(a graph.Adjacency, srcs []uint32, opt Options) ([]bool, *Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := NewMetrics(opt, "reach")
 	cl := NewCanceler(opt, met)
 	defer cl.Close()
-	n := g.N
+	n := a.NumVertices()
 	out := make([]bool, n)
 	if n == 0 || len(srcs) == 0 {
 		return out, met, cl.Poll()
@@ -35,41 +39,84 @@ func Reachable(g *graph.Graph, srcs []uint32, opt Options) ([]bool, *Metrics, er
 			bag.Insert(s)
 		}
 	}
+	// Per-representation frontier processors with identical claim logic;
+	// only the adjacency scan differs.
+	var process func(f []uint32)
+	switch g := a.(type) {
+	case *graph.Graph:
+		process = func(f []uint32) {
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					queue = append(queue[:0], f[i])
+					budget := tau
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						for _, w := range g.Neighbors(u) {
+							edgeCount++
+							if visited[w].Load() == 0 && visited[w].CompareAndSwap(0, 1) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									bag.Insert(w)
+								}
+							}
+						}
+						budget -= g.Degree(u)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								bag.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
+	case *graph.Compressed:
+		process = func(f []uint32) {
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				nbuf := make([]uint32, 0, 256)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					queue = append(queue[:0], f[i])
+					budget := tau
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						nbuf = g.AppendNeighbors(u, nbuf[:0])
+						for _, w := range nbuf {
+							edgeCount++
+							if visited[w].Load() == 0 && visited[w].CompareAndSwap(0, 1) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									bag.Insert(w)
+								}
+							}
+						}
+						budget -= len(nbuf)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								bag.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
+	}
 	for bag.Len() > 0 {
 		if err := cl.Poll(); err != nil {
 			return nil, met, err
 		}
 		f := bag.Extract()
 		met.Round(len(f))
-		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
-			queue := make([]uint32, 0, 64)
-			var edgeCount int64
-			for i := lo; i < hi; i++ {
-				queue = append(queue[:0], f[i])
-				budget := tau
-				for head := 0; head < len(queue); head++ {
-					u := queue[head]
-					for _, w := range g.Neighbors(u) {
-						edgeCount++
-						if visited[w].Load() == 0 && visited[w].CompareAndSwap(0, 1) {
-							if budget > 0 {
-								queue = append(queue, w)
-							} else {
-								bag.Insert(w)
-							}
-						}
-					}
-					budget -= g.Degree(u)
-					if budget <= 0 && head+1 < len(queue) {
-						for _, w := range queue[head+1:] {
-							bag.Insert(w)
-						}
-						queue = queue[:head+1]
-					}
-				}
-			}
-			met.AddEdges(edgeCount)
-		})
+		process(f)
 	}
 	// Final check before materializing; see BFS.
 	if err := cl.Poll(); err != nil {

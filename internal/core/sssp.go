@@ -93,10 +93,14 @@ func (BellmanFordPolicy) Name() string { return "bf" }
 //
 // policy == nil selects ρ-stepping with its default ρ.
 //
+// Both graph representations are accepted (the compressed one must carry
+// weights); the phase driver is shared and only the frontier processor's
+// adjacency scan is specialized per representation.
+//
 // A non-nil opt.Ctx makes the run cancellable: on cancellation SSSP
 // returns (nil, partial Metrics, ErrCanceled/ErrDeadline).
-func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics, error) {
-	if !g.Weighted() {
+func SSSP(a graph.Adjacency, src uint32, policy StepPolicy, opt Options) ([]uint64, *Metrics, error) {
+	if !a.HasWeights() {
 		panic("core: SSSP requires a weighted graph")
 	}
 	if policy == nil {
@@ -107,7 +111,7 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	met := NewMetrics(opt, "sssp")
 	cl := NewCanceler(opt, met)
 	defer cl.Close()
-	n := g.N
+	n := a.NumVertices()
 	dist := make([]atomic.Uint64, n)
 	parallel.For(n, 0, func(i int) { dist[i].Store(InfWeight) })
 	out := make([]uint64, n)
@@ -124,65 +128,130 @@ func SSSP(g *graph.Graph, src uint32, policy StepPolicy, opt Options) ([]uint64,
 	near.Insert(src)
 	theta := uint64(0) // process dist <= theta; first phase handles src only
 
-	processFrontier := func(f []uint32) {
-		met.Round(len(f))
-		// Multi-hop local expansion is only sound under a finite θ: it
-		// bounds how wrong an eagerly-expanded tentative distance can be.
-		// With θ = ∞ (Bellman–Ford policy) every improvement round-trips
-		// through the frontier instead.
-		localBudget := tau
-		if theta == InfWeight {
-			localBudget = 0
-		}
-		// FIFO local worklist: the local search relaxes in mini-BFS order,
-		// keeping tentative distances close to final (a LIFO order would
-		// chase depth-first chains of inflated distances).
-		parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
-			queue := make([]uint32, 0, 64)
-			var edgeCount int64
-			for i := lo; i < hi; i++ {
-				v := f[i]
-				if dist[v].Load() > theta {
-					far.Insert(v) // not ready yet; defer to a later phase
-					continue
-				}
-				queue = append(queue[:0], v)
-				budget := localBudget
-				for head := 0; head < len(queue); head++ {
-					u := queue[head]
-					du := dist[u].Load()
-					wts := g.NeighborWeights(u)
-					for j, w := range g.Neighbors(u) {
-						edgeCount++
-						nd := du + uint64(wts[j])
-						for {
-							old := dist[w].Load()
-							if nd >= old {
-								break
-							}
-							if dist[w].CompareAndSwap(old, nd) {
-								if nd <= theta && budget > 0 {
-									queue = append(queue, w)
-								} else if nd <= theta {
-									near.Insert(w)
-								} else {
-									far.Insert(w)
-								}
-								break
-							}
-						}
-					}
-					budget -= g.Degree(u)
-					if budget <= 0 && head+1 < len(queue) {
-						for _, w := range queue[head+1:] {
-							near.Insert(w)
-						}
-						queue = queue[:head+1]
-					}
-				}
+	// The frontier processor is the only place the graph is scanned, so it
+	// is the per-representation specialization point. Both closures share
+	// theta/near/far/dist with the phase driver below.
+	var processFrontier func(f []uint32)
+	switch g := a.(type) {
+	case *graph.Graph:
+		processFrontier = func(f []uint32) {
+			met.Round(len(f))
+			// Multi-hop local expansion is only sound under a finite θ: it
+			// bounds how wrong an eagerly-expanded tentative distance can be.
+			// With θ = ∞ (Bellman–Ford policy) every improvement round-trips
+			// through the frontier instead.
+			localBudget := tau
+			if theta == InfWeight {
+				localBudget = 0
 			}
-			met.AddEdges(edgeCount)
-		})
+			// FIFO local worklist: the local search relaxes in mini-BFS order,
+			// keeping tentative distances close to final (a LIFO order would
+			// chase depth-first chains of inflated distances).
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					v := f[i]
+					if dist[v].Load() > theta {
+						far.Insert(v) // not ready yet; defer to a later phase
+						continue
+					}
+					queue = append(queue[:0], v)
+					budget := localBudget
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						du := dist[u].Load()
+						wts := g.NeighborWeights(u)
+						for j, w := range g.Neighbors(u) {
+							edgeCount++
+							nd := du + uint64(wts[j])
+							for {
+								old := dist[w].Load()
+								if nd >= old {
+									break
+								}
+								if dist[w].CompareAndSwap(old, nd) {
+									if nd <= theta && budget > 0 {
+										queue = append(queue, w)
+									} else if nd <= theta {
+										near.Insert(w)
+									} else {
+										far.Insert(w)
+									}
+									break
+								}
+							}
+						}
+						budget -= g.Degree(u)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								near.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
+	case *graph.Compressed:
+		processFrontier = func(f []uint32) {
+			met.Round(len(f))
+			localBudget := tau
+			if theta == InfWeight {
+				localBudget = 0
+			}
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				nbuf := make([]uint32, 0, 256)
+				wbuf := make([]uint32, 0, 256)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					v := f[i]
+					if dist[v].Load() > theta {
+						far.Insert(v)
+						continue
+					}
+					queue = append(queue[:0], v)
+					budget := localBudget
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						du := dist[u].Load()
+						// Bulk-decode the whole weighted list into the
+						// task's scratch: every arc gets relaxed anyway.
+						nbuf, wbuf = g.AppendArcs(u, nbuf[:0], wbuf[:0])
+						for j, w := range nbuf {
+							edgeCount++
+							nd := du + uint64(wbuf[j])
+							for {
+								old := dist[w].Load()
+								if nd >= old {
+									break
+								}
+								if dist[w].CompareAndSwap(old, nd) {
+									if nd <= theta && budget > 0 {
+										queue = append(queue, w)
+									} else if nd <= theta {
+										near.Insert(w)
+									} else {
+										far.Insert(w)
+									}
+									break
+								}
+							}
+						}
+						budget -= len(nbuf)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								near.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
 	}
 
 	for {

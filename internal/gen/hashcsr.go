@@ -1,0 +1,35 @@
+package gen
+
+import (
+	"slices"
+
+	"pasgal/internal/graph"
+	"pasgal/internal/parallel"
+)
+
+// HashCSR synthesizes a directed d-regular multigraph straight into CSR
+// arrays — no edge list, no sort/dedup pipeline — so graphs far past the
+// FromEdges working-set budget (the 2^26–2^28-arc storage smoke tests)
+// build in one pass over the output. Every vertex's first arc is the ring
+// successor (v+1 mod n), making the graph strongly connected so a BFS
+// from any source reaches all n vertices; the remaining d-1 arcs are
+// hashed uniformly from (seed, v, j). Per-vertex lists are sorted, as the
+// compressed representation requires; self loops and duplicates are kept
+// (the codec encodes them as zero gaps).
+func HashCSR(n, d int, seed uint64) *graph.Graph {
+	if n < 1 || d < 1 {
+		panic("gen: HashCSR needs n >= 1 and d >= 1")
+	}
+	offs := make([]uint64, n+1)
+	parallel.For(n+1, 1<<12, func(v int) { offs[v] = uint64(v) * uint64(d) })
+	edges := make([]uint32, n*d)
+	parallel.For(n, 1<<8, func(vi int) {
+		lst := edges[vi*d : (vi+1)*d]
+		lst[0] = uint32((vi + 1) % n)
+		for j := 1; j < d; j++ {
+			lst[j] = uint32(rnd(seed, uint64(vi), uint64(j)) % uint64(n))
+		}
+		slices.Sort(lst)
+	})
+	return &graph.Graph{N: n, Offsets: offs, Edges: edges, Directed: true}
+}

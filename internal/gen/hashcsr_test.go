@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"testing"
+
+	"pasgal/internal/graph"
+)
+
+func TestHashCSR(t *testing.T) {
+	const n, d = 1000, 8
+	g := HashCSR(n, d, 7)
+	validate(t, g, "hashcsr")
+	if g.N != n || g.M() != n*d {
+		t.Fatalf("shape %d/%d, want %d/%d", g.N, g.M(), n, n*d)
+	}
+	for v := uint32(0); v < n; v++ {
+		if g.Degree(v) != d {
+			t.Fatalf("degree(%d) = %d, want %d", v, g.Degree(v), d)
+		}
+		nbrs := g.Neighbors(v)
+		ring := false
+		for j, u := range nbrs {
+			if j > 0 && nbrs[j-1] > u {
+				t.Fatalf("vertex %d: unsorted list", v)
+			}
+			if u == (v+1)%n {
+				ring = true
+			}
+		}
+		if !ring {
+			t.Fatalf("vertex %d: ring successor missing", v)
+		}
+	}
+	// The ring makes the graph strongly connected: one BFS reaches all n.
+	dist := bfsAll(g, 0)
+	for v, dv := range dist {
+		if dv == graph.InfDist {
+			t.Fatalf("vertex %d unreached", v)
+		}
+	}
+	// Determinism: same parameters, same arrays.
+	h := HashCSR(n, d, 7)
+	for e := range g.Edges {
+		if h.Edges[e] != g.Edges[e] {
+			t.Fatal("non-deterministic output")
+		}
+	}
+}
+
+// bfsAll is a minimal queue BFS; package gen cannot import the algorithm
+// packages (they import gen's fixtures in their tests).
+func bfsAll(g *graph.Graph, src uint32) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = graph.InfDist
+	}
+	dist[src] = 0
+	queue := []uint32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == graph.InfDist {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -89,6 +89,12 @@ func ReadAdj(r io.Reader, directed bool) (*graph.Graph, error) {
 	if n >= 1<<40 || m >= 1<<42 {
 		return nil, fmt.Errorf("gio: implausible header (n=%d, m=%d)", n, m)
 	}
+	if n > maxVertexCount {
+		// Vertex ids are stored as uint32; without this guard the edge
+		// casts below would alias distinct vertices.
+		return nil, fmt.Errorf("gio: n = %d exceeds the 32-bit vertex-id limit %d",
+			n, uint64(maxVertexCount))
+	}
 	g := &graph.Graph{
 		N:        int(n),
 		Offsets:  make([]uint64, 0, min(n+1, 1<<20)),
@@ -121,6 +127,12 @@ func ReadAdj(r io.Reader, directed bool) (*graph.Graph, error) {
 			wt, err := tok.uint()
 			if err != nil {
 				return nil, fmt.Errorf("gio: weight %d: %w", i, err)
+			}
+			if wt > maxEdgeWeight {
+				// Weights are stored as uint32; an unchecked cast would
+				// silently wrap large values.
+				return nil, fmt.Errorf("gio: weight %d value %d exceeds the 32-bit limit %d",
+					i, wt, uint64(maxEdgeWeight))
 			}
 			g.Weights = append(g.Weights, uint32(wt))
 		}

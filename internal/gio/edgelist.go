@@ -77,8 +77,15 @@ func ReadEdgeList(r io.Reader, n int, directed bool) (*graph.Graph, error) {
 // WriteEdgeList writes each arc once as "u v" (or "u v w"), in CSR order.
 // For symmetric graphs each undirected edge is written once (u < v).
 func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	if g.N > maxVertexCount {
+		// The old uint32 loop bound silently wrapped here, emitting a
+		// truncated file; same failure class the readers guard against.
+		return fmt.Errorf("gio: n = %d exceeds the 32-bit vertex-id limit %d",
+			g.N, uint64(maxVertexCount))
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
-	for u := uint32(0); u < uint32(g.N); u++ {
+	for ui := 0; ui < g.N; ui++ {
+		u := uint32(ui)
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
 			v := g.Edges[e]
 			if !g.Directed && v < u {

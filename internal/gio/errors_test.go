@@ -2,10 +2,12 @@ package gio
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
 	"pasgal/internal/gen"
+	"pasgal/internal/graph"
 )
 
 // TestTextReadersRejectOutOfRange pins the 32-bit boundary behavior of the
@@ -229,4 +231,49 @@ func (r *sliceReader) Read(p []byte) (int, error) {
 	n := copy(p, r.b)
 	r.b = r.b[n:]
 	return n, nil
+}
+
+// TestWritersRejectOversizedN pins the writer half of the 32-bit boundary:
+// the text writers used to drive their vertex loops with a uint32 bound,
+// so a graph with more than 2^32-1 vertices wrapped the loop and produced
+// a silently truncated file. The guard must fire before any output. The
+// fake graph never has its arrays touched — the guard is checked first.
+func TestWritersRejectOversizedN(t *testing.T) {
+	huge := &graph.Graph{
+		N:        math.MaxUint32 + 1,
+		Offsets:  []uint64{0},
+		Weights:  []uint32{}, // non-nil: Weighted() is true for WriteDIMACS
+		Directed: true,
+	}
+	for name, write := range map[string]func() error{
+		"el":     func() error { return WriteEdgeList(&captureWriter{}, huge) },
+		"dimacs": func() error { return WriteDIMACS(&captureWriter{}, huge) },
+		"mtx":    func() error { return WriteMTX(&captureWriter{}, huge) },
+	} {
+		err := write()
+		if err == nil {
+			t.Fatalf("%s: oversized graph written without error", name)
+		}
+		if !strings.Contains(err.Error(), "32-bit vertex-id limit") {
+			t.Fatalf("%s: error %q does not name the limit", name, err)
+		}
+	}
+}
+
+// TestReadAdjRejectsOutOfRange extends the 32-bit boundary suite to the
+// .adj reader: a vertex count past the id limit and a weight past uint32
+// must error instead of aliasing through the casts.
+func TestReadAdjRejectsOutOfRange(t *testing.T) {
+	if _, err := ReadAdj(strings.NewReader("AdjacencyGraph\n4294967296\n0\n"), true); err == nil ||
+		!strings.Contains(err.Error(), "32-bit vertex-id limit") {
+		t.Fatalf("oversized n: got %v", err)
+	}
+	if _, err := ReadAdj(strings.NewReader("WeightedAdjacencyGraph\n1\n1\n0\n0\n4294967296\n"), true); err == nil ||
+		!strings.Contains(err.Error(), "32-bit limit") {
+		t.Fatalf("oversized weight: got %v", err)
+	}
+	// At the limit both parse.
+	if _, err := ReadAdj(strings.NewReader("WeightedAdjacencyGraph\n1\n1\n0\n0\n4294967295\n"), true); err != nil {
+		t.Fatalf("weight at limit rejected: %v", err)
+	}
 }

@@ -101,6 +101,12 @@ func ReadMTX(r io.Reader) (*graph.Graph, error) {
 // WriteMTX writes g as a MatrixMarket coordinate file (pattern or integer
 // field; general or symmetric depending on g.Directed).
 func WriteMTX(w io.Writer, g *graph.Graph) error {
+	if g.N > maxVertexCount {
+		// The old uint32 loop bound silently wrapped here, emitting a
+		// truncated file; same failure class the readers guard against.
+		return fmt.Errorf("gio: n = %d exceeds the 32-bit vertex-id limit %d",
+			g.N, uint64(maxVertexCount))
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	field := "pattern"
 	if g.Weighted() {
@@ -118,7 +124,8 @@ func WriteMTX(w io.Writer, g *graph.Graph) error {
 		field, symmetry, g.N, g.N, nnz); err != nil {
 		return err
 	}
-	for u := uint32(0); u < uint32(g.N); u++ {
+	for ui := 0; ui < g.N; ui++ {
+		u := uint32(ui)
 		for e := g.Offsets[u]; e < g.Offsets[u+1]; e++ {
 			v := g.Edges[e]
 			if !g.Directed && v < u {

@@ -1,0 +1,206 @@
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+
+	"pasgal/internal/graph"
+)
+
+// Compressed CSR format (.pz): a fixed 64-byte header followed by the two
+// arrays of a graph.Compressed, laid out so the whole file can be mapped
+// read-only and handed to the traversal kernels without a decode pass
+// (see MapPZFile). Everything is little endian.
+//
+//	magic    [8]byte  "PASGALZ1" (the trailing digit is the format version)
+//	flags    uint64   bit0 = directed, bit1 = weighted
+//	n        uint64
+//	m        uint64
+//	dataLen  uint64   byte length of the arc data section
+//	checksum uint64   CRC-64/ECMA over the offsets and data sections
+//	reserved [16]byte zero
+//	voff     (n+1) x uint64   list start offsets into data; voff[n] = dataLen
+//	data     dataLen bytes    gzb-encoded adjacency lists
+//
+// The header is 64 bytes and voff is a multiple of 8 bytes, so both
+// sections of a mapped file are 8-aligned and the voff section can be
+// viewed in place as a []uint64 on little-endian hosts.
+var pzMagic = [8]byte{'P', 'A', 'S', 'G', 'A', 'L', 'Z', '1'}
+
+// pzHeaderSize is the fixed byte length of the .pz header.
+const pzHeaderSize = 64
+
+var pzCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// pzChecksum hashes the payload sections (voff then data) the way they
+// appear on disk.
+func pzChecksum(voff []uint64, data []byte) uint64 {
+	h := crc64.New(pzCRCTable)
+	buf := make([]byte, 8*ioChunk)
+	for len(voff) > 0 {
+		k := min(len(voff), ioChunk)
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], voff[i])
+		}
+		h.Write(buf[:8*k])
+		voff = voff[k:]
+	}
+	h.Write(data)
+	return h.Sum64()
+}
+
+// WritePZ writes c in the .pz compressed CSR format.
+func WritePZ(w io.Writer, c *graph.Compressed) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	voff, data := c.VOff(), c.Data()
+	hdr := make([]byte, pzHeaderSize)
+	copy(hdr, pzMagic[:])
+	var flags uint64
+	if c.IsDirected() {
+		flags |= flagDirected
+	}
+	if c.HasWeights() {
+		flags |= flagWeighted
+	}
+	binary.LittleEndian.PutUint64(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(c.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(c.NumArcs()))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(hdr[40:], pzChecksum(voff, data))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if err := writeUint64s(bw, voff); err != nil {
+		return err
+	}
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// pzHeader is the decoded fixed header of a .pz stream.
+type pzHeader struct {
+	directed, weighted bool
+	n, m, dataLen      uint64
+	checksum           uint64
+}
+
+// parsePZHeader validates a raw 64-byte header. Errors name the byte
+// offset of the offending field.
+func parsePZHeader(hdr []byte) (pzHeader, error) {
+	var h pzHeader
+	if [8]byte(hdr[:8]) != pzMagic {
+		return h, fmt.Errorf("gio: pz byte 0: bad magic %q", hdr[:8])
+	}
+	flags := binary.LittleEndian.Uint64(hdr[8:])
+	if flags&^uint64(flagDirected|flagWeighted) != 0 {
+		return h, fmt.Errorf("gio: pz byte 8: unknown flag bits %#x", flags)
+	}
+	h.directed = flags&flagDirected != 0
+	h.weighted = flags&flagWeighted != 0
+	h.n = binary.LittleEndian.Uint64(hdr[16:])
+	h.m = binary.LittleEndian.Uint64(hdr[24:])
+	h.dataLen = binary.LittleEndian.Uint64(hdr[32:])
+	h.checksum = binary.LittleEndian.Uint64(hdr[40:])
+	if h.n >= 1<<40 || h.m >= 1<<42 || h.dataLen >= 1<<46 {
+		return h, fmt.Errorf("gio: pz byte 16: implausible header (n=%d, m=%d, dataLen=%d)",
+			h.n, h.m, h.dataLen)
+	}
+	if h.dataLen < h.m {
+		// Every arc costs at least one encoded byte, so a data section
+		// shorter than the arc count cannot be complete.
+		return h, fmt.Errorf("gio: pz byte 32: data length %d below arc count %d", h.dataLen, h.m)
+	}
+	for _, b := range hdr[48:pzHeaderSize] {
+		if b != 0 {
+			return h, fmt.Errorf("gio: pz byte 48: nonzero reserved bytes")
+		}
+	}
+	return h, nil
+}
+
+// ReadPZ reads the .pz compressed CSR format, verifying the checksum and
+// fully validating every adjacency list. Errors are annotated with the
+// stream byte offset at which reading or verification failed.
+func ReadPZ(r io.Reader) (*graph.Compressed, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, pzHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("gio: pz byte 0: reading header: %w", err)
+	}
+	h, err := parsePZHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	// Arrays are read incrementally (growing with the data actually
+	// present) so a corrupt header cannot force a huge allocation before
+	// the stream runs dry; see ReadBin.
+	voff, err := readUint64sIncr(br, h.n+1)
+	if err != nil {
+		return nil, fmt.Errorf("gio: pz byte %d: reading offsets: %w", pzHeaderSize, err)
+	}
+	dataStart := pzHeaderSize + 8*(h.n+1)
+	data, err := readBytesIncr(br, h.dataLen)
+	if err != nil {
+		return nil, fmt.Errorf("gio: pz byte %d: reading arc data: %w", dataStart, err)
+	}
+	if sum := pzChecksum(voff, data); sum != h.checksum {
+		return nil, fmt.Errorf("gio: pz byte 40: checksum mismatch (header %#x, payload %#x)",
+			h.checksum, sum)
+	}
+	c, err := graph.NewCompressed(int(h.n), int(h.m), h.directed, h.weighted, voff, data)
+	if err != nil {
+		return nil, fmt.Errorf("gio: pz byte %d: %w", pzHeaderSize, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: pz byte %d: %w", dataStart, err)
+	}
+	return c, nil
+}
+
+// WritePZFile writes c to path in .pz format.
+func WritePZFile(path string, c *graph.Compressed) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WritePZ(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadPZFile reads a .pz file into memory (checksum verified, lists
+// validated). For page-cache-backed loading without the read pass, use
+// MapPZFile.
+func ReadPZFile(path string) (*graph.Compressed, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPZ(f)
+}
+
+// readBytesIncr reads exactly count raw bytes, growing the result as data
+// arrives so truncated input fails before large allocations.
+func readBytesIncr(r io.Reader, count uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, min(count, chunk))
+	buf := make([]byte, chunk)
+	for remaining := count; remaining > 0; {
+		k := min(remaining, chunk)
+		if _, err := io.ReadFull(r, buf[:k]); err != nil {
+			return nil, err
+		}
+		out = append(out, buf[:k]...)
+		remaining -= k
+	}
+	return out, nil
+}

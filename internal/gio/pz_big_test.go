@@ -1,0 +1,100 @@
+package gio
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+// TestBigPZ is the storage-path smoke at serving scale: synthesize a
+// graph of 2^PASGAL_BIG_SHIFT arcs (default 2^26) straight into CSR,
+// compress it, write the .pz file, map it back, and BFS the mapped view
+// end to end. The HashCSR ring guarantees strong connectivity, so the
+// full-coverage check is exact. Direction optimization stays off to keep
+// the run transpose-free (one extra graph copy per representation at
+// this size is the difference between a smoke test and an OOM).
+//
+// Skips: -short, or PASGAL_SKIP_BIG=1. Scale up with PASGAL_BIG_SHIFT=28
+// for the acceptance-sized run.
+func TestBigPZ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("big-graph smoke; skipped with -short")
+	}
+	if os.Getenv("PASGAL_SKIP_BIG") == "1" {
+		t.Skip("big-graph smoke; skipped with PASGAL_SKIP_BIG=1")
+	}
+	shift := 26
+	if s := os.Getenv("PASGAL_BIG_SHIFT"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 16 || v > 32 {
+			t.Fatalf("PASGAL_BIG_SHIFT=%q: want an integer in [16, 32]", s)
+		}
+		shift = v
+	}
+	const d = 16
+	n := (1 << shift) / d
+
+	start := time.Now()
+	g := gen.HashCSR(n, d, 99)
+	t.Logf("built n=%d m=%d in %v", g.N, g.M(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	c := graph.Compress(g)
+	t.Logf("compressed to %.2f bytes/edge in %v (plain CSR: %.2f)",
+		c.BytesPerArc(), time.Since(start).Round(time.Millisecond),
+		float64(8*(g.N+1)+4*g.M())/float64(g.M()))
+
+	path := t.TempDir() + "/big.pz"
+	start = time.Now()
+	if err := WritePZFile(path, c); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d bytes in %v", fi.Size(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	mc, closeMap, err := MapPZFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := closeMap(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	mapped := time.Since(start)
+	t.Logf("mapped in %v", mapped.Round(time.Microsecond))
+	if mc.NumVertices() != g.N || mc.NumArcs() != g.M() {
+		t.Fatalf("mapped shape %d/%d, want %d/%d", mc.NumVertices(), mc.NumArcs(), g.N, g.M())
+	}
+
+	opt := core.Options{DisableDirectionOpt: true}
+	start = time.Now()
+	dist, _, err := core.BFS(mc, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BFS over the mapped view in %v", time.Since(start).Round(time.Millisecond))
+	for v, dv := range dist {
+		if dv == graph.InfDist {
+			t.Fatalf("vertex %d unreached; the ring makes that impossible", v)
+		}
+	}
+	want, _, err := core.BFS(g, 0, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d mapped, %d plain", v, dist[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package gio
+
+import "pasgal/internal/graph"
+
+// MapPZFile on platforms without mmap support reads the file into memory
+// through ReadPZFile (checksum verified, lists validated); the returned
+// close function is a no-op. The unix build provides the zero-copy
+// mapping this name promises.
+func MapPZFile(path string) (*graph.Compressed, func() error, error) {
+	c, err := ReadPZFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, func() error { return nil }, nil
+}

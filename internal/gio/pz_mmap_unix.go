@@ -1,0 +1,99 @@
+//go:build unix
+
+package gio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+
+	"pasgal/internal/graph"
+)
+
+// MapPZFile maps a .pz file read-only and wraps the mapping in a
+// graph.Compressed without copying: the offsets section is viewed in
+// place as a []uint64 and the arc data section is served straight from
+// the page cache, so load time is O(header + offsets page-in) no matter
+// how large the graph is. Only structural checks run — the checksum and
+// per-list validation are skipped (use ReadPZFile for untrusted input).
+//
+// The returned close function unmaps the file; the graph (and anything
+// decoded from it, lazily built transposes included) must not be used
+// after close. close is idempotent.
+//
+// On big-endian hosts the in-place uint64 view is impossible and
+// MapPZFile falls back to ReadPZFile (close is then a no-op).
+func MapPZFile(path string) (*graph.Compressed, func() error, error) {
+	if !hostLittleEndian() {
+		c, err := ReadPZFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() error { return nil }, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size < pzHeaderSize {
+		return nil, nil, fmt.Errorf("gio: pz byte 0: file is %d bytes, below the %d-byte header",
+			size, pzHeaderSize)
+	}
+	raw, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: mmap %s: %w", path, err)
+	}
+	c, err := mapPZBytes(raw, size)
+	if err != nil {
+		syscall.Munmap(raw)
+		return nil, nil, err
+	}
+	closed := false
+	closer := func() error {
+		if closed {
+			return nil
+		}
+		closed = true
+		return syscall.Munmap(raw)
+	}
+	return c, closer, nil
+}
+
+// mapPZBytes builds the zero-copy Compressed view over a mapped .pz
+// image, running the same header and structural checks as ReadPZ.
+func mapPZBytes(raw []byte, size int64) (*graph.Compressed, error) {
+	h, err := parsePZHeader(raw[:pzHeaderSize])
+	if err != nil {
+		return nil, err
+	}
+	want := int64(pzHeaderSize) + 8*int64(h.n+1) + int64(h.dataLen)
+	if size != want {
+		return nil, fmt.Errorf("gio: pz byte %d: file is %d bytes, header implies %d",
+			pzHeaderSize, size, want)
+	}
+	// The header is 64 bytes and mappings are page-aligned, so the voff
+	// section is 8-aligned and safe to view in place.
+	voff := unsafe.Slice((*uint64)(unsafe.Pointer(&raw[pzHeaderSize])), h.n+1)
+	data := raw[pzHeaderSize+8*(h.n+1) : uint64(size)]
+	c, err := graph.NewCompressed(int(h.n), int(h.m), h.directed, h.weighted, voff, data)
+	if err != nil {
+		return nil, fmt.Errorf("gio: pz byte %d: %w", pzHeaderSize, err)
+	}
+	return c, nil
+}
+
+// hostLittleEndian reports whether uint64 loads read mapped
+// little-endian sections correctly in place.
+func hostLittleEndian() bool {
+	var probe [8]byte
+	*(*uint64)(unsafe.Pointer(&probe[0])) = 1
+	return binary.LittleEndian.Uint64(probe[:]) == 1
+}

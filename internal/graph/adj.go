@@ -1,0 +1,53 @@
+package graph
+
+// Adjacency is the representation seam between the plain CSR Graph and
+// the byte-compressed Compressed variant: the read-only facts every
+// consumer needs before it picks a scan strategy. It deliberately does
+// NOT abstract the adjacency scan itself — virtualizing the inner edge
+// loop behind an interface call (or a generic instantiation, which Go's
+// gcshape stenciling would collapse into the same dictionary-dispatched
+// code for both pointer types) would cost the plain-CSR path its
+// current codegen. Kernels instead type-switch on the two concrete
+// representations and keep a specialized loop body per representation;
+// the unexported marker method seals the interface so that switch is
+// exhaustive by construction.
+type Adjacency interface {
+	// NumVertices returns the vertex count n.
+	NumVertices() int
+	// NumArcs returns the stored arc count (each undirected edge counts
+	// twice).
+	NumArcs() int
+	// IsDirected reports whether arcs are one-directional.
+	IsDirected() bool
+	// HasWeights reports whether arcs carry weights.
+	HasWeights() bool
+	// DegreeOf returns the out-degree of v. Plain CSR answers from the
+	// offset array; the compressed form decodes one varint.
+	DegreeOf(v uint32) int
+
+	// sealed restricts implementations to this package: kernels
+	// type-switch over exactly {*Graph, *Compressed}.
+	sealed()
+}
+
+// NumVertices implements Adjacency.
+func (g *Graph) NumVertices() int { return g.N }
+
+// NumArcs implements Adjacency.
+func (g *Graph) NumArcs() int { return len(g.Edges) }
+
+// IsDirected implements Adjacency.
+func (g *Graph) IsDirected() bool { return g.Directed }
+
+// HasWeights implements Adjacency.
+func (g *Graph) HasWeights() bool { return g.Weighted() }
+
+// DegreeOf implements Adjacency.
+func (g *Graph) DegreeOf(v uint32) int { return g.Degree(v) }
+
+func (g *Graph) sealed() {}
+
+var (
+	_ Adjacency = (*Graph)(nil)
+	_ Adjacency = (*Compressed)(nil)
+)

@@ -1,0 +1,119 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// adjTestGraph builds a small weighted directed graph with a mix of
+// degrees (including a sink) for the interface-surface checks.
+func adjTestGraph() *Graph {
+	return FromEdges(6, []Edge{
+		{U: 0, V: 1, W: 3}, {U: 0, V: 2, W: 1}, {U: 0, V: 5, W: 7},
+		{U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 4}, {U: 4, V: 0, W: 9},
+	}, true, BuildOptions{Weighted: true})
+}
+
+// TestAdjacencySurface pins the shared interface on both representations:
+// every accessor must agree with the plain CSR ground truth.
+func TestAdjacencySurface(t *testing.T) {
+	g := adjTestGraph()
+	c := Compress(g)
+	for name, a := range map[string]Adjacency{"plain": Adjacency(g), "compressed": Adjacency(c)} {
+		if a.NumVertices() != g.N {
+			t.Fatalf("%s: NumVertices = %d, want %d", name, a.NumVertices(), g.N)
+		}
+		if a.NumArcs() != g.M() {
+			t.Fatalf("%s: NumArcs = %d, want %d", name, a.NumArcs(), g.M())
+		}
+		if !a.IsDirected() || !a.HasWeights() {
+			t.Fatalf("%s: directed/weighted flags lost", name)
+		}
+		for v := 0; v < g.N; v++ {
+			if got, want := a.DegreeOf(uint32(v)), g.Degree(uint32(v)); got != want {
+				t.Fatalf("%s: DegreeOf(%d) = %d, want %d", name, v, got, want)
+			}
+		}
+	}
+}
+
+// TestCompressedAccessors covers the raw-section accessors the storage
+// layer serializes (VOff, Data) and the reporting helpers.
+func TestCompressedAccessors(t *testing.T) {
+	g := adjTestGraph()
+	c := Compress(g)
+	voff := c.VOff()
+	if len(voff) != g.N+1 || voff[0] != 0 {
+		t.Fatalf("VOff has %d entries starting at %d", len(voff), voff[0])
+	}
+	for v := 0; v < g.N; v++ {
+		if voff[v] > voff[v+1] {
+			t.Fatalf("VOff decreases at %d", v)
+		}
+	}
+	if voff[g.N] != uint64(len(c.Data())) {
+		t.Fatalf("VOff ends at %d, data has %d bytes", voff[g.N], len(c.Data()))
+	}
+	// BytesPerArc charges the payload plus the restart-point array.
+	if bpa, want := c.BytesPerArc(), float64(len(c.Data())+8*len(voff))/float64(g.M()); bpa != want {
+		t.Fatalf("BytesPerArc = %g, want %g", bpa, want)
+	}
+	s := c.String()
+	for _, sub := range []string{fmt.Sprint(g.N), fmt.Sprint(g.M())} {
+		if !strings.Contains(s, sub) {
+			t.Fatalf("String %q omits %q", s, sub)
+		}
+	}
+	// Empty graph: defined BytesPerArc (no divide-by-zero).
+	if e := Compress(FromEdges(0, nil, true, BuildOptions{})); e.BytesPerArc() != 0 {
+		t.Fatalf("empty BytesPerArc = %g", e.BytesPerArc())
+	}
+}
+
+// TestAppendArcsMatchesCSR pins the bulk weighted decode against the
+// plain arrays, reusing one scratch pair across vertices the way the
+// kernels do.
+func TestAppendArcsMatchesCSR(t *testing.T) {
+	g := adjTestGraph()
+	c := Compress(g)
+	var nbuf, wbuf []uint32
+	for v := uint32(0); int(v) < g.N; v++ {
+		nbuf, wbuf = c.AppendArcs(v, nbuf[:0], wbuf[:0])
+		nbrs, wts := g.Neighbors(v), g.NeighborWeights(v)
+		if len(nbuf) != len(nbrs) || len(wbuf) != len(wts) {
+			t.Fatalf("vertex %d: decoded %d/%d arcs, want %d", v, len(nbuf), len(wbuf), len(nbrs))
+		}
+		for j := range nbrs {
+			if nbuf[j] != nbrs[j] || wbuf[j] != wts[j] {
+				t.Fatalf("vertex %d arc %d: (%d,%d), want (%d,%d)",
+					v, j, nbuf[j], wbuf[j], nbrs[j], wts[j])
+			}
+		}
+	}
+}
+
+// TestNewCompressedRejects covers the constructor's structural guards.
+func TestNewCompressedRejects(t *testing.T) {
+	g := adjTestGraph()
+	c := Compress(g)
+	cases := map[string]func() error{
+		"negative n": func() error {
+			_, err := NewCompressed(-1, 0, true, false, []uint64{0}, nil)
+			return err
+		},
+		"short voff": func() error {
+			_, err := NewCompressed(g.N, g.M(), true, true, c.VOff()[:g.N], c.Data())
+			return err
+		},
+		"data mismatch": func() error {
+			_, err := NewCompressed(g.N, g.M(), true, true, c.VOff(), c.Data()[:len(c.Data())-1])
+			return err
+		},
+	}
+	for name, build := range cases {
+		if build() == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"slices"
+
+	"pasgal/internal/parallel"
+)
+
+// RelabelByDegree returns an isomorphic copy of g with vertices
+// renumbered in nonincreasing out-degree order (ties by original id, so
+// the permutation is deterministic), plus the permutation applied:
+// perm[old] = new.
+//
+// High-degree vertices land on the smallest ids, which is what makes
+// the compressed representation earn its keep on power-law graphs: most
+// arcs point at hubs, so after relabeling most encoded neighbor ids are
+// small, most gaps between consecutive neighbors are small, and the
+// varints shrink to one or two bytes. The same clustering helps plain
+// scans too — hub adjacency stays hot in cache. Distances, components,
+// and reachability on the relabeled graph equal the originals modulo
+// the permutation.
+func RelabelByDegree(g *Graph) (*Graph, []uint32) {
+	n := g.N
+	if n == 0 {
+		return &Graph{N: 0, Offsets: []uint64{0}, Directed: g.Directed}, []uint32{}
+	}
+	maxDeg := g.MaxDegree()
+	ids := make([]uint32, n)
+	parallel.For(n, 0, func(v int) { ids[v] = uint32(v) })
+	// Stable counting sort by descending degree: key maxDeg-deg keeps
+	// equal-degree vertices in id order.
+	order := parallel.CountSortByKey(ids, func(v uint32) uint64 {
+		return uint64(maxDeg - g.Degree(v))
+	}, uint64(maxDeg))
+	perm := make([]uint32, n)
+	parallel.For(n, 0, func(i int) { perm[order[i]] = uint32(i) })
+
+	newDeg := make([]int64, n)
+	parallel.For(n, 0, func(i int) { newDeg[i] = int64(g.Degree(order[i])) })
+	total := parallel.Scan(newDeg)
+	ng := &Graph{
+		N:        n,
+		Offsets:  make([]uint64, n+1),
+		Edges:    make([]uint32, total),
+		Directed: g.Directed,
+	}
+	weighted := g.Weighted()
+	if weighted {
+		ng.Weights = make([]uint32, total)
+	}
+	parallel.For(n, 0, func(i int) { ng.Offsets[i] = uint64(newDeg[i]) })
+	ng.Offsets[n] = uint64(total)
+	parallel.For(n, 16, func(i int) {
+		u := order[i]
+		lo := ng.Offsets[i]
+		nbrs := g.Neighbors(u)
+		out := ng.Edges[lo : lo+uint64(len(nbrs))]
+		if !weighted {
+			for j, w := range nbrs {
+				out[j] = perm[w]
+			}
+			slices.Sort(out)
+			return
+		}
+		// Weighted lists sort as packed (neighbor, weight) pairs so the
+		// weights travel with their arcs; duplicate arcs order by weight,
+		// which is deterministic and preserves the multiset.
+		wts := g.NeighborWeights(u)
+		packed := make([]uint64, len(nbrs))
+		for j, w := range nbrs {
+			packed[j] = uint64(perm[w])<<32 | uint64(wts[j])
+		}
+		slices.Sort(packed)
+		wout := ng.Weights[lo : lo+uint64(len(nbrs))]
+		for j, p := range packed {
+			out[j] = uint32(p >> 32)
+			wout[j] = uint32(p)
+		}
+	})
+	return ng, perm
+}

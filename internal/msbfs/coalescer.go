@@ -63,7 +63,7 @@ type CoalescerOptions struct {
 // the batch (or the timer goroutine for partial batches); lane-mates
 // block in Submit until their row is ready.
 type Coalescer struct {
-	g    *graph.Graph
+	g    graph.Adjacency
 	opts CoalescerOptions
 
 	mu      sync.Mutex
@@ -91,8 +91,9 @@ type result struct {
 	err  error
 }
 
-// NewCoalescer returns a Coalescer serving BFS queries against g.
-func NewCoalescer(g *graph.Graph, opts CoalescerOptions) *Coalescer {
+// NewCoalescer returns a Coalescer serving BFS queries against g (either
+// graph representation).
+func NewCoalescer(g graph.Adjacency, opts CoalescerOptions) *Coalescer {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = LaneWidth
 	}
@@ -107,8 +108,8 @@ func NewCoalescer(g *graph.Graph, opts CoalescerOptions) *Coalescer {
 // done ctx abandons the wait with ctx's cause; the batch itself still
 // completes for the other lanes. Safe for concurrent use.
 func (c *Coalescer) Submit(ctx context.Context, src uint32) ([]uint32, error) {
-	if int(src) >= c.g.N {
-		return nil, fmt.Errorf("msbfs: source %d out of range [0, %d)", src, c.g.N)
+	if n := c.g.NumVertices(); int(src) >= n {
+		return nil, fmt.Errorf("msbfs: source %d out of range [0, %d)", src, n)
 	}
 	if ctx == nil {
 		ctx = context.Background()

@@ -50,24 +50,25 @@ const LaneWidth = 64
 // (row i is the distances from sources[i]; graph.InfDist marks unreachable
 // vertices), exactly as if core.BFS had been looped over the sources.
 // Duplicate sources are allowed (each occupies its own lane and gets its
-// own row). A source id >= g.N is reported as an error before any work.
+// own row). A source id at or past the vertex count is reported as an
+// error before any work. Both graph representations are accepted.
 //
 // A non-nil opt.Ctx makes the run cancellable: on cancellation Run returns
 // (nil, partial Metrics, ErrCanceled/ErrDeadline) — never a partial batch.
-func Run(g *graph.Graph, sources []uint32, opt core.Options) ([][]uint32, *core.Metrics, error) {
+func Run(a graph.Adjacency, sources []uint32, opt core.Options) ([][]uint32, *core.Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := core.NewMetrics(opt, "msbfs")
 	cl := core.NewCanceler(opt, met)
 	defer cl.Close()
-	if err := validateSources(g, sources); err != nil {
+	if err := validateSources(a, sources); err != nil {
 		return nil, met, err
 	}
 	out := make([][]uint32, len(sources))
 	if len(sources) == 0 {
 		return out, met, cl.Poll()
 	}
-	n := g.N
+	n := a.NumVertices()
 	// One flat backing array: B rows land contiguously, one allocation.
 	flat := make([]uint32, len(sources)*n)
 	parallel.Fill(flat, graph.InfDist)
@@ -86,7 +87,7 @@ func Run(g *graph.Graph, sources []uint32, opt core.Options) ([][]uint32, *core.
 			st.reset()
 		}
 		sk := &sink{dist: out[base:hi]}
-		if err := runGroup(g, st, sources[base:hi], sk, opt, met, cl); err != nil {
+		if err := runGroup(a, st, sources[base:hi], sk, opt, met, cl); err != nil {
 			return nil, met, err
 		}
 	}
@@ -101,20 +102,20 @@ func Run(g *graph.Graph, sources []uint32, opt core.Options) ([][]uint32, *core.
 // reachable from sources[i], matching a looped core.Reachable with a
 // single source per call. It skips distance bookkeeping, so it is the
 // cheapest batched query.
-func RunReachable(g *graph.Graph, sources []uint32, opt core.Options) ([][]bool, *core.Metrics, error) {
+func RunReachable(a graph.Adjacency, sources []uint32, opt core.Options) ([][]bool, *core.Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := core.NewMetrics(opt, "msbfs")
 	cl := core.NewCanceler(opt, met)
 	defer cl.Close()
-	if err := validateSources(g, sources); err != nil {
+	if err := validateSources(a, sources); err != nil {
 		return nil, met, err
 	}
 	out := make([][]bool, len(sources))
 	if len(sources) == 0 {
 		return out, met, cl.Poll()
 	}
-	n := g.N
+	n := a.NumVertices()
 	flat := make([]bool, len(sources)*n)
 	for i := range out {
 		out[i] = flat[i*n : (i+1)*n]
@@ -130,7 +131,7 @@ func RunReachable(g *graph.Graph, sources []uint32, opt core.Options) ([][]bool,
 			st.reset()
 		}
 		sk := &sink{reach: out[base:hi]}
-		if err := runGroup(g, st, sources[base:hi], sk, opt, met, cl); err != nil {
+		if err := runGroup(a, st, sources[base:hi], sk, opt, met, cl); err != nil {
 			return nil, met, err
 		}
 	}
@@ -145,18 +146,19 @@ func RunReachable(g *graph.Graph, sources []uint32, opt core.Options) ([][]bool,
 // (graph.InfDist when dst is unreachable). It is the unweighted, batched
 // counterpart of core.PointToPoint: a lane stops spreading the round after
 // its destination settles, and a group stops as soon as every lane is done.
-func RunPointToPoint(g *graph.Graph, pairs [][2]uint32, opt core.Options) ([]uint32, *core.Metrics, error) {
+func RunPointToPoint(a graph.Adjacency, pairs [][2]uint32, opt core.Options) ([]uint32, *core.Metrics, error) {
 	opt = opt.Normalized()
 	defer attachRuntimeTracer(opt)()
 	met := core.NewMetrics(opt, "msbfs")
 	cl := core.NewCanceler(opt, met)
 	defer cl.Close()
+	n := a.NumVertices()
 	for i, p := range pairs {
-		if int(p[0]) >= g.N {
-			return nil, met, fmt.Errorf("msbfs: pair %d source %d out of range [0, %d)", i, p[0], g.N)
+		if int(p[0]) >= n {
+			return nil, met, fmt.Errorf("msbfs: pair %d source %d out of range [0, %d)", i, p[0], n)
 		}
-		if int(p[1]) >= g.N {
-			return nil, met, fmt.Errorf("msbfs: pair %d destination %d out of range [0, %d)", i, p[1], g.N)
+		if int(p[1]) >= n {
+			return nil, met, fmt.Errorf("msbfs: pair %d destination %d out of range [0, %d)", i, p[1], n)
 		}
 	}
 	out := make([]uint32, len(pairs))
@@ -164,7 +166,7 @@ func RunPointToPoint(g *graph.Graph, pairs [][2]uint32, opt core.Options) ([]uin
 	if len(pairs) == 0 {
 		return out, met, cl.Poll()
 	}
-	st := newState(g.N)
+	st := newState(n)
 	srcs := make([]uint32, 0, LaneWidth)
 	dsts := make([]uint32, 0, LaneWidth)
 	for base := 0; base < len(pairs); base += LaneWidth {
@@ -182,7 +184,7 @@ func RunPointToPoint(g *graph.Graph, pairs [][2]uint32, opt core.Options) ([]uin
 			dsts = append(dsts, p[1])
 		}
 		sk := &sink{targets: dsts, ptp: out[base:hi]}
-		if err := runGroup(g, st, srcs, sk, opt, met, cl); err != nil {
+		if err := runGroup(a, st, srcs, sk, opt, met, cl); err != nil {
 			return nil, met, err
 		}
 	}
@@ -192,10 +194,11 @@ func RunPointToPoint(g *graph.Graph, pairs [][2]uint32, opt core.Options) ([]uin
 	return out, met, nil
 }
 
-func validateSources(g *graph.Graph, sources []uint32) error {
+func validateSources(a graph.Adjacency, sources []uint32) error {
+	n := a.NumVertices()
 	for i, s := range sources {
-		if int(s) >= g.N {
-			return fmt.Errorf("msbfs: source %d (index %d) out of range [0, %d)", s, i, g.N)
+		if int(s) >= n {
+			return fmt.Errorf("msbfs: source %d (index %d) out of range [0, %d)", s, i, n)
 		}
 	}
 	return nil
@@ -293,59 +296,33 @@ func (sk *sink) settle(v uint32, bs uint64, d uint32) {
 
 // runGroup runs one <= 64-lane group to completion (or cancellation). st
 // must be zeroed on entry.
-func runGroup(g *graph.Graph, st *state, srcs []uint32, sk *sink, opt core.Options,
+//
+// Like core.BFS, the group loop is representation-free and the two lane
+// scans (push over out-edges, pull over in-edges) are built once per group
+// by a type switch, so each representation keeps a monomorphic inner loop:
+// plain CSR slices stay plain slice ranges, and the compressed form
+// bulk-decodes push lists into task scratch while pull walks a decode
+// cursor that stops as soon as every missing lane found a parent.
+func runGroup(a graph.Adjacency, st *state, srcs []uint32, sk *sink, opt core.Options,
 	met *core.Metrics, cl *core.Canceler) error {
-	n := g.N
+	n := a.NumVertices()
 	full := ^uint64(0) >> (LaneWidth - len(srcs))
 	sk.remaining.Store(full)
 	denseCut := opt.DenseCut(n)
-	var in *graph.Graph
-	if denseCut != math.MaxInt64 {
-		in = g.Transpose() // in-neighbors for pull rounds; == g if undirected
-	}
 	tr := opt.Tracer
-
-	// Round 0: sources settle at distance 0. Duplicates share a frontier
-	// word, so the frontier list stays duplicate-free.
-	var front []uint32
-	for l, s := range srcs {
-		if st.cur[s] == 0 {
-			front = append(front, s)
-		}
-		st.cur[s] |= uint64(1) << l
-	}
-	for _, v := range front {
-		st.seen[v] = st.cur[v]
-		sk.settle(v, st.cur[v], 0)
-	}
 
 	bag := hashbag.New(max(64, 2*len(srcs)))
 	bag.SetTracer(tr)
-	d := uint32(0)
-	for len(front) > 0 {
-		// Round boundary: a canceled round may have drained scan or settle
-		// chunks, so the lane words no longer describe a consistent level —
-		// stop before trusting them.
-		if err := cl.Poll(); err != nil {
-			return err
-		}
-		// active masks the lanes that still propagate: all of them, except
-		// point-to-point lanes whose destination already settled.
-		active := full
-		if sk.targets != nil {
-			active = sk.remaining.Load() & full
-			if active == 0 {
-				break
-			}
-		}
-		d++
-		met.Round(len(front))
 
-		if int64(len(front)) >= denseCut {
-			// Pull (bottom-up): every vertex missing active lanes unions its
-			// in-neighbors' frontier words — no atomics, v is the sole
-			// writer of next[v] this round.
-			met.AddBottomUp()
+	var pull func(active uint64)
+	var push func(front []uint32, active uint64)
+	switch g := a.(type) {
+	case *graph.Graph:
+		var in *graph.Graph
+		if denseCut != math.MaxInt64 {
+			in = g.Transpose() // in-neighbors for pull rounds; == g if undirected
+		}
+		pull = func(active uint64) {
 			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
 				var scans int64
 				for vi := lo; vi < hi; vi++ {
@@ -370,9 +347,8 @@ func runGroup(g *graph.Graph, st *state, srcs []uint32, sk *sink, opt core.Optio
 				met.AddEdges(scans)
 				tr.LaneScans(scans)
 			})
-		} else {
-			// Push (top-down): one scan of the frontier's out-edges advances
-			// every active lane at once.
+		}
+		push = func(front []uint32, active uint64) {
 			parallel.ForRangeCancel(cl.Token(), len(front), 16, func(lo, hi int) {
 				var scans int64
 				for i := lo; i < hi; i++ {
@@ -412,6 +388,124 @@ func runGroup(g *graph.Graph, st *state, srcs []uint32, sk *sink, opt core.Optio
 				met.AddEdges(scans)
 				tr.LaneScans(scans)
 			})
+		}
+	case *graph.Compressed:
+		var in *graph.Compressed
+		if denseCut != math.MaxInt64 {
+			in = g.Transpose()
+		}
+		pull = func(active uint64) {
+			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
+				var scans int64
+				for vi := lo; vi < hi; vi++ {
+					v := uint32(vi)
+					want := active &^ st.seen[v]
+					if want == 0 {
+						continue
+					}
+					var acc uint64
+					it := in.Arcs(v)
+					for {
+						u, ok := it.Next()
+						if !ok {
+							break
+						}
+						scans++
+						acc |= st.cur[u]
+						if acc&want == want {
+							break
+						}
+					}
+					if nb := acc & want; nb != 0 {
+						st.next[v].Store(nb)
+						bag.Insert(v)
+					}
+				}
+				met.AddEdges(scans)
+				tr.LaneScans(scans)
+			})
+		}
+		push = func(front []uint32, active uint64) {
+			parallel.ForRangeCancel(cl.Token(), len(front), 16, func(lo, hi int) {
+				var scans int64
+				nbuf := make([]uint32, 0, 256)
+				for i := lo; i < hi; i++ {
+					u := front[i]
+					fu := st.cur[u] & active
+					if fu == 0 {
+						continue
+					}
+					nbuf = g.AppendNeighbors(u, nbuf[:0])
+					for _, w := range nbuf {
+						scans++
+						diff := fu &^ st.seen[w]
+						if diff == 0 {
+							continue
+						}
+						if diff&^st.next[w].Load() == 0 {
+							continue
+						}
+						for {
+							old := st.next[w].Load()
+							if st.next[w].CompareAndSwap(old, old|diff) {
+								if old == 0 {
+									bag.Insert(w)
+								}
+								break
+							}
+						}
+					}
+				}
+				met.AddEdges(scans)
+				tr.LaneScans(scans)
+			})
+		}
+	}
+
+	// Round 0: sources settle at distance 0. Duplicates share a frontier
+	// word, so the frontier list stays duplicate-free.
+	var front []uint32
+	for l, s := range srcs {
+		if st.cur[s] == 0 {
+			front = append(front, s)
+		}
+		st.cur[s] |= uint64(1) << l
+	}
+	for _, v := range front {
+		st.seen[v] = st.cur[v]
+		sk.settle(v, st.cur[v], 0)
+	}
+
+	d := uint32(0)
+	for len(front) > 0 {
+		// Round boundary: a canceled round may have drained scan or settle
+		// chunks, so the lane words no longer describe a consistent level —
+		// stop before trusting them.
+		if err := cl.Poll(); err != nil {
+			return err
+		}
+		// active masks the lanes that still propagate: all of them, except
+		// point-to-point lanes whose destination already settled.
+		active := full
+		if sk.targets != nil {
+			active = sk.remaining.Load() & full
+			if active == 0 {
+				break
+			}
+		}
+		d++
+		met.Round(len(front))
+
+		if int64(len(front)) >= denseCut {
+			// Pull (bottom-up): every vertex missing active lanes unions its
+			// in-neighbors' frontier words — no atomics, v is the sole
+			// writer of next[v] this round.
+			met.AddBottomUp()
+			pull(active)
+		} else {
+			// Push (top-down): one scan of the frontier's out-edges advances
+			// every active lane at once.
+			push(front, active)
 		}
 
 		newFront := bag.Extract()

@@ -87,11 +87,15 @@ type ErrorResponse struct {
 }
 
 // GraphInfo describes one served graph on /graphs and /metrics.
+// Compressed marks graphs served from the difference-encoded
+// representation (loaded from .pz, possibly mmap-backed); scc and kcore
+// are unavailable on those.
 type GraphInfo struct {
-	N        int  `json:"n"`
-	M        int  `json:"m"`
-	Directed bool `json:"directed"`
-	Weighted bool `json:"weighted"`
+	N          int  `json:"n"`
+	M          int  `json:"m"`
+	Directed   bool `json:"directed"`
+	Weighted   bool `json:"weighted"`
+	Compressed bool `json:"compressed,omitempty"`
 }
 
 // GraphsResponse answers /graphs.
@@ -300,8 +304,8 @@ func (q *query) vertex(params map[string][]string, key string) (uint32, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad %s %q", key, vs[0])
 	}
-	if v >= uint64(q.sg.g.N) {
-		return 0, fmt.Errorf("%s %d out of range [0, %d)", key, v, q.sg.g.N)
+	if n := q.sg.g.NumVertices(); v >= uint64(n) {
+		return 0, fmt.Errorf("%s %d out of range [0, %d)", key, v, n)
 	}
 	return uint32(v), nil
 }
@@ -319,8 +323,8 @@ func (q *query) vertexList(params map[string][]string, key string) ([]uint32, er
 		if err != nil {
 			return nil, fmt.Errorf("bad %s entry %q", key, p)
 		}
-		if v >= uint64(q.sg.g.N) {
-			return nil, fmt.Errorf("%s %d out of range [0, %d)", key, v, q.sg.g.N)
+		if n := q.sg.g.NumVertices(); v >= uint64(n) {
+			return nil, fmt.Errorf("%s %d out of range [0, %d)", key, v, n)
 		}
 		out = append(out, uint32(v))
 	}
@@ -489,7 +493,12 @@ func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer q.end()
-	if !q.sg.g.Directed {
+	pg, err := q.sg.plain("scc")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !pg.Directed {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("graph %q is undirected; scc requires a directed graph", q.sg.name))
 		return
@@ -500,9 +509,9 @@ func (s *Server) handleSCC(w http.ResponseWriter, r *http.Request) {
 	}
 	var labels []uint32
 	var count int
-	err := q.run(func() error {
+	err = q.run(func() error {
 		var runErr error
-		labels, count, _, runErr = core.SCC(q.sg.g, q.opt)
+		labels, count, _, runErr = core.SCC(pg, q.opt)
 		return runErr
 	})
 	if err != nil {
@@ -525,6 +534,10 @@ func (s *Server) handleKCore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer q.end()
+	if _, err := q.sg.plain("kcore"); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	key := q.key()
 	if q.cached(w, key) {
 		return
@@ -653,8 +666,9 @@ func (s *Server) graphInfos() map[string]GraphInfo {
 	infos := make(map[string]GraphInfo, len(s.graphs))
 	for name, sg := range s.graphs {
 		infos[name] = GraphInfo{
-			N: sg.g.N, M: sg.g.M(),
-			Directed: sg.g.Directed, Weighted: sg.g.Weighted(),
+			N: sg.g.NumVertices(), M: sg.g.NumArcs(),
+			Directed: sg.g.IsDirected(), Weighted: sg.g.HasWeights(),
+			Compressed: sg.pg == nil,
 		}
 	}
 	return infos

@@ -88,40 +88,66 @@ type Config struct {
 }
 
 // servedGraph is one loaded graph plus its lazily built serving variants.
+// The graph may be either representation: plain CSR or compressed
+// (possibly a read-only mmap view). pg is the plain form when there is
+// one — the algorithms without a compressed specialization (scc, kcore)
+// require it and refuse compressed graphs instead of silently inflating
+// a multi-gigabyte decompressed copy inside a request handler.
 type servedGraph struct {
 	name string
-	g    *graph.Graph
+	g    graph.Adjacency
+	pg   *graph.Graph     // non-nil iff g is a plain *graph.Graph
 	coal *msbfs.Coalescer // nil when coalescing is disabled
 
 	weightSeed uint64
 	wOnce      sync.Once
-	weighted   *graph.Graph // g, or g + deterministic uniform weights
+	weighted   graph.Adjacency // g, or g + deterministic uniform weights
 	sOnce      sync.Once
-	sym        *graph.Graph // g, or g.Symmetrized() for kcore
+	sym        *graph.Graph // pg, or pg.Symmetrized() for kcore
 }
 
 // wg returns the weighted serving variant (for sssp/p2p): the graph
 // itself when it carries weights, otherwise a deterministically weighted
-// copy built on first use.
-func (sg *servedGraph) wg() *graph.Graph {
+// copy built on first use. A compressed unweighted graph round-trips
+// through decompression so the weighted variant keeps the compressed
+// memory profile.
+func (sg *servedGraph) wg() graph.Adjacency {
 	sg.wOnce.Do(func() {
-		if sg.g.Weighted() {
+		if sg.g.HasWeights() {
 			sg.weighted = sg.g
 			return
 		}
-		sg.weighted = gen.AddUniformWeights(sg.g, 1, 1<<8, sg.weightSeed)
+		if sg.pg != nil {
+			sg.weighted = gen.AddUniformWeights(sg.pg, 1, 1<<8, sg.weightSeed)
+			return
+		}
+		c := sg.g.(*graph.Compressed)
+		sg.weighted = graph.Compress(
+			gen.AddUniformWeights(c.Decompress(), 1, 1<<8, sg.weightSeed))
 	})
 	return sg.weighted
 }
 
-// symmetrized returns the undirected serving variant (for kcore).
+// plain returns the plain-CSR form, or a client error for algorithms
+// that only run on it.
+func (sg *servedGraph) plain(algo string) (*graph.Graph, error) {
+	if sg.pg == nil {
+		return nil, fmt.Errorf(
+			"algo %s is not supported on compressed graph %q; serve the plain representation for this query",
+			algo, sg.name)
+	}
+	return sg.pg, nil
+}
+
+// symmetrized returns the undirected serving variant (for kcore). Only
+// valid after plain() succeeded.
 func (sg *servedGraph) symmetrized() *graph.Graph {
 	sg.sOnce.Do(func() {
-		if !sg.g.Directed {
-			sg.sym = sg.g
+		if !sg.pg.Directed {
+			sg.sym = sg.pg
 			return
 		}
-		sg.sym = sg.g.Symmetrized()
+		sg.sym = sg.pg.Symmetrized()
 	})
 	return sg.sym
 }
@@ -157,9 +183,27 @@ type Server struct {
 	drainStarted atomic.Int64 // unix nanos, 0 while serving
 }
 
-// New returns a Server over the named graphs. The map is captured (not
-// copied); do not mutate it, or the graphs, after this call.
+// New returns a Server over the named plain-CSR graphs. Do not mutate
+// the graphs after this call. NewAdj additionally accepts compressed
+// representations.
 func New(graphs map[string]*graph.Graph, cfg Config) (*Server, error) {
+	adj := make(map[string]graph.Adjacency, len(graphs))
+	for name, g := range graphs {
+		if g == nil {
+			return nil, fmt.Errorf("serve: graph %q is nil", name)
+		}
+		adj[name] = g
+	}
+	return NewAdj(adj, cfg)
+}
+
+// NewAdj returns a Server over the named graphs in either representation:
+// plain *graph.Graph or *graph.Compressed (including read-only mmap views
+// from gio.MapPZFile — the server never writes to a graph). bfs, sssp,
+// reachable, and p2p run on both representations; scc and kcore require
+// plain CSR and answer 400 on a compressed graph. Do not mutate the
+// graphs after this call.
+func NewAdj(graphs map[string]graph.Adjacency, cfg Config) (*Server, error) {
 	if len(graphs) == 0 {
 		return nil, errors.New("serve: no graphs to serve")
 	}
@@ -204,13 +248,32 @@ func New(graphs map[string]*graph.Graph, cfg Config) (*Server, error) {
 		if name == "" {
 			return nil, errors.New("serve: empty graph name")
 		}
-		if g == nil {
-			return nil, fmt.Errorf("serve: graph %q is nil", name)
-		}
-		if err := g.Validate(); err != nil {
-			return nil, fmt.Errorf("serve: graph %q: %w", name, err)
-		}
 		sg := &servedGraph{name: name, g: g, weightSeed: seed}
+		switch t := g.(type) {
+		case *graph.Graph:
+			if t == nil {
+				return nil, fmt.Errorf("serve: graph %q is nil", name)
+			}
+			if err := t.Validate(); err != nil {
+				return nil, fmt.Errorf("serve: graph %q: %w", name, err)
+			}
+			sg.pg = t
+		case *graph.Compressed:
+			if t == nil {
+				return nil, fmt.Errorf("serve: graph %q is nil", name)
+			}
+			// No full Validate here: it decodes every adjacency list, which
+			// would fault the whole file in for an mmap-backed graph and
+			// destroy the O(page-in) startup. gio.ReadPZ already validated
+			// untrusted input; only the O(1) structural subset runs here.
+			voff := t.VOff()
+			if len(voff) != t.NumVertices()+1 ||
+				voff[0] != 0 || voff[t.NumVertices()] != uint64(len(t.Data())) {
+				return nil, fmt.Errorf("serve: graph %q: inconsistent compressed offsets", name)
+			}
+		default:
+			return nil, fmt.Errorf("serve: graph %q: unsupported representation %T", name, g)
+		}
 		if !cfg.DisableCoalesce {
 			sg.coal = msbfs.NewCoalescer(g, msbfs.CoalescerOptions{
 				MaxWait: cfg.CoalesceWait,

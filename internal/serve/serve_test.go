@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"pasgal/internal/core"
@@ -413,5 +414,78 @@ func TestServeMetricsAccounting(t *testing.T) {
 	}
 	if mr.Tracer["rounds"] == 0 {
 		t.Fatal("tracer rounds counter never moved")
+	}
+}
+
+// TestServeCompressedGraph serves the same graph twice — plain CSR and
+// compressed — through NewAdj and checks that every compressed-capable
+// endpoint answers byte-equivalently on both, that scc/kcore refuse the
+// compressed representation with a clear 400, and that /graphs marks the
+// representation.
+func TestServeCompressedGraph(t *testing.T) {
+	g := gen.SocialRMAT(10, 8, true, 42)
+	s, err := NewAdj(map[string]graph.Adjacency{
+		"plain": g,
+		"zc":    graph.Compress(g),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+
+	// Coalescing makes bfs/reachable answers identical by construction on
+	// one graph but the two names have separate coalescers, so this also
+	// exercises the compressed MS-BFS path end to end.
+	for _, src := range []uint32{0, uint32(g.N / 2), uint32(g.N - 1)} {
+		for _, ep := range []string{
+			fmt.Sprintf("/query/bfs?graph=%%s&src=%d", src),
+			fmt.Sprintf("/query/bfs?graph=%%s&src=%d&coalesce=off", src),
+			fmt.Sprintf("/query/sssp?graph=%%s&src=%d", src),
+			fmt.Sprintf("/query/reachable?graph=%%s&src=%d", src),
+			fmt.Sprintf("/query/p2p?graph=%%s&src=%d&dst=%d", src, uint32(g.N-1)-src),
+		} {
+			stP, bodyP := getJSON(t, hs.URL+fmt.Sprintf(ep, "plain"), nil)
+			stZ, bodyZ := getJSON(t, hs.URL+fmt.Sprintf(ep, "zc"), nil)
+			if stP != http.StatusOK || stZ != http.StatusOK {
+				t.Fatalf("%s: plain %d, compressed %d", ep, stP, stZ)
+			}
+			// Bodies differ only in the graph name; normalize it out.
+			norm := func(b []byte, name string) string {
+				return strings.Replace(string(b), `"graph":"`+name+`"`, `"graph":"G"`, 1)
+			}
+			if norm(bodyP, "plain") != norm(bodyZ, "zc") {
+				t.Fatalf("%s: plain and compressed answers differ\nplain: %.200s\nzc:    %.200s",
+					ep, bodyP, bodyZ)
+			}
+		}
+	}
+
+	// Unsupported on compressed: clear client error, not a 500.
+	for _, ep := range []string{"/query/scc?graph=zc", "/query/kcore?graph=zc"} {
+		st, body := getJSON(t, hs.URL+ep, nil)
+		if st != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400\nbody: %.200s", ep, st, body)
+		}
+		if !strings.Contains(string(body), "not supported on compressed graph") {
+			t.Fatalf("%s: error body %.200s does not explain the refusal", ep, body)
+		}
+	}
+	// ...and still fine on the plain twin.
+	wantStatus(t, hs.URL+"/query/scc?graph=plain", http.StatusOK)
+	wantStatus(t, hs.URL+"/query/kcore?graph=plain", http.StatusOK)
+
+	var gr GraphsResponse
+	if st, _ := getJSON(t, hs.URL+"/graphs", &gr); st != http.StatusOK {
+		t.Fatalf("/graphs status %d", st)
+	}
+	if gr.Graphs["plain"].Compressed || !gr.Graphs["zc"].Compressed {
+		t.Fatalf("representation flags wrong: %+v", gr.Graphs)
+	}
+	if gr.Graphs["zc"].N != g.N || gr.Graphs["zc"].M != g.M() {
+		t.Fatalf("compressed inventory wrong: %+v", gr.Graphs["zc"])
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"pasgal/internal/gio"
+	"pasgal/internal/graph"
 )
 
 // LoadGraph reads a graph file, dispatching on the extension: ".adj" (PBBS
@@ -38,6 +39,12 @@ func LoadGraph(path string, directed bool) (*Graph, error) {
 		return gio.ReadAdj(r, directed)
 	case strings.HasSuffix(ext, ".bin"):
 		return gio.ReadBin(r)
+	case strings.HasSuffix(ext, ".pz"):
+		c, err := gio.ReadPZ(r)
+		if err != nil {
+			return nil, err
+		}
+		return c.Decompress(), nil
 	case strings.HasSuffix(ext, ".mtx"):
 		return gio.ReadMTX(r)
 	case strings.HasSuffix(ext, ".gr"):
@@ -68,6 +75,8 @@ func SaveGraph(path string, g *Graph) error {
 		err = gio.WriteAdj(w, g)
 	case strings.HasSuffix(ext, ".bin"):
 		err = gio.WriteBin(w, g)
+	case strings.HasSuffix(ext, ".pz"):
+		err = gio.WritePZ(w, graph.Compress(g))
 	case strings.HasSuffix(ext, ".mtx"):
 		err = gio.WriteMTX(w, g)
 	case strings.HasSuffix(ext, ".gr"):
@@ -83,6 +92,31 @@ func SaveGraph(path string, g *Graph) error {
 		return err
 	}
 	return f.Close()
+}
+
+// SaveCompressed writes c to path in the .pz compressed CSR format
+// (header + restart offsets + difference-encoded arc bytes; see
+// docs/STORAGE.md).
+func SaveCompressed(path string, c *CompressedGraph) error {
+	return gio.WritePZFile(path, c)
+}
+
+// LoadCompressed reads a .pz file fully into memory, verifying its
+// checksum and validating every adjacency list. Use MapCompressed to skip
+// the read pass on trusted files.
+func LoadCompressed(path string) (*CompressedGraph, error) {
+	return gio.ReadPZFile(path)
+}
+
+// MapCompressed memory-maps a .pz file read-only and returns the graph
+// view plus a close function that unmaps it. Load time is O(page-in):
+// only the header and offset table are touched eagerly, so a daemon can
+// start serving a billion-edge graph in milliseconds and fault arc data
+// in on demand. Only structural checks run (no checksum) — use
+// LoadCompressed for untrusted input. The graph must not be used after
+// close.
+func MapCompressed(path string) (*CompressedGraph, func() error, error) {
+	return gio.MapPZFile(path)
 }
 
 // MustLoadGraph is LoadGraph, panicking on error (examples and tools).

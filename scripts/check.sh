@@ -100,7 +100,7 @@ else
     # is deliberately huge (20x): the gate exists to exercise the
     # -json/-compare pipeline end to end and to catch order-of-magnitude
     # blowups, not small drift.
-    go run ./cmd/pasgal-bench -exp bfs,build,queries,serve -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -exp bfs,build,queries,serve,compress -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
     go run ./cmd/pasgal-bench -compare -threshold 20 \
         scripts/bench-baseline.json "$tmpjson"
 fi

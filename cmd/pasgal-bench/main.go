@@ -42,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|build|queries|serve|compress|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
+	exp := flag.String("exp", "all", "experiment: tab1|bfs|scc|bcc|sssp|build|queries|serve|compress|updates|fig1|fig2|conn|abl-tau|abl-bag|abl-dir|abl-sssp|all")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	reps := flag.Int("reps", 3, "timing repetitions (median reported)")
 	workers := flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
@@ -125,6 +125,7 @@ func main() {
 		"bcc": bench.BCCImpls, "sssp": bench.SSSPImpls,
 		"build": bench.BuildImpls, "queries": bench.QueriesImpls,
 		"serve": bench.ServeImpls, "compress": bench.CompressImpls,
+		"updates": bench.UpdatesImpls,
 	}
 	collect := func(name string, results []bench.Result) {
 		if *jsonOut != "" {
@@ -163,6 +164,8 @@ func main() {
 			collect(name, bench.TableServe(cfg))
 		case "compress":
 			collect(name, bench.TableCompress(cfg))
+		case "updates":
+			collect(name, bench.TableUpdates(cfg))
 		case "fig1":
 			bench.Fig1(cfg)
 		case "fig1-model":
@@ -196,7 +199,7 @@ func main() {
 	interrupted := false
 	if *exp == "all" {
 		for _, name := range []string{"tab1", "bfs", "scc", "bcc", "sssp",
-			"build", "queries", "serve", "compress", "fig1", "fig1-model", "conn", "frontier", "mem",
+			"build", "queries", "serve", "compress", "updates", "fig1", "fig1-model", "conn", "frontier", "mem",
 			"abl-tau", "abl-tau-scc", "abl-bag", "abl-dir", "abl-sssp"} {
 			if ctx.Err() != nil {
 				interrupted = true

@@ -8,11 +8,13 @@
 //	pasgal-serve -workload TW,NA -scale 0.5 -max-concurrent 4
 //	pasgal-serve -graph road.adj -cache 1024 -max-timeout 10s
 //	pasgal-serve -graph social.pz -mmap
+//	pasgal-serve -workload TW -mutable
 //
 // Queries:
 //
 //	curl 'localhost:8080/query/bfs?graph=TW&src=3'
 //	curl 'localhost:8080/query/p2p?graph=TW&src=3&dst=9&timeout=50ms'
+//	curl -X POST 'localhost:8080/update?graph=TW' -d '{"inserts":[{"u":3,"v":9}]}'
 //	curl 'localhost:8080/metrics'
 //
 // SIGINT/SIGTERM drains gracefully: the listener stops accepting, new
@@ -55,7 +57,16 @@ func main() {
 	coalesceWait := flag.Duration("coalesce-wait", 0, "coalescer flush latency bound (0 = library default)")
 	coalesce := flag.Bool("coalesce", true, "group-commit single-source bfs/reachable into shared MS-BFS runs")
 	tau := flag.Int("tau", 0, "VGC budget for served queries (0 = default)")
+	mutable := flag.Bool("mutable", false, "serve graphs through epoch-snapshot delta stores; POST /update applies insert/delete batches (plain CSR only)")
+	compactFrac := flag.Float64("compact-fraction", 0, "with -mutable: background-compact when the overlay exceeds this fraction of the base arcs (0 = default, negative disables)")
 	flag.Parse()
+
+	if *mutable && *mmap {
+		// An mmap view is a read-only compressed file; there is no plain
+		// CSR to base a delta store on.
+		fmt.Fprintln(os.Stderr, "pasgal-serve: -mutable and -mmap are incompatible (mutable serving needs plain CSR)")
+		os.Exit(2)
+	}
 
 	if *workers > 0 {
 		pasgal.SetWorkers(*workers)
@@ -134,6 +145,8 @@ func main() {
 		CoalesceWait:    *coalesceWait,
 		DisableCoalesce: !*coalesce,
 		Opt:             core.Options{Tau: *tau},
+		Mutable:         *mutable,
+		CompactFraction: *compactFrac,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pasgal-serve: %v\n", err)

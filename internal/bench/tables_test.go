@@ -179,3 +179,29 @@ func TestTableCompressSmoke(t *testing.T) {
 		t.Fatalf("missing table header:\n%s", buf.String())
 	}
 }
+
+// TestTableUpdatesSmoke runs the incremental-update experiment at a
+// tiny scale: every time cell must fill (the compare gate diffs them),
+// and the update stream must leave a real patch behind before the
+// compacted re-measure.
+func TestTableUpdatesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("applies an update stream per workload")
+	}
+	var buf strings.Builder
+	results := TableUpdates(Config{Scale: 0.02, Reps: 1, Out: &buf})
+	if len(results) != 2 {
+		t.Fatalf("TableUpdates returned %d results, want 2 (UNI + PL)", len(results))
+	}
+	for _, res := range results {
+		for _, impl := range UpdatesImpls {
+			if res.Times[impl] <= 0 {
+				t.Fatalf("%s: no timing for %s cell:\n%s", res.Graph, impl, buf.String())
+			}
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Incremental updates") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+}

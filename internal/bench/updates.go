@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pasgal/internal/core"
+	"pasgal/internal/delta"
+	"pasgal/internal/graph"
+)
+
+// UpdatesImpls names the incremental-update configurations measured by
+// TableUpdates: batched Apply throughput into the delta store, BFS on
+// the patched overlay snapshot, and the same queries after compaction
+// folds the patch back into a plain CSR.
+var UpdatesImpls = []string{"Apply", "Overlay", "Compacted"}
+
+// updatesBatch is the Apply granularity — the size a serving client
+// would reasonably buffer before posting to /update.
+const updatesBatch = 64
+
+// updateStream builds a deterministic mixed update stream on g: deletes
+// of existing edges interleaved with inserts of fresh random pairs, in
+// roughly equal measure, so canonicalization sees real work on both the
+// tombstone and the add side.
+func updateStream(g *graph.Graph, count int, seed int64) []delta.Update {
+	rng := rand.New(rand.NewSource(seed))
+	ups := make([]delta.Update, 0, count)
+	for len(ups) < count {
+		u := uint32(rng.Intn(g.N))
+		if deg := g.Degree(u); deg > 0 && rng.Intn(2) == 0 {
+			v := g.Neighbors(u)[rng.Intn(deg)]
+			ups = append(ups, delta.Update{U: u, V: v, Op: delta.Delete})
+		} else {
+			v := uint32(rng.Intn(g.N))
+			ups = append(ups, delta.Update{U: u, V: v, W: uint32(rng.Intn(1 << 8)), Op: delta.Insert})
+		}
+	}
+	return ups
+}
+
+// TableUpdates measures the incremental-update path end to end at the
+// store level: how fast mixed insert/delete batches flow through
+// canonicalization + patch merge (updates/sec), what the patched
+// overlay costs a BFS relative to the same graph compacted back to a
+// plain CSR, and how large the patch the stream leaves behind is. The
+// Overlay/Compacted ratio is the number that justifies compaction
+// existing at all — and bounds what auto-compaction is allowed to cost,
+// since a compaction that beat the overlay penalty by less than its own
+// build time would be pure overhead.
+func TableUpdates(c Config) []Result {
+	fmt.Fprintf(c.Out, "\n== Incremental updates (delta store: apply throughput + query overhead) ==\n")
+	rows := [][]string{{"Graph", "updates", "Apply", "upd/s", "Overlay", "Compacted", "ovl cost", "patch"}}
+	var results []Result
+	opt := c.options()
+	for _, s := range queriesSpecs() {
+		g := c.build(s)
+		nUpd := sc(1<<13, c.Scale)
+		stream := updateStream(g, nUpd, 7001)
+		res := newResult(s.Name, s.Category, g)
+
+		// Apply throughput: a fresh store per rep, because re-applying
+		// the stream to an already-mutated store canonicalizes every
+		// batch to a no-op and measures nothing.
+		applyFailed := false
+		res.Times["Apply"] = timed(c.Reps, func() {
+			st := delta.NewStore(g, delta.Options{CompactFraction: -1})
+			for lo := 0; lo < len(stream); lo += updatesBatch {
+				if _, err := st.Apply(stream[lo:min(lo+updatesBatch, len(stream))]); err != nil {
+					applyFailed = true
+					return
+				}
+			}
+			st.Close()
+		})
+		if applyFailed {
+			fmt.Fprintf(c.Out, "updates %s: apply failed\n", s.Name)
+			continue
+		}
+
+		// Query cost: the whole stream applied once, then BFS from a
+		// deterministic source set — first on the patched overlay
+		// snapshot, then again after an explicit compaction.
+		st := delta.NewStore(g, delta.Options{CompactFraction: -1})
+		for lo := 0; lo < len(stream); lo += updatesBatch {
+			if _, err := st.Apply(stream[lo:min(lo+updatesBatch, len(stream))]); err != nil {
+				fmt.Fprintf(c.Out, "updates %s: apply: %v\n", s.Name, err)
+				break
+			}
+		}
+		srcs := QuerySources(g, 8)
+		patchArcs := st.Stats().PatchArcs
+		queryAll := func(a graph.Adjacency) {
+			for _, src := range srcs {
+				_, _, _ = core.BFS(a, src, opt)
+			}
+		}
+		sn := st.Snapshot()
+		res.Times["Overlay"] = timed(c.Reps, func() { queryAll(sn.Adj()) })
+		sn.Release()
+		if _, err := st.Compact(); err != nil {
+			fmt.Fprintf(c.Out, "updates %s: compact: %v\n", s.Name, err)
+			st.Close()
+			continue
+		}
+		sn = st.Snapshot()
+		res.Times["Compacted"] = timed(c.Reps, func() { queryAll(sn.Adj()) })
+		sn.Release()
+		st.Close()
+
+		rows = append(rows, []string{s.Name, fmtCount(len(stream)),
+			fmtTime(res.Times["Apply"]),
+			fmt.Sprintf("%.0f", float64(len(stream))/res.Times["Apply"]),
+			fmtTime(res.Times["Overlay"]), fmtTime(res.Times["Compacted"]),
+			fmt.Sprintf("%.2fx", res.Times["Overlay"]/res.Times["Compacted"]),
+			fmtCount(patchArcs)})
+		results = append(results, res)
+	}
+	printAligned(c.Out, rows)
+	return results
+}

@@ -80,7 +80,8 @@ func (uf *UnionFind) Connected(a, b uint32) bool {
 // u < v, fully in parallel. It is the shared edge-scan of Components and
 // SpanningForest, specialized per graph representation: the plain loop
 // indexes the CSR arrays directly, the compressed loop walks an
-// allocation-free decode cursor (see graph.ArcCursor).
+// allocation-free decode cursor (see graph.ArcCursor), and the overlay
+// loop bulk-merges each patched list into chunk-local scratch.
 func forEachForwardEdge(a graph.Adjacency, visit func(u, v uint32)) {
 	switch g := a.(type) {
 	case *graph.Graph:
@@ -104,6 +105,21 @@ func forEachForwardEdge(a graph.Adjacency, visit func(u, v uint32)) {
 				}
 				if u < v {
 					visit(u, v)
+				}
+			}
+		})
+	case *graph.Overlay:
+		// Chunked so the merge scratch is allocated per chunk, not per
+		// vertex (the grain-64 For closure above would).
+		parallel.ForRange(g.NumVertices(), 64, func(lo, hi int) {
+			nbuf := make([]uint32, 0, 256)
+			for ui := lo; ui < hi; ui++ {
+				u := uint32(ui)
+				nbuf = g.AppendNeighbors(u, nbuf[:0])
+				for _, v := range nbuf {
+					if u < v {
+						visit(u, v)
+					}
 				}
 			}
 		})

@@ -74,6 +74,8 @@ func BFS(a graph.Adjacency, src uint32, opt Options) ([]uint32, *Metrics, error)
 		pull, push = bfsPlainScans(g, st)
 	case *graph.Compressed:
 		pull, push = bfsCompressedScans(g, st)
+	case *graph.Overlay:
+		pull, push = bfsOverlayScans(g, st)
 	}
 
 	dist[src].Store(0)
@@ -376,6 +378,103 @@ func bfsCompressedScans(g *graph.Compressed, st *bfsState) (pull func(cur int), 
 						}
 					}
 					budget -= len(nbuf) // == DegreeOf(u), already decoded
+					if budget <= 0 && head+1 < len(queue) {
+						for _, w := range queue[head+1:] {
+							d := dist[w].Load()
+							fr.insert(int(d), w)
+							st.pending.Add(1)
+						}
+						queue = queue[:head+1]
+					}
+				}
+			}
+			st.met.AddEdges(edgeCount)
+		})
+	}
+	return pull, push
+}
+
+// bfsOverlayScans builds the round bodies for the patched overlay
+// representation (epoch snapshots from internal/delta). Both directions
+// use the overlay's merged bulk scan into a per-task scratch buffer —
+// the merge walks the base list anyway, so a streaming early-exit
+// variant would save nothing on the skip side; patch-free vertices
+// degrade to one bulk copy of the base list.
+func bfsOverlayScans(g *graph.Overlay, st *bfsState) (pull func(cur int), push func(f []uint32, bucketOf []int)) {
+	var in *graph.Overlay
+	if st.denseCut != math.MaxInt64 {
+		// Lazy overlay transpose: the (immutable) base's transpose plus
+		// reversed patch arrays, built on first use.
+		in = g.Transpose()
+	}
+	dist, fr := st.dist, st.fr
+	pull = func(cur int) {
+		target := uint32(cur + 1)
+		maxIns := uint32(cur + st.nBags - 1)
+		parallel.ForRangeCancel(st.cl.Token(), st.n, 0, func(lo, hi int) {
+			var local int64
+			nbuf := make([]uint32, 0, 256)
+			for vi := lo; vi < hi; vi++ {
+				v := uint32(vi)
+				best := dist[v].Load()
+				if best <= target {
+					continue
+				}
+				nbuf = in.AppendNeighbors(v, nbuf[:0])
+				for _, u := range nbuf {
+					local++
+					if du := dist[u].Load(); du != graph.InfDist && du+1 < best {
+						best = du + 1
+						if best <= target {
+							break
+						}
+					}
+				}
+				if best < dist[v].Load() && best <= maxIns {
+					dist[v].Store(best)
+					fr.insert(int(best), v)
+					st.pending.Add(1)
+				}
+			}
+			st.met.AddEdges(local)
+		})
+	}
+	push = func(f []uint32, bucketOf []int) {
+		parallel.ForRangeCancel(st.cl.Token(), len(f), 1, func(lo, hi int) {
+			queue := make([]uint32, 0, 64)
+			nbuf := make([]uint32, 0, 256)
+			var edgeCount int64
+			for i := lo; i < hi; i++ {
+				v := f[i]
+				if dist[v].Load() != uint32(bucketOf[i]) {
+					continue
+				}
+				queue = append(queue[:0], v)
+				budget := st.tau
+				for head := 0; head < len(queue); head++ {
+					u := queue[head]
+					du := dist[u].Load()
+					nd := du + 1
+					nbuf = g.AppendNeighbors(u, nbuf[:0])
+					for _, w := range nbuf {
+						edgeCount++
+						for {
+							old := dist[w].Load()
+							if nd >= old {
+								break
+							}
+							if dist[w].CompareAndSwap(old, nd) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									fr.insert(int(nd), w)
+									st.pending.Add(1)
+								}
+								break
+							}
+						}
+					}
+					budget -= len(nbuf) // == DegreeOf(u), already merged
 					if budget <= 0 && head+1 < len(queue) {
 						for _, w := range queue[head+1:] {
 							d := dist[w].Load()

@@ -109,6 +109,40 @@ func Reachable(a graph.Adjacency, srcs []uint32, opt Options) ([]bool, *Metrics,
 				met.AddEdges(edgeCount)
 			})
 		}
+	case *graph.Overlay:
+		process = func(f []uint32) {
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				nbuf := make([]uint32, 0, 256)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					queue = append(queue[:0], f[i])
+					budget := tau
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						nbuf = g.AppendNeighbors(u, nbuf[:0])
+						for _, w := range nbuf {
+							edgeCount++
+							if visited[w].Load() == 0 && visited[w].CompareAndSwap(0, 1) {
+								if budget > 0 {
+									queue = append(queue, w)
+								} else {
+									bag.Insert(w)
+								}
+							}
+						}
+						budget -= len(nbuf)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								bag.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
 	}
 	for bag.Len() > 0 {
 		if err := cl.Poll(); err != nil {

@@ -252,6 +252,64 @@ func SSSP(a graph.Adjacency, src uint32, policy StepPolicy, opt Options) ([]uint
 				met.AddEdges(edgeCount)
 			})
 		}
+	case *graph.Overlay:
+		processFrontier = func(f []uint32) {
+			met.Round(len(f))
+			localBudget := tau
+			if theta == InfWeight {
+				localBudget = 0
+			}
+			parallel.ForRangeCancel(cl.Token(), len(f), 1, func(lo, hi int) {
+				queue := make([]uint32, 0, 64)
+				nbuf := make([]uint32, 0, 256)
+				wbuf := make([]uint32, 0, 256)
+				var edgeCount int64
+				for i := lo; i < hi; i++ {
+					v := f[i]
+					if dist[v].Load() > theta {
+						far.Insert(v)
+						continue
+					}
+					queue = append(queue[:0], v)
+					budget := localBudget
+					for head := 0; head < len(queue); head++ {
+						u := queue[head]
+						du := dist[u].Load()
+						// Merge the patched weighted list into the task's
+						// scratch: every arc gets relaxed anyway.
+						nbuf, wbuf = g.AppendArcs(u, nbuf[:0], wbuf[:0])
+						for j, w := range nbuf {
+							edgeCount++
+							nd := du + uint64(wbuf[j])
+							for {
+								old := dist[w].Load()
+								if nd >= old {
+									break
+								}
+								if dist[w].CompareAndSwap(old, nd) {
+									if nd <= theta && budget > 0 {
+										queue = append(queue, w)
+									} else if nd <= theta {
+										near.Insert(w)
+									} else {
+										far.Insert(w)
+									}
+									break
+								}
+							}
+						}
+						budget -= len(nbuf)
+						if budget <= 0 && head+1 < len(queue) {
+							for _, w := range queue[head+1:] {
+								near.Insert(w)
+							}
+							queue = queue[:head+1]
+						}
+					}
+				}
+				met.AddEdges(edgeCount)
+			})
+		}
 	}
 
 	for {

@@ -1,0 +1,43 @@
+package delta
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pasgal/internal/core"
+	"pasgal/internal/gen"
+)
+
+// TestCancelQueryOnSnapshot ensures cancellation propagates through the
+// overlay scan path exactly as it does for the plain and compressed
+// representations: a pre-canceled context fails fast with ErrCanceled,
+// an expired deadline with ErrDeadline, and the snapshot stays usable
+// afterwards (cancellation must not poison the pinned epoch).
+func TestCancelQueryOnSnapshot(t *testing.T) {
+	s := NewStore(gen.ER(400, 1200, false, 0xCA11), Options{CompactFraction: -1})
+	defer s.Close()
+	if _, err := s.Apply([]Update{{U: 0, V: 399, Op: Insert}, {U: 1, V: 2, Op: Delete}}); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.Snapshot()
+	defer sn.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := core.BFS(sn.Adj(), 0, core.Options{Ctx: ctx}); !errors.Is(err, core.ErrCanceled) {
+		t.Fatalf("canceled ctx: got %v, want ErrCanceled", err)
+	}
+
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, _, err := core.BFS(sn.Adj(), 0, core.Options{Ctx: dctx}); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("expired deadline: got %v, want ErrDeadline", err)
+	}
+
+	// The pinned snapshot survives a canceled run.
+	if _, _, err := core.BFS(sn.Adj(), 0, core.Options{}); err != nil {
+		t.Fatalf("snapshot unusable after cancellation: %v", err)
+	}
+}

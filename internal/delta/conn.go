@@ -1,0 +1,98 @@
+package delta
+
+import (
+	"fmt"
+	"sync"
+
+	"pasgal/internal/conn"
+	"pasgal/internal/parallel"
+)
+
+// IncrementalConnectivity maintains connected components of an
+// undirected mutable store across update batches. Insert-only batches
+// are absorbed into a live union–find without recomputation — the
+// incremental fast path, since a union–find only ever coarsens.
+// Deletes can split components, which a union–find cannot express, so
+// any batch with an effective delete marks the structure dirty and the
+// next Components call rebuilds from a fresh snapshot via
+// conn.Components.
+//
+// All updates to the underlying store must flow through Apply; batches
+// applied directly to the store are invisible here and would desync
+// the labeling.
+type IncrementalConnectivity struct {
+	store *Store
+
+	mu    sync.Mutex
+	uf    *conn.UnionFind
+	dirty bool
+}
+
+// NewIncrementalConnectivity wraps an undirected store. The first
+// Components call performs the initial full computation.
+func NewIncrementalConnectivity(s *Store) (*IncrementalConnectivity, error) {
+	if s.IsDirected() {
+		return nil, fmt.Errorf("delta: incremental connectivity requires an undirected store")
+	}
+	return &IncrementalConnectivity{store: s, dirty: true}, nil
+}
+
+// Apply forwards the batch to the store and folds its effective
+// changes into the maintained components: effective inserts union
+// their endpoints; any effective delete falls back by marking the
+// structure for a full rebuild.
+func (ic *IncrementalConnectivity) Apply(batch []Update) (Result, error) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	res, changes, err := ic.store.ApplyChanges(batch)
+	if err != nil {
+		return res, err
+	}
+	for _, c := range changes {
+		if !c.Present {
+			ic.dirty = true
+			break
+		}
+	}
+	if !ic.dirty && ic.uf != nil {
+		for _, c := range changes {
+			ic.uf.Union(c.U, c.V)
+		}
+	}
+	return res, nil
+}
+
+// Components returns the canonical min-id component labeling and the
+// component count, exactly as conn.Components would report on the
+// current state: the incremental union–find links larger roots under
+// smaller ones, so its roots are component minima too.
+func (ic *IncrementalConnectivity) Components() ([]uint32, int) {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	n := ic.store.NumVertices()
+	if ic.dirty || ic.uf == nil {
+		sn := ic.store.Snapshot()
+		labels, count := conn.Components(sn.Adj())
+		sn.Release()
+		uf := conn.NewUnionFind(n)
+		parallel.For(n, 64, func(i int) {
+			if labels[i] != uint32(i) {
+				uf.Union(uint32(i), labels[i])
+			}
+		})
+		ic.uf = uf
+		ic.dirty = false
+		return labels, count
+	}
+	labels := make([]uint32, n)
+	parallel.For(n, 64, func(i int) { labels[i] = ic.uf.Find(uint32(i)) })
+	count := parallel.Count(n, func(i int) bool { return labels[i] == uint32(i) })
+	return labels, count
+}
+
+// Connected reports whether a and b are currently in the same
+// component (one find pair on the fast path, a rebuild when dirty).
+func (ic *IncrementalConnectivity) Connected(a, b uint32) bool {
+	labels, _ := ic.Components()
+	return labels[a] == labels[b]
+}

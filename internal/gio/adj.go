@@ -149,17 +149,10 @@ func ReadAdj(r io.Reader, directed bool) (*graph.Graph, error) {
 	return g, nil
 }
 
-// WriteAdjFile writes g to path in .adj format.
+// WriteAdjFile writes g to path in .adj format, atomically (temp file +
+// fsync + rename; see WriteFileAtomic).
 func WriteAdjFile(path string, g *graph.Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteAdj(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(w io.Writer) error { return WriteAdj(w, g) })
 }
 
 // ReadAdjFile reads an .adj file.

@@ -1,0 +1,52 @@
+package gio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via a temp file in the destination
+// directory, fsyncs it, and renames it over path. An interrupted or
+// failed write (crash, full disk, encoder error) can therefore never
+// leave a truncated or half-written file at path: the destination
+// either keeps its previous bytes or receives the complete new ones.
+// The temp file is removed on every failure path.
+//
+// The rename is atomic only within one filesystem, which the
+// same-directory temp file guarantees. The directory entry itself is
+// fsynced best-effort afterwards: on filesystems that need it, this
+// makes the rename durable, and where O_DIRECTORY fsync is unsupported
+// the write is still atomic, just not crash-durable.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := write(tmp); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("gio: sync %s: %w", tmpName, err))
+	}
+	if err := tmp.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync() // best-effort durability of the rename itself
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package gio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pasgal/internal/gen"
+	"pasgal/internal/graph"
+)
+
+// interruptWriter fails after passing through a fixed byte budget —
+// the shape of a crash or full disk mid-write.
+type interruptWriter struct {
+	w      io.Writer
+	budget int
+}
+
+var errInterrupted = errors.New("interrupted")
+
+func (iw *interruptWriter) Write(p []byte) (int, error) {
+	if len(p) > iw.budget {
+		n, _ := iw.w.Write(p[:iw.budget])
+		iw.budget = 0
+		return n, errInterrupted
+	}
+	iw.budget -= len(p)
+	return iw.w.Write(p)
+}
+
+// residue lists directory entries other than the expected file — any
+// leftover temp files from failed atomic writes.
+func residue(t *testing.T, dir, keep string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var extra []string
+	for _, e := range ents {
+		if e.Name() != keep {
+			extra = append(extra, e.Name())
+		}
+	}
+	return extra
+}
+
+// TestWritePZFileInterrupted is the satellite regression test: before
+// the atomic write, WritePZFile opened the destination with os.Create —
+// truncating the existing graph BEFORE writing, so any failure destroyed
+// the old file. Now an interrupted write must leave the previous bytes
+// untouched and no temp residue behind.
+func TestWritePZFileInterrupted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.pz")
+	g1 := graph.Compress(gen.Chain(50, true))
+	if err := WritePZFile(path, g1); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt a rewrite partway through the payload.
+	err = WriteFileAtomic(path, func(w io.Writer) error {
+		return WritePZ(&interruptWriter{w: w, budget: 100}, graph.Compress(gen.Chain(500, true)))
+	})
+	if !errors.Is(err, errInterrupted) {
+		t.Fatalf("want interruption error, got %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("destination gone after failed write: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("failed write corrupted the existing file")
+	}
+	if extra := residue(t, dir, "g.pz"); len(extra) != 0 {
+		t.Fatalf("temp residue after failed write: %v", extra)
+	}
+	// And the old file still parses.
+	c, err := ReadPZFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVertices() != 50 {
+		t.Fatalf("n = %d after failed overwrite", c.NumVertices())
+	}
+
+	// A successful rewrite replaces the bytes and leaves no residue.
+	if err := WritePZFile(path, graph.Compress(gen.Chain(500, true))); err != nil {
+		t.Fatal(err)
+	}
+	c, err = ReadPZFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumVertices() != 500 {
+		t.Fatalf("n = %d after successful overwrite", c.NumVertices())
+	}
+	if extra := residue(t, dir, "g.pz"); len(extra) != 0 {
+		t.Fatalf("temp residue after successful write: %v", extra)
+	}
+}
+
+// TestWriteFileAtomicNewFile: a failed write of a NEW path must not
+// create the path at all.
+func TestWriteFileAtomicNewFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.bin")
+	err := WriteFileAtomic(path, func(w io.Writer) error { return errInterrupted })
+	if !errors.Is(err, errInterrupted) {
+		t.Fatalf("want write error, got %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed write created the destination: %v", err)
+	}
+	if extra := residue(t, dir, ""); len(extra) != 0 {
+		t.Fatalf("temp residue: %v", extra)
+	}
+}
+
+// TestWriteFileAtomicAdjBin: the adj and bin file writers route through
+// the same helper and survive interruption identically.
+func TestWriteFileAtomicAdjBin(t *testing.T) {
+	for _, ext := range []string{"adj", "bin"} {
+		t.Run(ext, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "g."+ext)
+			g := gen.Chain(40, true)
+			write := func(gg *graph.Graph) error {
+				if ext == "adj" {
+					return WriteAdjFile(path, gg)
+				}
+				return WriteBinFile(path, gg)
+			}
+			if err := write(g); err != nil {
+				t.Fatal(err)
+			}
+			before, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = WriteFileAtomic(path, func(w io.Writer) error {
+				iw := &interruptWriter{w: w, budget: 16}
+				if ext == "adj" {
+					return WriteAdj(iw, gen.Chain(900, true))
+				}
+				return WriteBin(iw, gen.Chain(900, true))
+			})
+			if !errors.Is(err, errInterrupted) {
+				t.Fatalf("want interruption, got %v", err)
+			}
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(before, after) {
+				t.Fatal("interrupted write corrupted the file")
+			}
+			if extra := residue(t, dir, "g."+ext); len(extra) != 0 {
+				t.Fatalf("temp residue: %v", extra)
+			}
+		})
+	}
+}
+
+// TestWriteFileAtomicBadDir: a nonexistent directory errors cleanly.
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "missing", "g.bin")
+	err := WriteFileAtomic(path, func(w io.Writer) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("want directory error, got %v", err)
+	}
+}

@@ -110,17 +110,10 @@ func ReadBin(r io.Reader) (*graph.Graph, error) {
 	return g, nil
 }
 
-// WriteBinFile writes g to path in .bin format.
+// WriteBinFile writes g to path in .bin format, atomically (temp file +
+// fsync + rename; see WriteFileAtomic).
 func WriteBinFile(path string, g *graph.Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteBin(f, g); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(w io.Writer) error { return WriteBin(w, g) })
 }
 
 // ReadBinFile reads a .bin file.

@@ -163,17 +163,13 @@ func ReadPZ(r io.Reader) (*graph.Compressed, error) {
 	return c, nil
 }
 
-// WritePZFile writes c to path in .pz format.
+// WritePZFile writes c to path in .pz format, atomically: the bytes
+// land in a temp file that is fsynced and renamed over path, so an
+// interrupted write cannot destroy an existing graph file. This matters
+// more for .pz than most formats — the file may be the mmap-serving
+// source of a running daemon.
 func WritePZFile(path string, c *graph.Compressed) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WritePZ(f, c); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, func(w io.Writer) error { return WritePZ(w, c) })
 }
 
 // ReadPZFile reads a .pz file into memory (checksum verified, lists

@@ -1,16 +1,22 @@
 package graph
 
-// Adjacency is the representation seam between the plain CSR Graph and
-// the byte-compressed Compressed variant: the read-only facts every
-// consumer needs before it picks a scan strategy. It deliberately does
-// NOT abstract the adjacency scan itself — virtualizing the inner edge
-// loop behind an interface call (or a generic instantiation, which Go's
-// gcshape stenciling would collapse into the same dictionary-dispatched
-// code for both pointer types) would cost the plain-CSR path its
-// current codegen. Kernels instead type-switch on the two concrete
-// representations and keep a specialized loop body per representation;
-// the unexported marker method seals the interface so that switch is
-// exhaustive by construction.
+// Adjacency is the representation seam between the plain CSR Graph,
+// the byte-compressed Compressed variant, and the patched Overlay: the
+// read-only facts every consumer needs before it picks a scan strategy.
+// It deliberately does NOT abstract the adjacency scan itself —
+// virtualizing the inner edge loop behind an interface call (or a
+// generic instantiation, which Go's gcshape stenciling would collapse
+// into the same dictionary-dispatched code for the pointer types) would
+// cost the plain-CSR path its current codegen. Kernels instead
+// type-switch on the concrete representations and keep a specialized
+// loop body per representation; the unexported marker method seals the
+// interface so that switch is exhaustive by construction.
+//
+// Every implementation is immutable once published: that is what makes
+// lock-free concurrent queries, the lazy transpose caches, and epoch
+// snapshots sound. Mutation happens elsewhere — internal/delta layers
+// Overlay patches over an untouched base and compaction installs a
+// brand-new Graph.
 type Adjacency interface {
 	// NumVertices returns the vertex count n.
 	NumVertices() int
@@ -26,7 +32,7 @@ type Adjacency interface {
 	DegreeOf(v uint32) int
 
 	// sealed restricts implementations to this package: kernels
-	// type-switch over exactly {*Graph, *Compressed}.
+	// type-switch over exactly {*Graph, *Compressed, *Overlay}.
 	sealed()
 }
 
@@ -50,4 +56,5 @@ func (g *Graph) sealed() {}
 var (
 	_ Adjacency = (*Graph)(nil)
 	_ Adjacency = (*Compressed)(nil)
+	_ Adjacency = (*Overlay)(nil)
 )

@@ -20,8 +20,12 @@ import (
 // file can be mmap'd straight into a usable graph.
 //
 // A Compressed is immutable after construction, like Graph, and safe
-// for concurrent readers. Instances backed by an mmap'd file are only
-// valid until the mapping is closed (see gio.MapPZFile).
+// for concurrent readers; the lazy transpose cached under trOnce
+// depends on that immutability (a mutated payload would leave an
+// already-built transpose describing a graph that no longer exists —
+// mutation must go through internal/delta, which never touches a
+// published representation). Instances backed by an mmap'd file are
+// only valid until the mapping is closed (see gio.MapPZFile).
 type Compressed struct {
 	n        int
 	m        int

@@ -36,6 +36,14 @@ type Edge struct {
 // Graph is a CSR graph. For directed graphs, Edges holds out-neighbors;
 // in-neighbors are available through Transpose. For undirected graphs every
 // edge appears as two arcs and Transpose returns the graph itself.
+//
+// A Graph is immutable once published to readers: concurrent queries,
+// the lazily built transpose cached under trOnce, and the epoch
+// snapshots in internal/delta all rely on the arrays never changing
+// after construction. Code that needs a different arc set must build a
+// new Graph (or layer an Overlay patch on top) — mutating Offsets,
+// Edges, or Weights in place would race every reader and desynchronize
+// any transpose already handed out.
 type Graph struct {
 	N        int
 	Offsets  []uint64 // length N+1

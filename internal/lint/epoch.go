@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// EpochMisuseAnalyzer reports misuse of epoch snapshots (the
+// internal/delta pinning protocol; see docs/UPDATES.md): a snapshot
+// variable used after its Release, or a snapshot held open across an
+// explicit Compact call in the same block. The first is a
+// use-after-free in epoch clothing — Release drops the pin, the epoch
+// can retire, and the view's arrays may be gone by the time the late
+// use scans them (the Snapshot type panics on Adj after Release, but
+// only when the misuse reaches Adj; a captured view escapes that
+// check). The second keeps the pre-compaction epoch's whole CSR alive
+// and, more often than not, signals the author expected the pinned
+// view to observe the compaction, which it never does.
+//
+// Matching is syntactic, like cancel-poll: a "snapshot" is any variable
+// assigned from a method call named Snapshot that is later Released,
+// so the rule needs no cross-package type information. Analysis is
+// per-block and statement-ordered — a Release inside a nested branch,
+// defer, or function literal does not mark the variable released in
+// the enclosing block, which keeps early-return cleanups and deferred
+// releases from raising false positives.
+func EpochMisuseAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "epoch-misuse",
+		Doc:  "an epoch snapshot must not be used after Release or held across Compact",
+		Run:  runEpochMisuse,
+	}
+}
+
+func runEpochMisuse(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, checkEpochBlock(pkg, fn.Body)...)
+				}
+			case *ast.FuncLit:
+				// Each function literal is its own scope (checkEpochBlock
+				// does not descend into nested literals, so bodies are
+				// analyzed exactly once).
+				out = append(out, checkEpochBlock(pkg, fn.Body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// snapState tracks one snapshot variable inside one block.
+type snapState struct {
+	released  bool // a same-block, non-deferred Release ran
+	reported  bool // one finding per variable per hazard
+	compacted bool
+}
+
+// checkEpochBlock analyzes one block's statement list in order, then
+// recurses into nested blocks as fresh scopes. Statement order within a
+// block is the whole analysis: acquire, then Release, then any mention
+// is a use-after-release; acquire, then Compact before Release pins the
+// old epoch across the barrier.
+func checkEpochBlock(pkg *Package, block *ast.BlockStmt) []Finding {
+	var out []Finding
+	snaps := map[string]*snapState{}
+
+	for _, stmt := range block.List {
+		// Nested blocks are independent scopes; a DeferStmt's call runs at
+		// function exit, so it neither releases nor uses at this point in
+		// statement order.
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			continue
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.BlockStmt, *ast.LabeledStmt:
+			ast.Inspect(s, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BlockStmt); ok {
+					out = append(out, checkEpochBlock(pkg, b)...)
+					return false
+				}
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false // analyzed by runEpochMisuse
+				}
+				return true
+			})
+			continue
+		}
+
+		// Acquire / reacquire: name := x.Snapshot() or name = x.Snapshot().
+		if name, ok := snapshotAcquire(stmt); ok {
+			snaps[name] = &snapState{}
+			continue
+		}
+
+		released, compacts, uses := scanEpochStmt(stmt, snaps)
+		for _, name := range compacts {
+			// A Compact while any snapshot in this block is still pinned.
+			for snapName, st := range snaps {
+				if st.released || st.compacted {
+					continue
+				}
+				st.compacted = true
+				out = append(out, Finding{
+					Pos:  pkg.position(stmt.Pos()),
+					Rule: "epoch-misuse",
+					Message: fmt.Sprintf(
+						"snapshot %q is still pinned across this %s call: the pinned view never observes the compaction and keeps the pre-compaction epoch's CSR alive — Release first, or re-snapshot after compacting (docs/UPDATES.md)",
+						snapName, name),
+				})
+			}
+		}
+		for _, name := range uses {
+			st := snaps[name]
+			if st != nil && st.released && !st.reported {
+				st.reported = true
+				out = append(out, Finding{
+					Pos:  pkg.position(stmt.Pos()),
+					Rule: "epoch-misuse",
+					Message: fmt.Sprintf(
+						"snapshot %q used after Release: the pin is gone and its epoch may already be retired — move the Release after the last use, or take a fresh Snapshot (docs/UPDATES.md)",
+						name),
+				})
+			}
+		}
+		for _, name := range released {
+			if st := snaps[name]; st != nil {
+				st.released = true
+			}
+		}
+	}
+	return out
+}
+
+// snapshotAcquire matches `name := x.Snapshot()` / `name = x.Snapshot()`
+// with a single plain-identifier LHS.
+func snapshotAcquire(stmt ast.Stmt) (string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	if as.Tok != token.DEFINE && as.Tok != token.ASSIGN {
+		return "", false
+	}
+	id, ok := unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return "", false
+	}
+	call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Snapshot" {
+		return "", false
+	}
+	return id.Name, true
+}
+
+// scanEpochStmt walks one statement (skipping nested blocks and function
+// literals, which are separate scopes) and classifies what it does to
+// tracked snapshot variables: Release calls, Compact calls, and any
+// other mention of a tracked variable (a use).
+func scanEpochStmt(stmt ast.Stmt, snaps map[string]*snapState) (released, compacts, uses []string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit, *ast.BlockStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Release":
+					if id, ok := unparen(sel.X).(*ast.Ident); ok && snaps[id.Name] != nil {
+						released = append(released, id.Name)
+						// The receiver ident below would otherwise count as
+						// a use; walk only the arguments.
+						for _, arg := range e.Args {
+							ast.Inspect(arg, func(a ast.Node) bool {
+								if id, ok := a.(*ast.Ident); ok && snaps[id.Name] != nil {
+									uses = append(uses, id.Name)
+								}
+								return true
+							})
+						}
+						return false
+					}
+				case "Compact":
+					compacts = append(compacts, "Compact")
+				}
+			}
+		case *ast.Ident:
+			if snaps[e.Name] != nil {
+				uses = append(uses, e.Name)
+			}
+		}
+		return true
+	})
+	return released, compacts, uses
+}

@@ -117,6 +117,7 @@ func Analyzers() []*Analyzer {
 		ParallelCaptureAnalyzer(),
 		WaitGroupAnalyzer(),
 		CancelPollAnalyzer(),
+		EpochMisuseAnalyzer(),
 		SentinelErrorAnalyzer(),
 		EscapeToParallelAnalyzer(),
 		XPkgMixedAccessAnalyzer(),

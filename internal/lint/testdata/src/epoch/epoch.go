@@ -1,0 +1,104 @@
+// Package epoch exercises the epoch-misuse analyzer: a snapshot pinned
+// from a delta store must not be used after Release, and must not be
+// held open across an explicit Compact in the same block. The types
+// mirror internal/delta's Store/Snapshot shapes; the analyzer matches
+// method names syntactically, exactly as it must against stubbed
+// imports.
+package epoch
+
+type Adj struct{ N int }
+
+type Snapshot struct{ view *Adj }
+
+func (s *Snapshot) Adj() *Adj  { return s.view }
+func (s *Snapshot) Epoch() int { return 0 }
+func (s *Snapshot) Release()   {}
+
+type Store struct{}
+
+func (st *Store) Snapshot() *Snapshot { return &Snapshot{view: &Adj{}} }
+func (st *Store) Compact()            {}
+
+func use(a *Adj) {}
+
+// badUseAfterRelease is the use-after-free the rule exists for: once
+// Release runs the pin is gone, the epoch can retire, and the late
+// Epoch call reads a snapshot whose view may already be recycled.
+func badUseAfterRelease(st *Store) int {
+	sn := st.Snapshot()
+	n := sn.Adj().N
+	sn.Release()
+	return n + sn.Epoch() // want:epoch-misuse
+}
+
+// badHeldAcrossCompact pins an epoch across the compaction barrier:
+// the pinned view never observes the compaction, and the pin keeps the
+// whole pre-compaction CSR alive for the duration.
+func badHeldAcrossCompact(st *Store) {
+	sn := st.Snapshot()
+	st.Compact() // want:epoch-misuse
+	use(sn.Adj())
+	sn.Release()
+}
+
+// goodReleaseAfterUse is the canonical shape: pin, read, release.
+func goodReleaseAfterUse(st *Store) int {
+	sn := st.Snapshot()
+	n := sn.Adj().N
+	sn.Release()
+	return n
+}
+
+// goodDeferRelease: a deferred Release runs at function exit, after
+// every use — the idiomatic query shape, never a finding.
+func goodDeferRelease(st *Store) int {
+	sn := st.Snapshot()
+	defer sn.Release()
+	return sn.Adj().N
+}
+
+// goodReacquire: releasing and re-pinning resets the variable — uses
+// after the second Snapshot are against the fresh pin.
+func goodReacquire(st *Store) int {
+	sn := st.Snapshot()
+	a := sn.Adj().N
+	sn.Release()
+	sn = st.Snapshot()
+	b := sn.Adj().N
+	sn.Release()
+	return a + b
+}
+
+// goodCompactAfterRelease: compacting once every pin in the block has
+// been dropped is exactly how callers are meant to sequence it.
+func goodCompactAfterRelease(st *Store) {
+	sn := st.Snapshot()
+	use(sn.Adj())
+	sn.Release()
+	st.Compact()
+}
+
+// goodBranchRelease: an early-return cleanup releases inside a nested
+// block; the analyzer treats nested blocks as independent scopes, so
+// the straight-line path's later use is not a use-after-release.
+func goodBranchRelease(st *Store, fail bool) int {
+	sn := st.Snapshot()
+	if fail {
+		sn.Release()
+		return 0
+	}
+	n := sn.Adj().N
+	sn.Release()
+	return n
+}
+
+// goodFuncLitScope: a function literal is its own scope — capturing
+// the snapshot inside a closure that runs before Release is fine, and
+// the closure body is analyzed independently.
+func goodFuncLitScope(st *Store) int {
+	sn := st.Snapshot()
+	read := func() int { return sn.Adj().N }
+	n := read()
+	sn.Release()
+	return n
+}

@@ -460,6 +460,79 @@ func runGroup(a graph.Adjacency, st *state, srcs []uint32, sk *sink, opt core.Op
 				tr.LaneScans(scans)
 			})
 		}
+	case *graph.Overlay:
+		// Overlay snapshots from internal/delta. Both directions use the
+		// merged bulk scan into task scratch: the patch merge walks the
+		// base list regardless, so a streaming early-exit pull would not
+		// skip any work the way the compressed cursor does. The CAS loop
+		// (not atomic Or) is deliberate — see the plain-CSR case.
+		var in *graph.Overlay
+		if denseCut != math.MaxInt64 {
+			in = g.Transpose()
+		}
+		pull = func(active uint64) {
+			parallel.ForRangeCancel(cl.Token(), n, 0, func(lo, hi int) {
+				var scans int64
+				nbuf := make([]uint32, 0, 256)
+				for vi := lo; vi < hi; vi++ {
+					v := uint32(vi)
+					want := active &^ st.seen[v]
+					if want == 0 {
+						continue
+					}
+					var acc uint64
+					nbuf = in.AppendNeighbors(v, nbuf[:0])
+					for _, u := range nbuf {
+						scans++
+						acc |= st.cur[u]
+						if acc&want == want {
+							break
+						}
+					}
+					if nb := acc & want; nb != 0 {
+						st.next[v].Store(nb)
+						bag.Insert(v)
+					}
+				}
+				met.AddEdges(scans)
+				tr.LaneScans(scans)
+			})
+		}
+		push = func(front []uint32, active uint64) {
+			parallel.ForRangeCancel(cl.Token(), len(front), 16, func(lo, hi int) {
+				var scans int64
+				nbuf := make([]uint32, 0, 256)
+				for i := lo; i < hi; i++ {
+					u := front[i]
+					fu := st.cur[u] & active
+					if fu == 0 {
+						continue
+					}
+					nbuf = g.AppendNeighbors(u, nbuf[:0])
+					for _, w := range nbuf {
+						scans++
+						diff := fu &^ st.seen[w]
+						if diff == 0 {
+							continue
+						}
+						if diff&^st.next[w].Load() == 0 {
+							continue
+						}
+						for {
+							old := st.next[w].Load()
+							if st.next[w].CompareAndSwap(old, old|diff) {
+								if old == 0 {
+									bag.Insert(w)
+								}
+								break
+							}
+						}
+					}
+				}
+				met.AddEdges(scans)
+				tr.LaneScans(scans)
+			})
+		}
 	}
 
 	// Round 0: sources settle at distance 0. Duplicates share a frontier

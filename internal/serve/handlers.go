@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pasgal/internal/core"
+	"pasgal/internal/delta"
 	"pasgal/internal/graph"
 	"pasgal/internal/trace"
 )
@@ -80,6 +81,32 @@ type P2PResponse struct {
 	Dist      uint64 `json:"dist"`
 }
 
+// UpdateEdge is one edge in an /update batch. W is ignored on deletes
+// and on unweighted graphs.
+type UpdateEdge struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+	W uint32 `json:"w,omitempty"`
+}
+
+// UpdateRequest is the POST /update body. Inserts and deletes apply as
+// one atomic batch (inserts after deletes for the same edge win — the
+// batch is canonicalized last-op-wins in request order, with all
+// deletes ordered before all inserts).
+type UpdateRequest struct {
+	Inserts []UpdateEdge `json:"inserts,omitempty"`
+	Deletes []UpdateEdge `json:"deletes,omitempty"`
+}
+
+// UpdateResponse answers POST /update. Epoch is the epoch queries see
+// after this batch (unchanged when the batch was a no-op); Applied
+// counts the arcs whose effective state actually changed.
+type UpdateResponse struct {
+	Graph   string `json:"graph"`
+	Epoch   uint64 `json:"epoch"`
+	Applied int    `json:"applied"`
+}
+
 // ErrorResponse is the body of every non-200 answer.
 type ErrorResponse struct {
 	Error  string `json:"error"`
@@ -89,13 +116,18 @@ type ErrorResponse struct {
 // GraphInfo describes one served graph on /graphs and /metrics.
 // Compressed marks graphs served from the difference-encoded
 // representation (loaded from .pz, possibly mmap-backed); scc and kcore
-// are unavailable on those.
+// are unavailable on those. Mutable marks graphs served through a
+// delta.Store (POST /update applies; scc and kcore are unavailable);
+// Epoch is their currently published epoch and M their current arc
+// count — both move under updates.
 type GraphInfo struct {
-	N          int  `json:"n"`
-	M          int  `json:"m"`
-	Directed   bool `json:"directed"`
-	Weighted   bool `json:"weighted"`
-	Compressed bool `json:"compressed,omitempty"`
+	N          int    `json:"n"`
+	M          int    `json:"m"`
+	Directed   bool   `json:"directed"`
+	Weighted   bool   `json:"weighted"`
+	Compressed bool   `json:"compressed,omitempty"`
+	Mutable    bool   `json:"mutable,omitempty"`
+	Epoch      uint64 `json:"epoch,omitempty"`
 }
 
 // GraphsResponse answers /graphs.
@@ -103,16 +135,28 @@ type GraphsResponse struct {
 	Graphs map[string]GraphInfo `json:"graphs"`
 }
 
-// MetricsResponse answers /metrics.
+// MetricsResponse answers /metrics. Updates is present only when the
+// server runs mutable graphs, keyed by graph name.
 type MetricsResponse struct {
-	UptimeSeconds float64              `json:"uptime_seconds"`
-	Draining      bool                 `json:"draining"`
-	Queries       QueryStats           `json:"queries"`
-	Cache         CacheStats           `json:"cache"`
-	Admission     AdmissionStats       `json:"admission"`
-	Coalescer     CoalescerStats       `json:"coalescer"`
-	Tracer        map[string]int64     `json:"tracer"`
-	Graphs        map[string]GraphInfo `json:"graphs"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Draining      bool                   `json:"draining"`
+	Queries       QueryStats             `json:"queries"`
+	Cache         CacheStats             `json:"cache"`
+	Admission     AdmissionStats         `json:"admission"`
+	Coalescer     CoalescerStats         `json:"coalescer"`
+	Updates       map[string]UpdateStats `json:"updates,omitempty"`
+	Tracer        map[string]int64       `json:"tracer"`
+	Graphs        map[string]GraphInfo   `json:"graphs"`
+}
+
+// UpdateStats reports one mutable graph's delta store.
+type UpdateStats struct {
+	Batches     int64  `json:"batches"`      // /update requests accepted
+	Epoch       uint64 `json:"epoch"`        // currently published epoch
+	LiveEpochs  int    `json:"live_epochs"`  // current + pinned by queries
+	AppliedArcs uint64 `json:"applied_arcs"` // arcs changed across all batches
+	Compactions uint64 `json:"compactions"`  // overlay folds into fresh CSR
+	PatchArcs   int    `json:"patch_arcs"`   // overlay size right now
 }
 
 // QueryStats aggregates request outcomes.
@@ -177,6 +221,13 @@ type query struct {
 	useCache bool
 	coalesce bool // eligible for the coalesced single-source path
 	summary  bool // ?summary=1: omit the per-vertex result array
+
+	// Mutable graphs: the pinned epoch snapshot the whole query answers
+	// from. sn stays nil for immutable graphs, where view == sg.g and
+	// epoch is 0 forever.
+	sn    *delta.Snapshot
+	view  graph.Adjacency
+	epoch uint64
 }
 
 // begin does the work every query endpoint shares: method check, drain
@@ -201,6 +252,16 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request, algo string) (*qu
 		q.end()
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
 		return nil, false
+	}
+	// Pin the epoch for the query's whole lifetime: every read (range
+	// checks, the traversal, the cache key) sees one immutable view even
+	// while /update batches publish new epochs concurrently.
+	if q.sg.store != nil {
+		q.sn = q.sg.store.Snapshot()
+		q.view = q.sn.Adj()
+		q.epoch = q.sn.Epoch()
+	} else {
+		q.view = q.sg.g
 	}
 	opt, err := s.parseOptions(params)
 	if err != nil {
@@ -232,12 +293,24 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request, algo string) (*qu
 	return q, true
 }
 
-// end releases the query's context binding and in-flight registration.
+// end releases the query's snapshot pin, context binding, and in-flight
+// registration.
 func (q *query) end() {
+	if q.sn != nil {
+		q.sn.Release()
+	}
 	if q.stop != nil {
 		q.stop()
 	}
 	q.leave()
+}
+
+// wgv returns the weighted variant of the query's pinned view.
+func (q *query) wgv() graph.Adjacency {
+	if q.sn != nil {
+		return q.sg.wgAt(q.view, q.epoch)
+	}
+	return q.sg.wg()
 }
 
 // parseOptions builds the per-request algorithm options from the base
@@ -273,14 +346,22 @@ func (s *Server) parseOptions(params map[string][]string) (core.Options, error) 
 	return opt, nil
 }
 
-// key builds the cache key for this query: graph, algo, the query's
-// vertex arguments, and the normalized option fields that can change the
-// response body. Requests spelling the same effective options differently
-// (tau=0 vs tau=512, densefrac=0 vs densefrac=0.05) land on one key
-// because Options.Normalized resolved the sentinels in q.norm.
+// key builds the cache key for this query: graph identity and epoch,
+// algo, the query's vertex arguments, and the normalized option fields
+// that can change the response body. Requests spelling the same
+// effective options differently (tau=0 vs tau=512, densefrac=0 vs
+// densefrac=0.05) land on one key because Options.Normalized resolved
+// the sentinels in q.norm.
+//
+// The key deliberately does NOT start with the graph's name alone: a
+// name identifies a slot, not a value. The identity token pins the key
+// to the exact registered graph, and the epoch advances with every
+// /update batch, so a body cached before a mutation can never replay
+// after it.
 func (q *query) key(args ...uint32) string {
 	var b strings.Builder
 	b.WriteString(q.sg.name)
+	fmt.Fprintf(&b, "#%d@%d", q.sg.ident, q.epoch)
 	b.WriteByte('|')
 	b.WriteString(q.algo)
 	for _, a := range args {
@@ -304,7 +385,7 @@ func (q *query) vertex(params map[string][]string, key string) (uint32, error) {
 	if err != nil {
 		return 0, fmt.Errorf("bad %s %q", key, vs[0])
 	}
-	if n := q.sg.g.NumVertices(); v >= uint64(n) {
+	if n := q.view.NumVertices(); v >= uint64(n) {
 		return 0, fmt.Errorf("%s %d out of range [0, %d)", key, v, n)
 	}
 	return uint32(v), nil
@@ -323,7 +404,7 @@ func (q *query) vertexList(params map[string][]string, key string) ([]uint32, er
 		if err != nil {
 			return nil, fmt.Errorf("bad %s entry %q", key, p)
 		}
-		if n := q.sg.g.NumVertices(); v >= uint64(n) {
+		if n := q.view.NumVertices(); v >= uint64(n) {
 			return nil, fmt.Errorf("%s %d out of range [0, %d)", key, v, n)
 		}
 		out = append(out, uint32(v))
@@ -425,7 +506,7 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	} else {
 		err = q.run(func() error {
 			var runErr error
-			dist, _, runErr = core.BFS(q.sg.g, src, q.opt)
+			dist, _, runErr = core.BFS(q.view, src, q.opt)
 			return runErr
 		})
 	}
@@ -464,7 +545,7 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	var dist []uint64
 	err = q.run(func() error {
 		var runErr error
-		dist, _, runErr = core.SSSP(q.sg.wg(), src, nil, q.opt)
+		dist, _, runErr = core.SSSP(q.wgv(), src, nil, q.opt)
 		return runErr
 	})
 	if err != nil {
@@ -595,7 +676,7 @@ func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
 	} else {
 		err = q.run(func() error {
 			var runErr error
-			reach, _, runErr = core.Reachable(q.sg.g, srcs, q.opt)
+			reach, _, runErr = core.Reachable(q.view, srcs, q.opt)
 			return runErr
 		})
 	}
@@ -644,7 +725,7 @@ func (s *Server) handleP2P(w http.ResponseWriter, r *http.Request) {
 	var dist uint64
 	err = q.run(func() error {
 		var runErr error
-		dist, _, runErr = core.PointToPoint(q.sg.wg(), src, dst, nil, q.opt)
+		dist, _, runErr = core.PointToPoint(q.wgv(), src, dst, nil, q.opt)
 		return runErr
 	})
 	if err != nil {
@@ -657,6 +738,60 @@ func (s *Server) handleP2P(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleUpdate serves POST /update?graph=G: one atomic insert/delete
+// batch against a mutable graph. The response reports the epoch queries
+// observe once the batch is published; in-flight queries keep answering
+// from their pinned epochs. Deletes order before inserts, so a batch
+// that deletes and re-inserts the same edge nets to the insert.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	leave, ok := s.join()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer leave()
+	name := r.URL.Query().Get("graph")
+	sg := s.graphs[name]
+	if sg == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown graph %q", name))
+		return
+	}
+	if sg.store == nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("graph %q is not served mutable; restart with -mutable to accept updates", name))
+		return
+	}
+	var req UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad update body: %v", err))
+		return
+	}
+	batch := make([]delta.Update, 0, len(req.Inserts)+len(req.Deletes))
+	for _, e := range req.Deletes {
+		batch = append(batch, delta.Update{U: e.U, V: e.V, Op: delta.Delete})
+	}
+	for _, e := range req.Inserts {
+		batch = append(batch, delta.Update{U: e.U, V: e.V, W: e.W, Op: delta.Insert})
+	}
+	res, err := sg.store.Apply(batch)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, delta.ErrClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	sg.updates.Add(1)
+	writeJSON(w, UpdateResponse{Graph: name, Epoch: res.Epoch, Applied: res.Applied})
+}
+
 // handleGraphs serves /graphs: the loaded graph inventory.
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, GraphsResponse{Graphs: s.graphInfos()})
@@ -665,11 +800,19 @@ func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) graphInfos() map[string]GraphInfo {
 	infos := make(map[string]GraphInfo, len(s.graphs))
 	for name, sg := range s.graphs {
-		infos[name] = GraphInfo{
+		info := GraphInfo{
 			N: sg.g.NumVertices(), M: sg.g.NumArcs(),
 			Directed: sg.g.IsDirected(), Weighted: sg.g.HasWeights(),
 			Compressed: sg.pg == nil,
 		}
+		if sg.store != nil {
+			sn := sg.store.Snapshot()
+			info.Mutable = true
+			info.Epoch = sn.Epoch()
+			info.M = sn.Adj().NumArcs()
+			sn.Release()
+		}
+		infos[name] = info
 	}
 	return infos
 }
@@ -703,6 +846,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, c := range metricsTracerCounters {
 		tr[c.Name()] = s.tracer.CounterValue(c)
 	}
+	var updates map[string]UpdateStats
+	for name, sg := range s.graphs {
+		if sg.store == nil {
+			continue
+		}
+		if updates == nil {
+			updates = make(map[string]UpdateStats)
+		}
+		st := sg.store.Stats()
+		updates[name] = UpdateStats{
+			Batches: sg.updates.Load(), Epoch: st.Epoch,
+			LiveEpochs: st.LiveEpochs, AppliedArcs: st.AppliedArcs,
+			Compactions: st.Compactions, PatchArcs: st.PatchArcs,
+		}
+	}
 	s.drainMu.RLock()
 	draining := s.draining
 	s.drainMu.RUnlock()
@@ -728,6 +886,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Waited: s.adm.waited.Load(), Abandoned: s.adm.abandoned.Load(),
 		},
 		Coalescer: CoalescerStats{Enabled: coalesceOn, Queries: coalQ, Batches: coalB},
+		Updates:   updates,
 		Tracer:    tr,
 		Graphs:    s.graphInfos(),
 	})

@@ -17,8 +17,13 @@
 //     options) replays byte-identical response bodies on hits.
 //   - trace.Tracer counters, cache hit/miss rates, and admission gauges
 //     surface on /metrics; /healthz flips to 503 while draining.
+//   - With Config.Mutable, graphs are served through delta.Store epoch
+//     snapshots: POST /update applies insert/delete batches, every query
+//     pins the epoch it answers from, and cache keys carry the graph
+//     identity token plus the epoch so stale bodies can never replay.
 //
-// See docs/SERVING.md for the HTTP API and the serving contract.
+// See docs/SERVING.md for the HTTP API and docs/UPDATES.md for the
+// mutation contract.
 package serve
 
 import (
@@ -31,6 +36,7 @@ import (
 	"time"
 
 	"pasgal/internal/core"
+	"pasgal/internal/delta"
 	"pasgal/internal/gen"
 	"pasgal/internal/graph"
 	"pasgal/internal/msbfs"
@@ -83,9 +89,29 @@ type Config struct {
 	Opt core.Options
 
 	// WeightSeed seeds the deterministic uniform weights attached to
-	// unweighted graphs for sssp/p2p queries; 0 selects 1.
+	// unweighted graphs for sssp/p2p queries; 0 selects 1. The generated
+	// weight of an edge depends only on (seed, endpoints), so per-epoch
+	// weighted rebuilds of a mutable graph keep surviving edges' weights
+	// stable across mutations.
 	WeightSeed uint64
+
+	// Mutable serves every plain-CSR graph through a delta.Store: queries
+	// pin an immutable epoch snapshot, and POST /update applies
+	// insert/delete batches that publish new epochs. Mutable serving
+	// requires the plain representation (compressed and mmap-backed
+	// graphs are rejected) and disables the coalescer — its lane batches
+	// would otherwise mix sources from different epochs into one scan.
+	Mutable bool
+
+	// CompactFraction forwards to delta.Options for mutable graphs.
+	CompactFraction float64
 }
+
+// graphIdent hands out process-unique graph identity tokens. Cache keys
+// embed the token (plus the epoch) so entries can never outlive the
+// exact graph value they were computed from — a second server, or the
+// same name re-registered over different data, gets fresh keys.
+var graphIdent atomic.Uint64
 
 // servedGraph is one loaded graph plus its lazily built serving variants.
 // The graph may be either representation: plain CSR or compressed
@@ -94,16 +120,27 @@ type Config struct {
 // require it and refuse compressed graphs instead of silently inflating
 // a multi-gigabyte decompressed copy inside a request handler.
 type servedGraph struct {
-	name string
-	g    graph.Adjacency
-	pg   *graph.Graph     // non-nil iff g is a plain *graph.Graph
-	coal *msbfs.Coalescer // nil when coalescing is disabled
+	name  string
+	ident uint64 // process-unique identity token (cache key component)
+	g     graph.Adjacency
+	pg    *graph.Graph     // non-nil iff g is a plain *graph.Graph
+	coal  *msbfs.Coalescer // nil when coalescing is disabled
+	store *delta.Store     // non-nil iff the graph is served mutable
 
 	weightSeed uint64
 	wOnce      sync.Once
 	weighted   graph.Adjacency // g, or g + deterministic uniform weights
 	sOnce      sync.Once
 	sym        *graph.Graph // pg, or pg.Symmetrized() for kcore
+
+	// Per-epoch weighted variant for mutable graphs: rebuilt when a
+	// query's pinned epoch moves past the cached one. Weight generation
+	// keys on (seed, endpoints), so edges surviving a mutation keep
+	// their weights across rebuilds.
+	wMu     sync.Mutex
+	wEpoch  uint64
+	wForEp  graph.Adjacency
+	updates atomic.Int64 // /update batches accepted
 }
 
 // wg returns the weighted serving variant (for sssp/p2p): the graph
@@ -128,9 +165,42 @@ func (sg *servedGraph) wg() graph.Adjacency {
 	return sg.weighted
 }
 
+// wgAt returns the weighted variant of a mutable graph's pinned view.
+// The last epoch's build is cached: steady query traffic between
+// updates pays the materialize+weight cost once.
+func (sg *servedGraph) wgAt(view graph.Adjacency, epoch uint64) graph.Adjacency {
+	if view.HasWeights() {
+		return view
+	}
+	sg.wMu.Lock()
+	defer sg.wMu.Unlock()
+	if sg.wForEp != nil && sg.wEpoch == epoch {
+		return sg.wForEp
+	}
+	var pg *graph.Graph
+	switch v := view.(type) {
+	case *graph.Graph:
+		pg = v
+	case *graph.Overlay:
+		pg = v.Materialize()
+	default:
+		panic(fmt.Sprintf("serve: unexpected mutable view %T", view))
+	}
+	sg.wEpoch = epoch
+	sg.wForEp = gen.AddUniformWeights(pg, 1, 1<<8, sg.weightSeed)
+	return sg.wForEp
+}
+
 // plain returns the plain-CSR form, or a client error for algorithms
-// that only run on it.
+// that only run on it. Mutable graphs are refused too: scc and kcore
+// memoize per-graph derived structures (the symmetrized variant) that
+// cannot be keyed to a moving epoch.
 func (sg *servedGraph) plain(algo string) (*graph.Graph, error) {
+	if sg.store != nil {
+		return nil, fmt.Errorf(
+			"algo %s is not supported on mutable graph %q; serve it without -mutable for this query",
+			algo, sg.name)
+	}
 	if sg.pg == nil {
 		return nil, fmt.Errorf(
 			"algo %s is not supported on compressed graph %q; serve the plain representation for this query",
@@ -248,7 +318,7 @@ func NewAdj(graphs map[string]graph.Adjacency, cfg Config) (*Server, error) {
 		if name == "" {
 			return nil, errors.New("serve: empty graph name")
 		}
-		sg := &servedGraph{name: name, g: g, weightSeed: seed}
+		sg := &servedGraph{name: name, ident: graphIdent.Add(1), g: g, weightSeed: seed}
 		switch t := g.(type) {
 		case *graph.Graph:
 			if t == nil {
@@ -262,6 +332,10 @@ func NewAdj(graphs map[string]graph.Adjacency, cfg Config) (*Server, error) {
 			if t == nil {
 				return nil, fmt.Errorf("serve: graph %q is nil", name)
 			}
+			if cfg.Mutable {
+				return nil, fmt.Errorf(
+					"serve: graph %q: mutable serving requires the plain representation", name)
+			}
 			// No full Validate here: it decodes every adjacency list, which
 			// would fault the whole file in for an mmap-backed graph and
 			// destroy the O(page-in) startup. gio.ReadPZ already validated
@@ -274,7 +348,13 @@ func NewAdj(graphs map[string]graph.Adjacency, cfg Config) (*Server, error) {
 		default:
 			return nil, fmt.Errorf("serve: graph %q: unsupported representation %T", name, g)
 		}
-		if !cfg.DisableCoalesce {
+		if cfg.Mutable {
+			sg.store = delta.NewStore(sg.pg, delta.Options{CompactFraction: cfg.CompactFraction})
+		}
+		// The coalescer group-commits concurrent sources into one lane
+		// scan; on a mutable graph two coalesced queries could be pinned
+		// to different epochs, so the shared scan is unsound there.
+		if !cfg.DisableCoalesce && sg.store == nil {
 			sg.coal = msbfs.NewCoalescer(g, msbfs.CoalescerOptions{
 				MaxWait: cfg.CoalesceWait,
 				Opt:     opt,
@@ -298,6 +378,7 @@ func NewAdj(graphs map[string]graph.Adjacency, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/query/kcore", s.handleKCore)
 	s.mux.HandleFunc("/query/reachable", s.handleReachable)
 	s.mux.HandleFunc("/query/p2p", s.handleP2P)
+	s.mux.HandleFunc("/update", s.handleUpdate)
 	s.mux.HandleFunc("/graphs", s.handleGraphs)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -329,6 +410,12 @@ func (s *Server) Close() {
 		}
 	}
 	s.inflight.Wait()
+	// Stores close after the last in-flight query released its snapshot.
+	for _, sg := range s.graphs {
+		if sg.store != nil {
+			sg.store.Close()
+		}
+	}
 }
 
 // join registers an in-flight query handler, or reports false when the

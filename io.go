@@ -56,42 +56,39 @@ func LoadGraph(path string, directed bool) (*Graph, error) {
 
 // SaveGraph writes a graph file, dispatching on the extension like
 // LoadGraph (edge-list text for unknown extensions); a trailing ".gz"
-// gzips the output.
+// gzips the output. The write is atomic: bytes land in a temp file that
+// is fsynced and renamed over path, so an interrupted save never leaves
+// a truncated graph file in place of a good one.
 func SaveGraph(path string, g *Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
+	return gio.WriteFileAtomic(path, func(fw io.Writer) error {
+		w := fw
+		var zw *gzip.Writer
+		ext := path
+		if strings.HasSuffix(ext, ".gz") {
+			zw = gzip.NewWriter(fw)
+			w = zw
+			ext = strings.TrimSuffix(ext, ".gz")
+		}
+		var err error
+		switch {
+		case strings.HasSuffix(ext, ".adj"):
+			err = gio.WriteAdj(w, g)
+		case strings.HasSuffix(ext, ".bin"):
+			err = gio.WriteBin(w, g)
+		case strings.HasSuffix(ext, ".pz"):
+			err = gio.WritePZ(w, graph.Compress(g))
+		case strings.HasSuffix(ext, ".mtx"):
+			err = gio.WriteMTX(w, g)
+		case strings.HasSuffix(ext, ".gr"):
+			err = gio.WriteDIMACS(w, g)
+		default:
+			err = gio.WriteEdgeList(w, g)
+		}
+		if err == nil && zw != nil {
+			err = zw.Close()
+		}
 		return err
-	}
-	var w io.Writer = f
-	var zw *gzip.Writer
-	ext := path
-	if strings.HasSuffix(ext, ".gz") {
-		zw = gzip.NewWriter(f)
-		w = zw
-		ext = strings.TrimSuffix(ext, ".gz")
-	}
-	switch {
-	case strings.HasSuffix(ext, ".adj"):
-		err = gio.WriteAdj(w, g)
-	case strings.HasSuffix(ext, ".bin"):
-		err = gio.WriteBin(w, g)
-	case strings.HasSuffix(ext, ".pz"):
-		err = gio.WritePZ(w, graph.Compress(g))
-	case strings.HasSuffix(ext, ".mtx"):
-		err = gio.WriteMTX(w, g)
-	case strings.HasSuffix(ext, ".gr"):
-		err = gio.WriteDIMACS(w, g)
-	default:
-		err = gio.WriteEdgeList(w, g)
-	}
-	if err == nil && zw != nil {
-		err = zw.Close()
-	}
-	if err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	})
 }
 
 // SaveCompressed writes c to path in the .pz compressed CSR format

@@ -100,7 +100,7 @@ else
     # is deliberately huge (20x): the gate exists to exercise the
     # -json/-compare pipeline end to end and to catch order-of-magnitude
     # blowups, not small drift.
-    go run ./cmd/pasgal-bench -exp bfs,build,queries,serve,compress -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
+    go run ./cmd/pasgal-bench -exp bfs,build,queries,serve,compress,updates -scale 0.05 -reps 1 -json "$tmpjson" >/dev/null
     go run ./cmd/pasgal-bench -compare -threshold 20 \
         scripts/bench-baseline.json "$tmpjson"
 fi
@@ -123,7 +123,7 @@ fi
 echo '== race stress tier'
 go test -race -run Stress -count=3 \
     ./internal/hashbag ./internal/parallel ./internal/conn ./internal/core \
-    ./internal/msbfs ./internal/serve
+    ./internal/msbfs ./internal/serve ./internal/delta
 # The scheduler conformance suite under -race: one pass over every
 # primitive x worker-count x grain x size cell catches ordering bugs the
 # stress loops' fixed shapes miss.
@@ -134,6 +134,6 @@ go test -race -run 'Conformance|PanicPropagation' -count=1 ./internal/parallel
 # and plain runs miss.
 go test -race -run 'Cancel' -count=1 \
     ./internal/parallel ./internal/core ./internal/baseline ./internal/msbfs \
-    ./internal/serve
+    ./internal/serve ./internal/delta
 
 echo 'all checks passed'
